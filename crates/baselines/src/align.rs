@@ -1,0 +1,161 @@
+//! ALIGN (paper's "ALIGN [18]" row): the same dual-encoder architecture as
+//! CLIP, pre-trained on *noisy* caption supervision at scale. We reproduce
+//! the recipe's defining property — noisy alt-text — by corrupting the
+//! caption corpus (word dropout + word swaps from the vocabulary) and extra
+//! image noise before contrastive pre-training, then evaluating zero-shot.
+
+use std::time::Instant;
+
+use cem_clip::pretrain::{pretrain, PretrainConfig};
+use cem_clip::{Clip, ClipConfig, Image, Tokenizer};
+use cem_data::{CaptionPair, EmDataset};
+use cem_tensor::init::randn_value;
+use rand::Rng;
+
+use crate::clip_zeroshot;
+use crate::common::{evaluate_scores, BaselineOutput};
+
+/// Noise parameters for the ALIGN-style corpus corruption.
+#[derive(Debug, Clone, Copy)]
+pub struct AlignNoise {
+    /// Probability a caption word is dropped.
+    pub word_dropout: f32,
+    /// Probability a caption word is replaced by a random vocabulary word.
+    pub word_swap: f32,
+    /// Extra Gaussian noise added to every patch value.
+    pub image_noise: f32,
+}
+
+impl Default for AlignNoise {
+    fn default() -> Self {
+        AlignNoise { word_dropout: 0.25, word_swap: 0.15, image_noise: 0.3 }
+    }
+}
+
+fn corrupt_caption<R: Rng>(
+    caption: &str,
+    tokenizer: &Tokenizer,
+    noise: &AlignNoise,
+    rng: &mut R,
+) -> Vec<usize> {
+    let vocab = tokenizer.vocab_size();
+    let mut ids = Vec::new();
+    ids.push(cem_clip::tokenizer::CLS);
+    for id in tokenizer.tokenize(caption) {
+        if rng.gen::<f32>() < noise.word_dropout {
+            continue;
+        }
+        if rng.gen::<f32>() < noise.word_swap {
+            ids.push(rng.gen_range(cem_clip::tokenizer::UNK + 1..vocab));
+        } else {
+            ids.push(id);
+        }
+    }
+    ids.push(cem_clip::tokenizer::SEP);
+    ids
+}
+
+fn corrupt_image<R: Rng>(image: &Image, noise: &AlignNoise, rng: &mut R) -> Image {
+    let patches: Vec<Vec<f32>> = (0..image.n_patches())
+        .map(|p| {
+            image
+                .patch(p)
+                .iter()
+                .map(|v| v + noise.image_noise * randn_value(rng))
+                .collect()
+        })
+        .collect();
+    Image::from_patches(patches)
+}
+
+/// Pre-train an ALIGN-style dual encoder on the corrupted corpus and
+/// evaluate it zero-shot on the dataset.
+pub fn run<R: Rng>(
+    corpus: &[CaptionPair],
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    patch_dim: usize,
+    pretrain_config: &PretrainConfig,
+    noise: &AlignNoise,
+    rng: &mut R,
+) -> BaselineOutput {
+    let start = Instant::now();
+    let model = Clip::new(ClipConfig::small(tokenizer.vocab_size(), patch_dim), rng);
+    let noisy_pairs: Vec<(Vec<usize>, Image)> = corpus
+        .iter()
+        .map(|pair| {
+            (
+                corrupt_caption(&pair.caption, tokenizer, noise, rng),
+                corrupt_image(&pair.image, noise, rng),
+            )
+        })
+        .collect();
+    pretrain(&model, &noisy_pairs, pretrain_config, rng);
+    let fit_seconds = start.elapsed().as_secs_f64();
+
+    let scores = clip_zeroshot::score_matrix(&model, tokenizer, dataset);
+    BaselineOutput { name: "ALIGN", metrics: evaluate_scores(&scores, dataset), fit_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corruption_changes_tokens_but_keeps_frame() {
+        let tokenizer = Tokenizer::build(["a photo of white bird with long wings"]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let noise = AlignNoise { word_dropout: 0.5, word_swap: 0.3, image_noise: 0.0 };
+        let ids = corrupt_caption("a photo of white bird with long wings", &tokenizer, &noise, &mut rng);
+        assert_eq!(ids[0], cem_clip::tokenizer::CLS);
+        assert_eq!(*ids.last().unwrap(), cem_clip::tokenizer::SEP);
+        assert!(ids.len() <= 10);
+    }
+
+    #[test]
+    fn zero_dropout_preserves_caption() {
+        let tokenizer = Tokenizer::build(["white bird"]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noise = AlignNoise { word_dropout: 0.0, word_swap: 0.0, image_noise: 0.0 };
+        let ids = corrupt_caption("white bird", &tokenizer, &noise, &mut rng);
+        assert_eq!(ids.len(), 4); // CLS white bird SEP
+    }
+
+    #[test]
+    fn corrupt_image_keeps_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = Image::from_patches(vec![vec![1.0; 4]; 3]);
+        let noisy = corrupt_image(&img, &AlignNoise::default(), &mut rng);
+        assert_eq!(noisy.n_patches(), 3);
+        assert_eq!(noisy.patch_dim(), 4);
+        assert!(noisy.patch(0).iter().zip(img.patch(0)).any(|(a, b)| (a - b).abs() > 1e-6));
+    }
+
+    #[test]
+    fn align_end_to_end_on_smoke_bundle() {
+        use cem_data::{BundleConfig, DatasetBundle, DatasetKind};
+        let bundle = DatasetBundle::prepare(BundleConfig::smoke(DatasetKind::Cub));
+        let mut rng = bundle.stage_rng(7);
+        let corpus = cem_data::generate_corpus(
+            &mut {  bundle.world },
+            &bundle.dataset.pool,
+            40,
+            &mut rng,
+        );
+        let config = PretrainConfig { epochs: 2, batch_size: 16, lr: 1e-3, clip_norm: 5.0 };
+        let out = run(
+            &corpus,
+            &bundle.tokenizer,
+            &bundle.dataset,
+            bundle.dataset.images[0].patch_dim(),
+            &config,
+            &AlignNoise::default(),
+            &mut rng,
+        );
+        assert_eq!(out.name, "ALIGN");
+        assert!(out.fit_seconds > 0.0);
+        assert!(out.metrics.mrr.is_finite());
+    }
+}

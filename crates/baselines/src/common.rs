@@ -1,0 +1,157 @@
+//! Shared baseline plumbing: score-matrix evaluation, serialisation of
+//! graph entities into text (the paper "modif[ies] these model[s] by
+//! serializing the graph into texts as presented in our hard prompt"), and
+//! seed-pair splits for the supervised methods.
+
+use cem_clip::Tokenizer;
+use cem_data::EmDataset;
+use cem_tensor::Tensor;
+use crossem::metrics::{evaluate_rankings, Metrics};
+use crossem::prompt::{hard_prompt, HardPromptOptions};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// What every baseline produces.
+#[derive(Debug, Clone)]
+pub struct BaselineOutput {
+    pub name: &'static str,
+    pub metrics: Metrics,
+    /// Seconds spent fitting (0 for pure zero-shot methods).
+    pub fit_seconds: f64,
+}
+
+/// Rank a score matrix `[entities, images]` against the dataset's gold
+/// pairs.
+pub fn evaluate_scores(scores: &Tensor, dataset: &EmDataset) -> Metrics {
+    let rankings = crossem::matcher::rank_images(scores, 0);
+    evaluate_rankings(&rankings, |entity, image| dataset.is_match(entity, image))
+}
+
+/// Serialise every entity into text via the hard-prompt template (how the
+/// paper feeds graph entities to text-consuming baselines), tokenised and
+/// truncated to `max_len`.
+pub fn serialized_entity_ids(
+    dataset: &EmDataset,
+    tokenizer: &Tokenizer,
+    max_len: usize,
+) -> Vec<Vec<usize>> {
+    let options = HardPromptOptions { hops: 1, photo_prefix: false, max_subprompts: 16 };
+    dataset
+        .entities
+        .iter()
+        .map(|&v| {
+            let text = hard_prompt(&dataset.graph, v, &options);
+            tokenizer.encode(&text, max_len).0
+        })
+        .collect()
+}
+
+/// A supervised seed split: `fraction` of the entities (with all their gold
+/// images) are made available as labelled pairs; the rest stay unseen.
+/// Returns `(seed_pairs, seed_entities)` where pairs are
+/// `(entity index, image index)`.
+pub fn seed_split<R: Rng>(
+    dataset: &EmDataset,
+    fraction: f32,
+    rng: &mut R,
+) -> (Vec<(usize, usize)>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut entities: Vec<usize> = (0..dataset.entity_count()).collect();
+    entities.shuffle(rng);
+    let n_seed = ((dataset.entity_count() as f32) * fraction).round() as usize;
+    let seed_entities: Vec<usize> = entities.into_iter().take(n_seed.max(1)).collect();
+    let mut pairs = Vec::new();
+    for &e in &seed_entities {
+        for image in dataset.gold_images_of(e) {
+            pairs.push((e, image));
+        }
+    }
+    (pairs, seed_entities)
+}
+
+/// Mean patch features of every image as a `[M, patch_dim]` tensor — the
+/// cheap visual descriptor several baselines consume.
+pub fn mean_patch_matrix(dataset: &EmDataset) -> Tensor {
+    let rows: Vec<Tensor> = dataset
+        .images
+        .iter()
+        .map(|img| Tensor::from_vec(img.mean_patch(), &[img.patch_dim()]))
+        .collect();
+    Tensor::stack_rows(&rows)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use cem_data::{AttributePool, ClassSpec};
+    use cem_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn micro_dataset() -> EmDataset {
+        let mut graph = Graph::new();
+        let a = graph.add_vertex("white bird");
+        let b = graph.add_vertex("black bird");
+        let white = graph.add_vertex("white");
+        graph.add_edge(a, white, "has color");
+        let img = |v: f32| cem_clip::Image::from_patches(vec![vec![v; 4], vec![v * 0.5; 4]]);
+        let d = EmDataset {
+            name: "m".into(),
+            graph,
+            entities: vec![a, b],
+            classes: vec![
+                ClassSpec { name: "white bird".into(), signature: vec![], name_reveals: 0 },
+                ClassSpec { name: "black bird".into(), signature: vec![], name_reveals: 0 },
+            ],
+            images: vec![img(1.0), img(-1.0), img(0.9), img(-0.8)],
+            image_gold: vec![0, 1, 0, 1],
+            pool: AttributePool::synthesize(2, 2),
+        };
+        d.validate();
+        d
+    }
+
+    #[test]
+    fn evaluate_scores_matches_manual() {
+        let d = micro_dataset();
+        // Perfect scores: entity 0 loves images 0,2; entity 1 loves 1,3.
+        let scores = Tensor::from_vec(
+            vec![0.9, 0.1, 0.8, 0.0, 0.1, 0.9, 0.0, 0.8],
+            &[2, 4],
+        );
+        let m = evaluate_scores(&scores, &d);
+        assert_eq!(m.hits_at_1, 1.0);
+        assert_eq!(m.mrr, 1.0);
+    }
+
+    #[test]
+    fn serialization_contains_neighbour_text() {
+        let d = micro_dataset();
+        let tok = Tokenizer::build(["white black bird has color in and"]);
+        let ids = serialized_entity_ids(&d, &tok, 32);
+        assert_eq!(ids.len(), 2);
+        // Entity 0 mentions "color" (via its edge); entity 1 has no edges.
+        assert!(ids[0].len() > ids[1].len());
+    }
+
+    #[test]
+    fn seed_split_respects_fraction() {
+        let d = micro_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (pairs, seeds) = seed_split(&d, 0.5, &mut rng);
+        assert_eq!(seeds.len(), 1);
+        assert_eq!(pairs.len(), 2); // each entity has 2 gold images
+        for (e, i) in pairs {
+            assert!(d.is_match(e, i));
+        }
+    }
+
+    #[test]
+    fn mean_patch_matrix_shape() {
+        let d = micro_dataset();
+        let m = mean_patch_matrix(&d);
+        assert_eq!(m.dims(), &[4, 4]);
+        // mean of [v,..] and [0.5v,..] is 0.75v — image 0 has v=1.0.
+        assert!((m.at2(0, 0) - 0.75).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,198 @@
+//! IMRAM analogue (paper's "IMRAM [19]" row): iterative matching with
+//! recurrent attention memory. Word fragments attend over patch fragments;
+//! the attended context refines the query over `K` iterations (the memory
+//! update), and the final score aggregates fragment-level cosine
+//! alignments. Trained with a triplet hinge on the caption corpus, as in
+//! the original retrieval setting.
+
+use std::time::Instant;
+
+use cem_clip::{Image, Tokenizer};
+use cem_data::{CaptionPair, EmDataset};
+use cem_nn::{Embedding, Linear, Module};
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{no_grad, Tensor};
+use rand::Rng;
+
+use crate::common::{evaluate_scores, serialized_entity_ids, BaselineOutput};
+
+/// The iterative fragment aligner.
+pub struct Imram {
+    token_emb: Embedding,
+    patch_proj: Linear,
+    /// Memory update gate `W_m` applied to `[query ‖ context]`.
+    memory: Linear,
+    steps: usize,
+    max_text: usize,
+    d_model: usize,
+}
+
+impl Imram {
+    pub fn new<R: Rng>(vocab: usize, patch_dim: usize, d_model: usize, steps: usize, rng: &mut R) -> Self {
+        assert!(steps >= 1, "need at least one attention step");
+        Imram {
+            token_emb: Embedding::new(vocab, d_model, rng),
+            patch_proj: Linear::new(patch_dim, d_model, rng),
+            memory: Linear::new(2 * d_model, d_model, rng),
+            steps,
+            max_text: 16,
+            d_model,
+        }
+    }
+
+    /// Alignment score: mean over words of cos(word_K, context_K) after K
+    /// recurrent attention refinements.
+    pub fn score_pair(&self, ids: &[usize], image: &Image) -> Tensor {
+        let t = ids.len().min(self.max_text);
+        let mut words = self.token_emb.forward(&ids[..t]); // [t, d]
+        let patches = self.patch_proj.forward(&image.as_tensor()); // [p, d]
+        let patches_n = patches.l2_normalize_rows();
+        let mut context = Tensor::zeros(&[t, self.d_model]);
+        for _ in 0..self.steps {
+            let attn = words
+                .l2_normalize_rows()
+                .matmul_nt(&patches_n)
+                .mul_scalar(4.0) // temperature for sharper alignment
+                .softmax_rows(); // [t, p]
+            context = attn.matmul(&patches); // [t, d]
+            // Recurrent memory update: refine the queries with the context.
+            words = self.memory.forward(&words.concat_cols(&context)).tanh();
+        }
+        let cos = words
+            .l2_normalize_rows()
+            .mul(&context.l2_normalize_rows())
+            .sum_rows(); // [t] fragment alignments
+        cos.mean()
+    }
+
+    /// Triplet hinge pre-training on (caption, image) pairs.
+    pub fn fit_corpus<R: Rng>(
+        &self,
+        corpus: &[(Vec<usize>, &Image)],
+        epochs: usize,
+        lr: f32,
+        margin: f32,
+        rng: &mut R,
+    ) {
+        assert!(corpus.len() >= 2, "triplet training needs at least two pairs");
+        let mut opt = AdamW::new(self.params(), lr);
+        for _ in 0..epochs {
+            for i in 0..corpus.len() {
+                let (ids, image) = &corpus[i];
+                let mut j = rng.gen_range(0..corpus.len());
+                if j == i {
+                    j = (j + 1) % corpus.len();
+                }
+                let pos = self.score_pair(ids, image);
+                let neg = self.score_pair(ids, corpus[j].1);
+                // hinge: max(0, margin - pos + neg)
+                let loss = neg.sub(&pos).add_scalar(margin).relu();
+                opt.zero_grad();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+        }
+    }
+
+    /// `[N, M]` score matrix.
+    pub fn score_matrix(&self, entity_ids: &[Vec<usize>], images: &[Image]) -> Tensor {
+        no_grad(|| {
+            let rows: Vec<Tensor> = entity_ids
+                .iter()
+                .map(|ids| {
+                    let scores: Vec<Tensor> =
+                        images.iter().map(|img| self.score_pair(ids, img)).collect();
+                    Tensor::stack_rows(&scores).reshape(&[images.len()])
+                })
+                .collect();
+            Tensor::stack_rows(&rows)
+        })
+    }
+}
+
+impl Module for Imram {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = cem_nn::module::with_prefix("token_emb", self.token_emb.named_params());
+        v.extend(cem_nn::module::with_prefix("patch_proj", self.patch_proj.named_params()));
+        v.extend(cem_nn::module::with_prefix("memory", self.memory.named_params()));
+        v
+    }
+}
+
+/// Full IMRAM baseline run.
+pub fn run<R: Rng>(
+    corpus: &[CaptionPair],
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    epochs: usize,
+    rng: &mut R,
+) -> BaselineOutput {
+    let start = Instant::now();
+    let patch_dim = dataset.images[0].patch_dim();
+    let model = Imram::new(tokenizer.vocab_size(), patch_dim, 48, 2, rng);
+    let tokenised: Vec<(Vec<usize>, &Image)> = corpus
+        .iter()
+        .map(|pair| (tokenizer.encode(&pair.caption, 24).0, &pair.image))
+        .collect();
+    model.fit_corpus(&tokenised, epochs, 1e-3, 0.3, rng);
+    let fit_seconds = start.elapsed().as_secs_f64();
+
+    let entity_ids = serialized_entity_ids(dataset, tokenizer, 24);
+    let scores = model.score_matrix(&entity_ids, &dataset.images);
+    BaselineOutput { name: "IMRAM", metrics: evaluate_scores(&scores, dataset), fit_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn image(axis: usize) -> Image {
+        let mut p = vec![0.0f32; 4];
+        p[axis] = 1.0;
+        Image::from_patches(vec![p.clone(), p])
+    }
+
+    #[test]
+    fn score_is_bounded_cosine() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Imram::new(30, 4, 16, 2, &mut rng);
+        let s = m.score_pair(&[1, 5, 2], &image(0)).item();
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn more_steps_changes_score() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m1 = Imram::new(30, 4, 16, 1, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let m3 = Imram::new(30, 4, 16, 3, &mut rng2);
+        let s1 = m1.score_pair(&[1, 5, 2], &image(1)).item();
+        let s3 = m3.score_pair(&[1, 5, 2], &image(1)).item();
+        assert!((s1 - s3).abs() > 1e-6, "iteration count had no effect");
+    }
+
+    #[test]
+    fn triplet_training_orders_pairs() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Imram::new(30, 4, 16, 2, &mut rng);
+        let img_a = image(0);
+        let img_b = image(3);
+        let corpus: Vec<(Vec<usize>, &Image)> =
+            vec![(vec![1, 7, 2], &img_a), (vec![1, 8, 2], &img_b)];
+        m.fit_corpus(&corpus, 60, 2e-3, 0.3, &mut rng);
+        let pos = m.score_pair(&[1, 7, 2], &img_a).item();
+        let neg = m.score_pair(&[1, 7, 2], &img_b).item();
+        assert!(pos > neg, "pos {pos} vs neg {neg}");
+    }
+
+    #[test]
+    fn score_matrix_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Imram::new(30, 4, 16, 2, &mut rng);
+        let imgs = vec![image(0), image(1), image(2)];
+        assert_eq!(m.score_matrix(&[vec![1, 2], vec![1, 3]], &imgs).dims(), &[2, 3]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Knowledge-graph embedding baselines for the case study (paper Table V):
+//! DistMult, RotatE, RSME, and an MKGformer analogue, on a shared TransE
+//! substrate and triple store.
+//!
+//! These are *supervised* multi-modal KG methods: they learn entity and
+//! relation embeddings from the graph's triples and align images into the
+//! entity space using a labelled seed set (the integration scenario gives
+//! them existing image links to learn from). CrossEM remains unsupervised —
+//! the gap between the two regimes on *unseen* entities is exactly what
+//! Table V demonstrates.
+
+pub mod distmult;
+pub mod mkgformer;
+pub mod rotate;
+pub mod rsme;
+pub mod store;
+pub mod transe;
+
+pub use store::TripleStore;

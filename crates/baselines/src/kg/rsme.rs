@@ -1,0 +1,219 @@
+//! RSME analogue (paper's "RSME [46]" row): "Is Visual Context Really
+//! Helpful" — relation-sensitive multi-modal embedding with a *gate* that
+//! decides how much visual evidence to mix into each entity representation.
+//! Entities with seed images fuse their mean visual feature through a
+//! learned gate; entities without remain structure-only.
+
+use std::time::Instant;
+
+use cem_clip::Clip;
+use cem_data::EmDataset;
+use cem_nn::{Linear, Module};
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{no_grad, Tensor};
+use rand::Rng;
+
+use crate::common::{evaluate_scores, seed_split, BaselineOutput};
+use crate::kg::store::{clip_image_features, TripleStore};
+use crate::kg::transe::TransE;
+
+/// Gated visual-structural fusion over a TransE backbone.
+pub struct Rsme {
+    pub backbone: TransE,
+    /// Visual projection into entity space.
+    visual_proj: Linear,
+    /// Gate logits (one per embedding dimension).
+    gate: Tensor,
+    dim: usize,
+}
+
+impl Rsme {
+    pub fn new<R: Rng>(store: &TripleStore, dim: usize, feat_dim: usize, rng: &mut R) -> Self {
+        Rsme {
+            backbone: TransE::new(store, dim, rng),
+            visual_proj: Linear::new(feat_dim, dim, rng),
+            gate: Tensor::zeros(&[dim]).requires_grad(),
+            dim,
+        }
+    }
+
+    /// Fused entity matrix `[n_entities_graph, dim]` given per-entity mean
+    /// visual features (zero rows mean "no visual evidence" — the gate is
+    /// then bypassed).
+    pub fn fused_entities(&self, visual_means: &Tensor, has_visual: &[bool]) -> Tensor {
+        let projected = self.visual_proj.forward(visual_means);
+        let g = self.gate.sigmoid(); // [dim]
+        let (n, _) = self.backbone.entities.shape().as_matrix();
+        let mut mask = vec![0.0f32; n];
+        for (i, &h) in has_visual.iter().enumerate() {
+            mask[i] = if h { 1.0 } else { 0.0 };
+        }
+        let mask_t = Tensor::from_vec(mask, &[n]);
+        // e' = (1 - m·(1-g))·e + m·(1-g)·Wv  — when m=0 this is e.
+        let one_minus_g = g.neg().add_scalar(1.0);
+        let structural = self.backbone.entities.clone();
+        let keep = structural.mul_col(&mask_t.neg().add_scalar(1.0));
+        let gated_e = structural.mul_row(&g).mul_col(&mask_t);
+        let gated_v = projected.mul_row(&one_minus_g).mul_col(&mask_t);
+        keep.add(&gated_e).add(&gated_v)
+    }
+
+    /// Train the fusion head: seed images should land near their entities.
+    pub fn fit_fusion<R: Rng>(
+        &self,
+        dataset: &EmDataset,
+        features: &Tensor,
+        seed_pairs: &[(usize, usize)],
+        epochs: usize,
+        lr: f32,
+        _rng: &mut R,
+    ) {
+        let mut params = self.visual_proj.params();
+        params.push(self.gate.clone());
+        let mut opt = AdamW::new(params, lr);
+        for _ in 0..epochs {
+            for &(e, i) in seed_pairs {
+                let vertex = dataset.entities[e].0;
+                let target = no_grad(|| self.backbone.entities.gather_rows(&[vertex]))
+                    .detach()
+                    .l2_normalize_rows();
+                let v = self.visual_proj.forward(&features.gather_rows(&[i])).l2_normalize_rows();
+                let loss = v.mul(&target).sum().neg().add_scalar(1.0);
+                opt.zero_grad();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+        }
+    }
+
+    /// Score matrix from fused entities against projected images.
+    pub fn score_matrix(
+        &self,
+        dataset: &EmDataset,
+        features: &Tensor,
+        visual_means: &Tensor,
+        has_visual: &[bool],
+    ) -> Tensor {
+        no_grad(|| {
+            let fused = self.fused_entities(visual_means, has_visual);
+            let rows: Vec<usize> =
+                (0..dataset.entity_count()).map(|e| dataset.entities[e].0).collect();
+            let e = fused.gather_rows(&rows).l2_normalize_rows();
+            let v = self.visual_proj.forward(features).l2_normalize_rows();
+            e.matmul_nt(&v)
+        })
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Per-graph-vertex mean visual feature of the seed images (zeros without
+/// seeds), plus the has-visual mask.
+pub fn seed_visual_means(
+    dataset: &EmDataset,
+    features: &Tensor,
+    seed_pairs: &[(usize, usize)],
+) -> (Tensor, Vec<bool>) {
+    let n = dataset.graph.vertex_count();
+    let d = features.shape().last_dim();
+    let mut sums = vec![0.0f32; n * d];
+    let mut counts = vec![0usize; n];
+    let data = features.to_vec();
+    for &(e, i) in seed_pairs {
+        let vertex = dataset.entities[e].0;
+        counts[vertex] += 1;
+        for j in 0..d {
+            sums[vertex * d + j] += data[i * d + j];
+        }
+    }
+    let mut has = vec![false; n];
+    for (v, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            has[v] = true;
+            for j in 0..d {
+                sums[v * d + j] /= c as f32;
+            }
+        }
+    }
+    (Tensor::from_vec(sums, &[n, d]), has)
+}
+
+/// Full RSME baseline run.
+pub fn run<R: Rng>(
+    clip: &Clip,
+    dataset: &EmDataset,
+    kg_epochs: usize,
+    align_epochs: usize,
+    rng: &mut R,
+) -> BaselineOutput {
+    let start = Instant::now();
+    let store = TripleStore::from_dataset(dataset);
+    let features = clip_image_features(clip, dataset);
+    let model = Rsme::new(&store, 32, features.shape().last_dim(), rng);
+    model.backbone.fit(&store, kg_epochs, 1e-2, 1.0, rng);
+    let (seed_pairs, _) = seed_split(dataset, 0.25, rng);
+    model.fit_fusion(dataset, &features, &seed_pairs, align_epochs, 1e-2, rng);
+    let (visual_means, has_visual) = seed_visual_means(dataset, &features, &seed_pairs);
+    let scores = model.score_matrix(dataset, &features, &visual_means, &has_visual);
+    BaselineOutput {
+        name: "RSME",
+        metrics: evaluate_scores(&scores, dataset),
+        fit_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seed_visual_means_averages_gold_features() {
+        let d = crate::common::tests::micro_dataset();
+        let features = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 1.0, 3.0, 0.0, 0.0, 3.0],
+            &[4, 2],
+        );
+        let seeds = vec![(0usize, 0usize), (0, 2)];
+        let (means, has) = seed_visual_means(&d, &features, &seeds);
+        let v0 = d.entities[0].0;
+        assert!(has[v0]);
+        assert_eq!(means.at2(v0, 0), 2.0); // mean of 1.0 and 3.0
+        assert!(!has[d.entities[1].0]);
+    }
+
+    #[test]
+    fn entities_without_visual_stay_structural() {
+        let store = TripleStore::from_triples(vec![(0, 0, 1)], 3, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = Rsme::new(&store, 4, 2, &mut rng);
+        let means = Tensor::zeros(&[3, 2]);
+        let has = vec![false, false, false];
+        let fused = model.fused_entities(&means, &has);
+        let original = model.backbone.entities.to_vec();
+        for (a, b) in fused.to_vec().iter().zip(&original) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn visual_evidence_changes_fused_rows() {
+        let store = TripleStore::from_triples(vec![(0, 0, 1)], 3, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = Rsme::new(&store, 4, 2, &mut rng);
+        let means = Tensor::from_vec(vec![5.0, -5.0, 0.0, 0.0, 0.0, 0.0], &[3, 2]);
+        let fused = model.fused_entities(&means, &[true, false, false]);
+        let original = model.backbone.entities.to_vec();
+        let row0: Vec<f32> = (0..4).map(|j| fused.at2(0, j)).collect();
+        assert!(row0.iter().zip(&original[0..4]).any(|(a, b)| (a - b).abs() > 1e-6));
+        // Row 1 untouched.
+        let row1: Vec<f32> = (0..4).map(|j| fused.at2(1, j)).collect();
+        for (a, b) in row1.iter().zip(&original[4..8]) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Triple store: the graph's edges as `(head, relation, tail)` id triples
+//! with interned relation labels, plus shared alignment utilities for the
+//! KG baselines.
+
+use std::collections::HashMap;
+
+use cem_clip::Clip;
+use cem_data::EmDataset;
+use cem_nn::{Linear, Module};
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{no_grad, Tensor};
+use rand::Rng;
+
+/// Edges of a graph as id triples.
+#[derive(Debug, Clone)]
+pub struct TripleStore {
+    pub triples: Vec<(usize, usize, usize)>,
+    pub n_entities: usize,
+    pub n_relations: usize,
+    relation_names: Vec<String>,
+}
+
+impl TripleStore {
+    pub fn from_dataset(dataset: &EmDataset) -> Self {
+        let graph = &dataset.graph;
+        let mut interner: HashMap<String, usize> = HashMap::new();
+        let mut relation_names = Vec::new();
+        let mut triples = Vec::with_capacity(graph.edge_count());
+        for e in 0..graph.edge_count() {
+            let edge = cem_graph::EdgeId(e);
+            let (src, dst) = graph.edge_endpoints(edge);
+            let label = graph.edge_label(edge);
+            let r = *interner.entry(label.to_string()).or_insert_with(|| {
+                relation_names.push(label.to_string());
+                relation_names.len() - 1
+            });
+            triples.push((src.0, r, dst.0));
+        }
+        TripleStore {
+            triples,
+            n_entities: graph.vertex_count(),
+            n_relations: relation_names.len().max(1),
+            relation_names,
+        }
+    }
+
+    /// Construct directly from id triples (tests and synthetic KGs).
+    pub fn from_triples(
+        triples: Vec<(usize, usize, usize)>,
+        n_entities: usize,
+        n_relations: usize,
+    ) -> Self {
+        assert!(n_relations >= 1, "need at least one relation");
+        for &(h, r, t) in &triples {
+            assert!(h < n_entities && t < n_entities && r < n_relations, "triple out of range");
+        }
+        TripleStore {
+            triples,
+            n_entities,
+            n_relations,
+            relation_names: (0..n_relations).map(|i| format!("r{i}")).collect(),
+        }
+    }
+
+    pub fn relation_name(&self, r: usize) -> &str {
+        &self.relation_names[r]
+    }
+
+    /// A corrupted version of triple `i` (random tail), for negative
+    /// sampling during embedding training.
+    pub fn corrupt_tail<R: Rng>(&self, i: usize, rng: &mut R) -> (usize, usize, usize) {
+        let (h, r, t) = self.triples[i];
+        let mut bad = rng.gen_range(0..self.n_entities);
+        if bad == t {
+            bad = (bad + 1) % self.n_entities;
+        }
+        (h, r, bad)
+    }
+}
+
+/// Frozen CLIP image embeddings for all dataset images: `[M, D]`,
+/// L2-normalised — the visual features the KG baselines consume.
+pub fn clip_image_features(clip: &Clip, dataset: &EmDataset) -> Tensor {
+    no_grad(|| {
+        let refs: Vec<&cem_clip::Image> = dataset.images.iter().collect();
+        let mut parts = Vec::new();
+        for chunk in refs.chunks(64) {
+            parts.push(clip.encode_images(chunk));
+        }
+        Tensor::concat_rows(&parts)
+    })
+    .detach()
+}
+
+/// Learn a linear projection from image-feature space into an entity
+/// embedding space from labelled seed pairs (minimises `1 − cos`), then
+/// score every entity against every image by cosine. This is the shared
+/// "integration" head of the structure-only KG baselines.
+pub fn align_and_score<R: Rng>(
+    entity_embeddings: &Tensor, // [n_entities_graph, d] (graph-vertex indexed)
+    dataset: &EmDataset,
+    image_features: &Tensor, // [M, feat]
+    seed_pairs: &[(usize, usize)],
+    epochs: usize,
+    lr: f32,
+    rng: &mut R,
+) -> Tensor {
+    let d = entity_embeddings.shape().last_dim();
+    let feat = image_features.shape().last_dim();
+    let proj = Linear::new(feat, d, rng);
+    let mut opt = AdamW::new(proj.params(), lr);
+    let entity_rows: Vec<usize> =
+        (0..dataset.entity_count()).map(|e| dataset.entities[e].0).collect();
+
+    for _ in 0..epochs.max(1) {
+        for &(e, i) in seed_pairs {
+            let target = no_grad(|| entity_embeddings.gather_rows(&[entity_rows[e]]))
+                .detach()
+                .l2_normalize_rows();
+            let projected =
+                proj.forward(&image_features.gather_rows(&[i])).l2_normalize_rows();
+            let loss = projected.mul(&target).sum().neg().add_scalar(1.0);
+            opt.zero_grad();
+            loss.backward();
+            opt.clip_grad_norm(5.0);
+            opt.step();
+        }
+    }
+
+    no_grad(|| {
+        let e = entity_embeddings.gather_rows(&entity_rows).l2_normalize_rows();
+        let v = proj.forward(image_features).l2_normalize_rows();
+        e.matmul_nt(&v)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn store_interns_relations() {
+        let d = crate::common::tests::micro_dataset();
+        let store = TripleStore::from_dataset(&d);
+        assert_eq!(store.triples.len(), 1);
+        assert_eq!(store.n_relations, 1);
+        assert_eq!(store.relation_name(0), "has color");
+        assert_eq!(store.n_entities, 3);
+    }
+
+    #[test]
+    fn corrupt_tail_changes_tail() {
+        let d = crate::common::tests::micro_dataset();
+        let store = TripleStore::from_dataset(&d);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let (h, r, t) = store.corrupt_tail(0, &mut rng);
+            let (oh, or, ot) = store.triples[0];
+            assert_eq!(h, oh);
+            assert_eq!(r, or);
+            assert_ne!(t, ot);
+        }
+    }
+
+    #[test]
+    fn align_and_score_learns_seed_alignment() {
+        let d = crate::common::tests::micro_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Hand-crafted entity embeddings: entity vertices 0 and 1 opposite.
+        let emb = Tensor::from_vec(
+            vec![1.0, 0.0, -1.0, 0.0, 0.0, 1.0],
+            &[3, 2],
+        );
+        // Image features: gold images of entity 0 point one way, of 1 the other.
+        let feats = Tensor::from_vec(vec![2.0, -2.0, 1.8, -1.7], &[4, 1]);
+        let seed = vec![(0usize, 0usize), (1, 1)];
+        let scores = align_and_score(&emb, &d, &feats, &seed, 200, 5e-2, &mut rng);
+        assert_eq!(scores.dims(), &[2, 4]);
+        // Entity 0 should now prefer its unseen gold image 2 over image 3.
+        assert!(scores.at2(0, 2) > scores.at2(0, 3), "{scores:?}");
+        assert!(scores.at2(1, 3) > scores.at2(1, 2));
+    }
+}

@@ -1,0 +1,99 @@
+//! TransE (Bordes et al.) — the translational embedding substrate the other
+//! KG baselines build on: `h + r ≈ t`, margin-ranking loss against
+//! corrupted tails.
+
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::kg::store::TripleStore;
+
+/// Entity + relation embedding tables.
+pub struct TransE {
+    pub entities: Tensor,
+    pub relations: Tensor,
+    pub dim: usize,
+}
+
+impl TransE {
+    pub fn new<R: Rng>(store: &TripleStore, dim: usize, rng: &mut R) -> Self {
+        TransE {
+            entities: init::uniform(&[store.n_entities, dim], -0.5, 0.5, rng).requires_grad(),
+            relations: init::uniform(&[store.n_relations, dim], -0.5, 0.5, rng).requires_grad(),
+            dim,
+        }
+    }
+
+    /// Squared translation distance `‖h + r − t‖²` for a batch of triples.
+    pub fn distance(&self, triples: &[(usize, usize, usize)]) -> Tensor {
+        let hs: Vec<usize> = triples.iter().map(|t| t.0).collect();
+        let rs: Vec<usize> = triples.iter().map(|t| t.1).collect();
+        let ts: Vec<usize> = triples.iter().map(|t| t.2).collect();
+        let h = self.entities.gather_rows(&hs);
+        let r = self.relations.gather_rows(&rs);
+        let t = self.entities.gather_rows(&ts);
+        h.add(&r).sub(&t).square().sum_rows()
+    }
+
+    /// Margin-ranking training epoch count over all triples.
+    pub fn fit<R: Rng>(&self, store: &TripleStore, epochs: usize, lr: f32, margin: f32, rng: &mut R) {
+        if store.triples.is_empty() {
+            return;
+        }
+        let mut opt = AdamW::new(vec![self.entities.clone(), self.relations.clone()], lr);
+        for _ in 0..epochs {
+            for i in 0..store.triples.len() {
+                let pos = store.triples[i];
+                let neg = store.corrupt_tail(i, rng);
+                let d_pos = self.distance(&[pos]);
+                let d_neg = self.distance(&[neg]);
+                let loss = d_pos.sub(&d_neg).add_scalar(margin).relu().sum();
+                opt.zero_grad();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain_store() -> TripleStore {
+        // 0 -r0-> 1 -r0-> 2, 0 -r1-> 2
+        TripleStore::from_triples(vec![(0, 0, 1), (1, 0, 2), (0, 1, 2)], 3, 2)
+    }
+
+    #[test]
+    fn training_ranks_true_triples_closer() {
+        let store = TripleStore::from_triples(vec![(0, 0, 1), (1, 0, 2), (2, 0, 3)], 5, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = TransE::new(&store, 8, &mut rng);
+        model.fit(&store, 80, 5e-2, 1.0, &mut rng);
+        let pos: f32 = model.distance(&[(0, 0, 1)]).item();
+        let neg: f32 = model.distance(&[(0, 0, 4)]).item();
+        assert!(pos < neg, "pos {pos} vs neg {neg}");
+    }
+
+    #[test]
+    fn distance_batch_shape() {
+        let store = chain_store();
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = TransE::new(&store, 4, &mut rng);
+        let d = model.distance(&store.triples);
+        assert_eq!(d.dims(), &[3]);
+        assert!(d.to_vec().iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn empty_store_fit_is_noop() {
+        let store = TripleStore::from_triples(vec![], 2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = TransE::new(&store, 4, &mut rng);
+        model.fit(&store, 5, 1e-2, 1.0, &mut rng); // must not panic
+    }
+}

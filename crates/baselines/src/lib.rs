@@ -1,0 +1,37 @@
+//! # cem-baselines
+//!
+//! The comparator systems of the paper's evaluation (Sec. V-A), implemented
+//! on the same substrates as CrossEM so comparisons measure algorithms, not
+//! frameworks:
+//!
+//! * **Dual encoders** — [`clip_zeroshot`] (the pre-trained dual encoder
+//!   with the naive prompt) and [`align`] (the same architecture pre-trained
+//!   on deliberately noisier caption data, per ALIGN's noisy-supervision
+//!   recipe).
+//! * **Fusion encoders** — [`visualbert`] (single-stream transformer over
+//!   concatenated text + patch tokens), [`vilbert`] (two-stream with
+//!   co-attention), [`imram`] (iterative fragment alignment with recurrent
+//!   attention), [`transae`] (multi-modal autoencoder combined with TransE).
+//! * **Prompt tuning** — [`gppt`] (supervised graph prompt tuning reduced
+//!   to binary matching, as the paper adapts it).
+//! * **KG-embedding methods for the case study** — [`kg`]: TransE substrate
+//!   plus DistMult, RotatE, RSME, and an MKGformer analogue.
+//!
+//! Every baseline ends in a score matrix `[entities × images]` so the same
+//! `crossem::metrics` evaluation applies. As in the paper, the first group
+//! is evaluated zero-shot from pre-training; fusion encoders are pre-trained
+//! on the caption corpus; GPPT and the KG methods receive a *seed set* of
+//! labelled pairs (they are supervised methods — the paper provides GPPT
+//! "feedback in a supervised manner").
+
+pub mod align;
+pub mod clip_zeroshot;
+pub mod common;
+pub mod gppt;
+pub mod imram;
+pub mod kg;
+pub mod transae;
+pub mod vilbert;
+pub mod visualbert;
+
+pub use common::{evaluate_scores, seed_split, BaselineOutput};

@@ -1,0 +1,290 @@
+//! TransAE analogue (paper's "TransAE [43]" row): a multi-modal autoencoder
+//! whose hidden layer provides entity representations for a TransE model.
+//! The encoder maps `[text feature ‖ visual feature]` into a hidden space;
+//! reconstruction keeps the hidden space informative, while a TransE margin
+//! loss over the graph's triples shapes it relationally. At match time an
+//! entity is encoded from its text side and an image from its visual side;
+//! the score is the negative hidden-space distance.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cem_clip::{Image, Tokenizer};
+use cem_data::{CaptionPair, EmDataset};
+use cem_nn::{Embedding, Linear, Module};
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{no_grad, Tensor};
+use rand::Rng;
+
+use crate::common::{evaluate_scores, BaselineOutput};
+
+/// The multi-modal autoencoder + TransE model.
+pub struct TransAe {
+    word_emb: Embedding,
+    encoder: Linear,
+    decoder: Linear,
+    relation_emb: Embedding,
+    text_dim: usize,
+    patch_dim: usize,
+    hidden: usize,
+    max_text: usize,
+}
+
+impl TransAe {
+    pub fn new<R: Rng>(
+        vocab: usize,
+        patch_dim: usize,
+        text_dim: usize,
+        hidden: usize,
+        n_relations: usize,
+        rng: &mut R,
+    ) -> Self {
+        TransAe {
+            word_emb: Embedding::new(vocab, text_dim, rng),
+            encoder: Linear::new(text_dim + patch_dim, hidden, rng),
+            decoder: Linear::new(hidden, text_dim + patch_dim, rng),
+            relation_emb: Embedding::new(n_relations.max(1), hidden, rng),
+            text_dim,
+            patch_dim,
+            hidden,
+            max_text: 16,
+        }
+    }
+
+    fn text_feature(&self, ids: &[usize]) -> Tensor {
+        let t = ids.len().min(self.max_text).max(1);
+        self.word_emb.forward(&ids[..t.min(ids.len())]).mean_axis0()
+    }
+
+    fn visual_feature(image: &Image) -> Tensor {
+        Tensor::from_vec(image.mean_patch(), &[image.patch_dim()])
+    }
+
+    /// Hidden representation from both modalities (training path).
+    pub fn encode_joint(&self, ids: &[usize], image: &Image) -> Tensor {
+        let input = self
+            .text_feature(ids)
+            .reshape(&[1, self.text_dim])
+            .concat_cols(&Self::visual_feature(image).reshape(&[1, self.patch_dim]));
+        self.encoder.forward(&input).tanh()
+    }
+
+    /// Hidden representation from text only (entity side at match time).
+    pub fn encode_text(&self, ids: &[usize]) -> Tensor {
+        let input = self
+            .text_feature(ids)
+            .reshape(&[1, self.text_dim])
+            .concat_cols(&Tensor::zeros(&[1, self.patch_dim]));
+        self.encoder.forward(&input).tanh()
+    }
+
+    /// Hidden representation from an image only.
+    pub fn encode_image(&self, image: &Image) -> Tensor {
+        let input = Tensor::zeros(&[1, self.text_dim])
+            .concat_cols(&Self::visual_feature(image).reshape(&[1, self.patch_dim]));
+        self.encoder.forward(&input).tanh()
+    }
+
+    fn reconstruction_loss(&self, ids: &[usize], image: &Image) -> Tensor {
+        let input = self
+            .text_feature(ids)
+            .reshape(&[1, self.text_dim])
+            .concat_cols(&Self::visual_feature(image).reshape(&[1, self.patch_dim]));
+        let hidden = self.encoder.forward(&input).tanh();
+        let recon = self.decoder.forward(&hidden);
+        recon.sub(&input).square().mean()
+    }
+
+    /// TransE margin loss on one triple `(h, r, t)` against a corrupted
+    /// tail `t'` — entity representations come from the text encoder side,
+    /// which is exactly the "hidden layer … used to be entity
+    /// representations in the TransE model" coupling.
+    fn transe_loss(
+        &self,
+        head_ids: &[usize],
+        relation: usize,
+        tail_ids: &[usize],
+        corrupt_ids: &[usize],
+        margin: f32,
+    ) -> Tensor {
+        let h = self.encode_text(head_ids);
+        let r = self.relation_emb.forward(&[relation]);
+        let t = self.encode_text(tail_ids);
+        let t_bad = self.encode_text(corrupt_ids);
+        let pos = h.add(&r).sub(&t).square().sum();
+        let neg = h.add(&r).sub(&t_bad).square().sum();
+        pos.sub(&neg).add_scalar(margin).relu()
+    }
+
+    /// Train: reconstruction on the corpus + TransE on the graph triples.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit<R: Rng>(
+        &self,
+        corpus: &[(Vec<usize>, &Image)],
+        triples: &[(Vec<usize>, usize, Vec<usize>)],
+        epochs: usize,
+        lr: f32,
+        rng: &mut R,
+    ) {
+        let mut opt = AdamW::new(self.params(), lr);
+        for _ in 0..epochs {
+            for (ids, image) in corpus {
+                let loss = self.reconstruction_loss(ids, image);
+                opt.zero_grad();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+            if triples.len() >= 2 {
+                for i in 0..triples.len() {
+                    let (h, r, t) = &triples[i];
+                    let j = (i + 1 + rng.gen_range(0..triples.len() - 1)) % triples.len();
+                    let corrupt = &triples[j].2;
+                    let loss = self.transe_loss(h, *r, t, corrupt, 1.0);
+                    opt.zero_grad();
+                    loss.backward();
+                    opt.clip_grad_norm(5.0);
+                    opt.step();
+                }
+            }
+        }
+    }
+
+    /// `[N, M]` score matrix: negative hidden-space distances.
+    pub fn score_matrix(&self, entity_ids: &[Vec<usize>], images: &[Image]) -> Tensor {
+        no_grad(|| {
+            let entity_h: Vec<Tensor> = entity_ids
+                .iter()
+                .map(|ids| self.encode_text(ids).reshape(&[self.hidden]))
+                .collect();
+            let image_h: Vec<Tensor> =
+                images.iter().map(|img| self.encode_image(img).reshape(&[self.hidden])).collect();
+            let e = Tensor::stack_rows(&entity_h).l2_normalize_rows();
+            let v = Tensor::stack_rows(&image_h).l2_normalize_rows();
+            e.matmul_nt(&v)
+        })
+    }
+}
+
+impl Module for TransAe {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = cem_nn::module::with_prefix("word_emb", self.word_emb.named_params());
+        v.extend(cem_nn::module::with_prefix("encoder", self.encoder.named_params()));
+        v.extend(cem_nn::module::with_prefix("decoder", self.decoder.named_params()));
+        v.extend(cem_nn::module::with_prefix("relation_emb", self.relation_emb.named_params()));
+        v
+    }
+}
+
+/// A `(head token ids, relation id, tail token ids)` triple.
+pub type TokenTriple = (Vec<usize>, usize, Vec<usize>);
+
+/// Extract `(head ids, relation id, tail ids)` triples from the dataset
+/// graph, interning relation labels.
+pub fn graph_triples(
+    dataset: &EmDataset,
+    tokenizer: &Tokenizer,
+    max_triples: usize,
+) -> (Vec<TokenTriple>, usize) {
+    let graph = &dataset.graph;
+    let mut relations: HashMap<String, usize> = HashMap::new();
+    let mut triples = Vec::new();
+    for e in 0..graph.edge_count().min(max_triples) {
+        let edge = cem_graph::EdgeId(e);
+        let (src, dst) = graph.edge_endpoints(edge);
+        let next = relations.len();
+        let r = *relations.entry(graph.edge_label(edge).to_string()).or_insert(next);
+        triples.push((
+            tokenizer.tokenize(graph.vertex_label(src)),
+            r,
+            tokenizer.tokenize(graph.vertex_label(dst)),
+        ));
+    }
+    let n_rel = relations.len().max(1);
+    (triples, n_rel)
+}
+
+/// Full TransAE baseline run.
+pub fn run<R: Rng>(
+    corpus: &[CaptionPair],
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    epochs: usize,
+    rng: &mut R,
+) -> BaselineOutput {
+    let start = Instant::now();
+    let patch_dim = dataset.images[0].patch_dim();
+    let (triples, n_rel) = graph_triples(dataset, tokenizer, 512);
+    let model = TransAe::new(tokenizer.vocab_size(), patch_dim, 32, 32, n_rel, rng);
+    let tokenised: Vec<(Vec<usize>, &Image)> = corpus
+        .iter()
+        .map(|pair| (tokenizer.tokenize(&pair.caption), &pair.image))
+        .collect();
+    model.fit(&tokenised, &triples, epochs, 1e-3, rng);
+    let fit_seconds = start.elapsed().as_secs_f64();
+
+    let entity_ids: Vec<Vec<usize>> = (0..dataset.entity_count())
+        .map(|e| tokenizer.tokenize(dataset.entity_label(e)))
+        .collect();
+    let scores = model.score_matrix(&entity_ids, &dataset.images);
+    BaselineOutput { name: "TransAE", metrics: evaluate_scores(&scores, dataset), fit_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn image(v: f32) -> Image {
+        Image::from_patches(vec![vec![v; 4], vec![v; 4]])
+    }
+
+    #[test]
+    fn encoders_produce_hidden_dim() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = TransAe::new(30, 4, 8, 12, 2, &mut rng);
+        assert_eq!(m.encode_text(&[1, 5]).dims(), &[1, 12]);
+        assert_eq!(m.encode_image(&image(1.0)).dims(), &[1, 12]);
+        assert_eq!(m.encode_joint(&[1, 5], &image(1.0)).dims(), &[1, 12]);
+    }
+
+    #[test]
+    fn reconstruction_improves_with_training() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = TransAe::new(30, 4, 8, 12, 1, &mut rng);
+        let img = image(1.0);
+        let corpus: Vec<(Vec<usize>, &Image)> = vec![(vec![5, 6], &img)];
+        let before = m.reconstruction_loss(&[5, 6], &img).item();
+        m.fit(&corpus, &[], 30, 2e-3, &mut rng);
+        let after = m.reconstruction_loss(&[5, 6], &img).item();
+        assert!(after < before, "recon loss {before} -> {after}");
+    }
+
+    #[test]
+    fn transe_loss_zero_when_negative_is_far() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = TransAe::new(30, 4, 8, 12, 2, &mut rng);
+        // With a huge margin the hinge is active; with zero margin and
+        // identical pos/neg it should be ~0.
+        let loss = m.transe_loss(&[1], 0, &[2], &[2], 0.0).item();
+        assert!(loss.abs() < 1e-5);
+    }
+
+    #[test]
+    fn graph_triples_extracts_relations() {
+        let d = crate::common::tests::micro_dataset();
+        let tok = Tokenizer::build(["white black bird has color"]);
+        let (triples, n_rel) = graph_triples(&d, &tok, 100);
+        assert_eq!(triples.len(), 1);
+        assert_eq!(n_rel, 1);
+    }
+
+    #[test]
+    fn score_matrix_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = TransAe::new(30, 4, 8, 12, 1, &mut rng);
+        let imgs = vec![image(1.0), image(-1.0), image(0.2)];
+        assert_eq!(m.score_matrix(&[vec![1], vec![2]], &imgs).dims(), &[2, 3]);
+    }
+}

@@ -1,0 +1,202 @@
+//! ViLBERT analogue (paper's "ViLBERT [27]" row): two separate streams —
+//! one Transformer for text, one for patches — interacting through
+//! co-attention layers; alignment scored from the pooled stream heads.
+//! Pre-trained on the caption corpus with the same image–text-matching
+//! objective as the VisualBERT analogue.
+
+use std::time::Instant;
+
+use cem_clip::{Image, Tokenizer};
+use cem_data::{CaptionPair, EmDataset};
+use cem_nn::{CrossAttention, Embedding, Linear, Module, TransformerEncoder};
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{no_grad, Tensor};
+use rand::Rng;
+
+use crate::common::{evaluate_scores, serialized_entity_ids, BaselineOutput};
+
+/// Two-stream co-attention matcher.
+pub struct ViLBert {
+    token_emb: Embedding,
+    text_pos: Embedding,
+    text_stream: TransformerEncoder,
+    patch_proj: Linear,
+    image_stream: TransformerEncoder,
+    /// Text attends over image, image attends over text.
+    co_text: CrossAttention,
+    co_image: CrossAttention,
+    text_head: Linear,
+    image_head: Linear,
+    max_text: usize,
+    d_model: usize,
+}
+
+impl ViLBert {
+    pub fn new<R: Rng>(vocab: usize, patch_dim: usize, d_model: usize, rng: &mut R) -> Self {
+        ViLBert {
+            token_emb: Embedding::new(vocab, d_model, rng),
+            text_pos: Embedding::new(32, d_model, rng),
+            text_stream: TransformerEncoder::new(d_model, 4, 1, d_model * 2, rng),
+            patch_proj: Linear::new(patch_dim, d_model, rng),
+            image_stream: TransformerEncoder::new(d_model, 4, 1, d_model * 2, rng),
+            co_text: CrossAttention::new(d_model, 4, rng),
+            co_image: CrossAttention::new(d_model, 4, rng),
+            text_head: Linear::new(d_model, d_model, rng),
+            image_head: Linear::new(d_model, d_model, rng),
+            max_text: 16,
+            d_model,
+        }
+    }
+
+    /// Alignment logit for one pair: dot product of the pooled co-attended
+    /// streams.
+    pub fn forward_pair(&self, ids: &[usize], image: &Image) -> Tensor {
+        let t = ids.len().min(self.max_text);
+        let positions: Vec<usize> = (0..t).collect();
+        let text =
+            self.token_emb.forward(&ids[..t]).add(&self.text_pos.forward(&positions));
+        let text = self.text_stream.forward(&text, None);
+        let patches = self.patch_proj.forward(&image.as_tensor());
+        let patches = self.image_stream.forward(&patches, None);
+
+        // One round of co-attention (the paper's model stacks several; one
+        // suffices at this scale).
+        let text_co = text.add(&self.co_text.forward(&text, &patches));
+        let image_co = patches.add(&self.co_image.forward(&patches, &text));
+
+        let text_pooled = self.text_head.forward(&text_co.mean_axis0().reshape(&[1, self.d_model]));
+        let image_pooled =
+            self.image_head.forward(&image_co.mean_axis0().reshape(&[1, self.d_model]));
+        text_pooled.matmul_nt(&image_pooled).reshape(&[1]).mul_scalar(1.0 / self.d_model as f32)
+    }
+
+    fn bce(&self, logits: &[Tensor], labels: &[f32]) -> Tensor {
+        let stacked = Tensor::stack_rows(logits).reshape(&[logits.len()]);
+        let p = stacked.sigmoid().clamp(1e-6, 1.0 - 1e-6);
+        let y = Tensor::from_vec(labels.to_vec(), &[labels.len()]);
+        let pos = y.mul(&p.ln());
+        let neg = y.neg().add_scalar(1.0).mul(&p.neg().add_scalar(1.0).ln());
+        pos.add(&neg).mean().neg()
+    }
+
+    /// Pre-train on aligned/mismatched pairs from the corpus.
+    pub fn fit_corpus<R: Rng>(
+        &self,
+        corpus: &[(Vec<usize>, &Image)],
+        epochs: usize,
+        lr: f32,
+        rng: &mut R,
+    ) {
+        assert!(corpus.len() >= 2, "pre-training needs at least two pairs");
+        let mut opt = AdamW::new(self.params(), lr);
+        for _ in 0..epochs {
+            for i in 0..corpus.len() {
+                let (ids, image) = &corpus[i];
+                let mut j = rng.gen_range(0..corpus.len());
+                if j == i {
+                    j = (j + 1) % corpus.len();
+                }
+                let pos = self.forward_pair(ids, image);
+                let neg = self.forward_pair(ids, corpus[j].1);
+                let loss = self.bce(&[pos, neg], &[1.0, 0.0]);
+                opt.zero_grad();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+        }
+    }
+
+    /// `[N, M]` score matrix.
+    pub fn score_matrix(&self, entity_ids: &[Vec<usize>], images: &[Image]) -> Tensor {
+        no_grad(|| {
+            let rows: Vec<Tensor> = entity_ids
+                .iter()
+                .map(|ids| {
+                    let scores: Vec<Tensor> =
+                        images.iter().map(|img| self.forward_pair(ids, img)).collect();
+                    Tensor::stack_rows(&scores).reshape(&[images.len()])
+                })
+                .collect();
+            Tensor::stack_rows(&rows)
+        })
+    }
+}
+
+impl Module for ViLBert {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = cem_nn::module::with_prefix("token_emb", self.token_emb.named_params());
+        v.extend(cem_nn::module::with_prefix("text_pos", self.text_pos.named_params()));
+        v.extend(cem_nn::module::with_prefix("text_stream", self.text_stream.named_params()));
+        v.extend(cem_nn::module::with_prefix("patch_proj", self.patch_proj.named_params()));
+        v.extend(cem_nn::module::with_prefix("image_stream", self.image_stream.named_params()));
+        v.extend(cem_nn::module::with_prefix("co_text", self.co_text.named_params()));
+        v.extend(cem_nn::module::with_prefix("co_image", self.co_image.named_params()));
+        v.extend(cem_nn::module::with_prefix("text_head", self.text_head.named_params()));
+        v.extend(cem_nn::module::with_prefix("image_head", self.image_head.named_params()));
+        v
+    }
+}
+
+/// Full ViLBERT baseline run.
+pub fn run<R: Rng>(
+    corpus: &[CaptionPair],
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    epochs: usize,
+    rng: &mut R,
+) -> BaselineOutput {
+    let start = Instant::now();
+    let patch_dim = dataset.images[0].patch_dim();
+    let model = ViLBert::new(tokenizer.vocab_size(), patch_dim, 48, rng);
+    let tokenised: Vec<(Vec<usize>, &Image)> = corpus
+        .iter()
+        .map(|pair| (tokenizer.encode(&pair.caption, 24).0, &pair.image))
+        .collect();
+    model.fit_corpus(&tokenised, epochs, 1e-3, rng);
+    let fit_seconds = start.elapsed().as_secs_f64();
+
+    let entity_ids = serialized_entity_ids(dataset, tokenizer, 24);
+    let scores = model.score_matrix(&entity_ids, &dataset.images);
+    BaselineOutput { name: "ViLBERT", metrics: evaluate_scores(&scores, dataset), fit_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn image(v: f32) -> Image {
+        Image::from_patches(vec![vec![v; 4], vec![v * 0.5; 4]])
+    }
+
+    #[test]
+    fn forward_pair_scalar() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = ViLBert::new(30, 4, 16, &mut rng);
+        assert_eq!(m.forward_pair(&[1, 5, 2], &image(1.0)).numel(), 1);
+    }
+
+    #[test]
+    fn training_improves_alignment() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = ViLBert::new(30, 4, 16, &mut rng);
+        let img_a = image(1.5);
+        let img_b = image(-1.5);
+        let corpus: Vec<(Vec<usize>, &Image)> =
+            vec![(vec![1, 7, 2], &img_a), (vec![1, 8, 2], &img_b)];
+        m.fit_corpus(&corpus, 40, 2e-3, &mut rng);
+        let aligned = m.forward_pair(&[1, 8, 2], &img_b).item();
+        let mismatched = m.forward_pair(&[1, 8, 2], &img_a).item();
+        assert!(aligned > mismatched, "aligned {aligned} vs mismatched {mismatched}");
+    }
+
+    #[test]
+    fn score_matrix_dims() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = ViLBert::new(30, 4, 16, &mut rng);
+        let imgs = vec![image(1.0), image(-1.0)];
+        assert_eq!(m.score_matrix(&[vec![1, 2]], &imgs).dims(), &[1, 2]);
+    }
+}

@@ -1,0 +1,243 @@
+//! VisualBERT analogue (paper's "VisualBERT [26]" row): a single-stream
+//! Transformer over the concatenation of text tokens and image patch
+//! tokens, with segment embeddings, scored by a classification head on the
+//! `[CLS]` output. Pre-trained on the caption corpus with an image–text
+//! matching objective (aligned pair vs. random mismatch), then applied
+//! zero-shot to the serialised entities, as the paper does for the fusion
+//! encoders.
+
+use std::time::Instant;
+
+use cem_clip::{Image, Tokenizer};
+use cem_data::{CaptionPair, EmDataset};
+use cem_nn::{Embedding, Linear, Module, TransformerEncoder};
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{no_grad, Tensor};
+use rand::Rng;
+
+use crate::common::{evaluate_scores, serialized_entity_ids, BaselineOutput};
+
+/// Single-stream fusion scorer, shared with the MKGformer analogue.
+pub struct FusionScorer {
+    token_emb: Embedding,
+    patch_proj: Linear,
+    /// `[2, d]` segment embeddings (text / image).
+    segments: Tensor,
+    pos_emb: Embedding,
+    encoder: TransformerEncoder,
+    head: Linear,
+    max_text: usize,
+}
+
+/// Sizing for the fusion models (kept small — they are baselines, and the
+/// paper uses frozen pre-trained towers of their own).
+#[derive(Debug, Clone, Copy)]
+pub struct FusionConfig {
+    pub d_model: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub max_text: usize,
+    pub max_seq: usize,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig { d_model: 48, heads: 4, layers: 1, max_text: 16, max_seq: 32 }
+    }
+}
+
+impl FusionScorer {
+    pub fn new<R: Rng>(vocab: usize, patch_dim: usize, config: FusionConfig, rng: &mut R) -> Self {
+        FusionScorer {
+            token_emb: Embedding::new(vocab, config.d_model, rng),
+            patch_proj: Linear::new(patch_dim, config.d_model, rng),
+            segments: cem_tensor::init::randn(&[2, config.d_model], 0.02, rng).requires_grad(),
+            pos_emb: Embedding::new(config.max_seq, config.d_model, rng),
+            encoder: TransformerEncoder::new(
+                config.d_model,
+                config.heads,
+                config.layers,
+                config.d_model * 2,
+                rng,
+            ),
+            head: Linear::new(config.d_model, 1, rng),
+            max_text: config.max_text,
+        }
+    }
+
+    /// Matching logit for one (token ids, image) pair.
+    pub fn forward_pair(&self, ids: &[usize], image: &Image) -> Tensor {
+        let t = ids.len().min(self.max_text);
+        let text = self.token_emb.forward(&ids[..t]); // [t, d]
+        let text = text.add_row(&self.segments.row(0));
+        let patches = self.patch_proj.forward(&image.as_tensor()); // [p, d]
+        let patches = patches.add_row(&self.segments.row(1));
+        let seq = Tensor::concat_rows(&[text, patches]);
+        let len = seq.shape().dim(0);
+        let positions: Vec<usize> = (0..len).collect();
+        let seq = seq.add(&self.pos_emb.forward(&positions));
+        let hidden = self.encoder.forward(&seq, None);
+        self.head.forward(&hidden.slice_rows(0, 1)).reshape(&[1])
+    }
+
+    /// Binary image–text-matching loss over aligned and mismatched pairs.
+    pub fn itm_loss(&self, logits: &[Tensor], labels: &[f32]) -> Tensor {
+        assert_eq!(logits.len(), labels.len());
+        let stacked = Tensor::stack_rows(logits).reshape(&[logits.len()]);
+        let p = stacked.sigmoid().clamp(1e-6, 1.0 - 1e-6);
+        let y = Tensor::from_vec(labels.to_vec(), &[labels.len()]);
+        // BCE: -(y ln p + (1-y) ln(1-p))
+        let pos = y.mul(&p.ln());
+        let neg = y.neg().add_scalar(1.0).mul(&p.neg().add_scalar(1.0).ln());
+        pos.add(&neg).mean().neg()
+    }
+
+    /// Train on the caption corpus: each step sees one aligned pair and one
+    /// mismatched pair.
+    pub fn fit_corpus<R: Rng>(
+        &self,
+        corpus: &[(Vec<usize>, &Image)],
+        epochs: usize,
+        lr: f32,
+        rng: &mut R,
+    ) {
+        assert!(corpus.len() >= 2, "fusion pre-training needs at least two pairs");
+        let mut opt = AdamW::new(self.params(), lr);
+        for _ in 0..epochs {
+            for i in 0..corpus.len() {
+                let (ids, image) = &corpus[i];
+                let mut j = rng.gen_range(0..corpus.len());
+                if j == i {
+                    j = (j + 1) % corpus.len();
+                }
+                let pos = self.forward_pair(ids, image);
+                let neg = self.forward_pair(ids, corpus[j].1);
+                let loss = self.itm_loss(&[pos, neg], &[1.0, 0.0]);
+                opt.zero_grad();
+                loss.backward();
+                opt.clip_grad_norm(5.0);
+                opt.step();
+            }
+        }
+    }
+
+    /// Score every (entity tokens, image) pair: `[N, M]`.
+    pub fn score_matrix(&self, entity_ids: &[Vec<usize>], images: &[Image]) -> Tensor {
+        no_grad(|| {
+            let rows: Vec<Tensor> = entity_ids
+                .iter()
+                .map(|ids| {
+                    let scores: Vec<Tensor> =
+                        images.iter().map(|img| self.forward_pair(ids, img)).collect();
+                    Tensor::stack_rows(&scores).reshape(&[images.len()])
+                })
+                .collect();
+            Tensor::stack_rows(&rows)
+        })
+    }
+}
+
+impl Module for FusionScorer {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = cem_nn::module::with_prefix("token_emb", self.token_emb.named_params());
+        v.extend(cem_nn::module::with_prefix("patch_proj", self.patch_proj.named_params()));
+        v.push(("segments".to_string(), self.segments.clone()));
+        v.extend(cem_nn::module::with_prefix("pos_emb", self.pos_emb.named_params()));
+        v.extend(cem_nn::module::with_prefix("encoder", self.encoder.named_params()));
+        v.extend(cem_nn::module::with_prefix("head", self.head.named_params()));
+        v
+    }
+}
+
+/// Full VisualBERT baseline: pre-train on the corpus, score serialised
+/// entities.
+pub fn run<R: Rng>(
+    corpus: &[CaptionPair],
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    epochs: usize,
+    rng: &mut R,
+) -> BaselineOutput {
+    let start = Instant::now();
+    let patch_dim = dataset.images[0].patch_dim();
+    let model = FusionScorer::new(tokenizer.vocab_size(), patch_dim, FusionConfig::default(), rng);
+    let tokenised: Vec<(Vec<usize>, &Image)> = corpus
+        .iter()
+        .map(|pair| (tokenizer.encode(&pair.caption, 24).0, &pair.image))
+        .collect();
+    model.fit_corpus(&tokenised, epochs, 1e-3, rng);
+    let fit_seconds = start.elapsed().as_secs_f64();
+
+    let entity_ids = serialized_entity_ids(dataset, tokenizer, 24);
+    let scores = model.score_matrix(&entity_ids, &dataset.images);
+    BaselineOutput { name: "VisualBERT", metrics: evaluate_scores(&scores, dataset), fit_seconds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(rng: &mut StdRng) -> FusionScorer {
+        FusionScorer::new(30, 4, FusionConfig { d_model: 16, heads: 2, layers: 1, max_text: 8, max_seq: 16 }, rng)
+    }
+
+    fn image(v: f32) -> Image {
+        Image::from_patches(vec![vec![v; 4], vec![-v; 4]])
+    }
+
+    #[test]
+    fn forward_pair_is_scalar_logit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = model(&mut rng);
+        let logit = m.forward_pair(&[1, 6, 2], &image(1.0));
+        assert_eq!(logit.numel(), 1);
+        assert!(logit.item().is_finite());
+    }
+
+    #[test]
+    fn itm_loss_prefers_correct_labels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = model(&mut rng);
+        let high = Tensor::scalar(4.0);
+        let low = Tensor::scalar(-4.0);
+        let good = m.itm_loss(&[high.clone(), low.clone()], &[1.0, 0.0]).item();
+        let bad = m.itm_loss(&[high, low], &[0.0, 1.0]).item();
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn training_separates_aligned_from_mismatched() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = model(&mut rng);
+        let img_a = image(1.5);
+        let img_b = image(-1.5);
+        let corpus: Vec<(Vec<usize>, &Image)> = vec![
+            (vec![1, 7, 2], &img_a),
+            (vec![1, 8, 2], &img_b),
+        ];
+        m.fit_corpus(&corpus, 40, 2e-3, &mut rng);
+        let aligned = m.forward_pair(&[1, 7, 2], &img_a).item();
+        let mismatched = m.forward_pair(&[1, 7, 2], &img_b).item();
+        assert!(aligned > mismatched, "aligned {aligned} vs mismatched {mismatched}");
+    }
+
+    #[test]
+    fn score_matrix_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = model(&mut rng);
+        let imgs = vec![image(1.0), image(0.5), image(-1.0)];
+        let scores = m.score_matrix(&[vec![1, 5, 2], vec![1, 9, 2]], &imgs);
+        assert_eq!(scores.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn long_text_is_truncated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = model(&mut rng);
+        let long: Vec<usize> = (0..20).map(|i| i % 30).collect();
+        let logit = m.forward_pair(&long, &image(1.0));
+        assert!(logit.item().is_finite());
+    }
+}

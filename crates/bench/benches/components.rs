@@ -1,0 +1,147 @@
+//! Criterion microbenches over the CrossEM components called out in
+//! DESIGN.md's ablation list: prompt generation (hard vs soft), the PCP
+//! phases, negative sampling, encoder passes, BFS subgraph extraction, and
+//! k-means.
+
+use cem_clip::{Clip, ClipConfig, Tokenizer};
+use cem_data::{generate, DatasetKind, DatasetScale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossem::config::{PlusConfig, SoftBackend};
+use crossem::kmeans::kmeans;
+use crossem::plus::minibatch::{partition_by_proximity, random_partitions};
+use crossem::plus::negsample::negative_sampling;
+use crossem::prompt::{hard_prompt, HardPromptOptions, SoftPromptGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Fixture {
+    dataset: cem_data::EmDataset,
+    tokenizer: Tokenizer,
+    clip: Clip,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(17);
+    let (_, dataset) =
+        generate(DatasetKind::Cub, DatasetScale { classes: 20, images_per_class: 3 }, &mut rng);
+    let mut texts: Vec<String> = Vec::new();
+    for v in dataset.graph.vertices() {
+        texts.push(dataset.graph.vertex_label(v).to_string());
+    }
+    texts.push("a photo of with and in has".into());
+    let tokenizer = Tokenizer::build(texts.iter().map(String::as_str));
+    let clip = Clip::new(ClipConfig::small(tokenizer.vocab_size(), 16), &mut rng);
+    Fixture { dataset, tokenizer, clip }
+}
+
+fn bench_prompts(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("prompts");
+    let options = HardPromptOptions { hops: 1, photo_prefix: true, max_subprompts: 16 };
+    group.bench_function("hard_prompt_20_entities", |b| {
+        b.iter(|| {
+            for &v in &f.dataset.entities {
+                std::hint::black_box(hard_prompt(&f.dataset.graph, v, &options));
+            }
+        });
+    });
+    let mut rng = StdRng::seed_from_u64(3);
+    let soft = SoftPromptGenerator::new(
+        &f.dataset.graph,
+        &f.clip.text,
+        &f.tokenizer,
+        SoftBackend::Gnn,
+        0.5,
+        &mut rng,
+    );
+    let batch: Vec<usize> = (0..8).map(|i| f.dataset.entities[i].0).collect();
+    group.bench_function("soft_prompts_batch8", |b| {
+        b.iter(|| std::hint::black_box(soft.prompts_for(&batch)));
+    });
+    group.finish();
+}
+
+fn bench_encoders(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("encoders");
+    group.sample_size(20);
+    let (ids, _) = f.tokenizer.encode("a photo of white crown albatross with long wings", 77);
+    group.bench_function("text_encode_10_tokens", |b| {
+        b.iter(|| cem_tensor::no_grad(|| std::hint::black_box(f.clip.text.encode_ids(&ids))));
+    });
+    let image = &f.dataset.images[0];
+    group.bench_function("image_encode_7_patches", |b| {
+        b.iter(|| cem_tensor::no_grad(|| std::hint::black_box(f.clip.image.encode(image))));
+    });
+    group.bench_function("text_encode_backward", |b| {
+        b.iter(|| f.clip.text.encode_ids(&ids).sum().backward());
+    });
+    group.finish();
+}
+
+fn bench_pcp(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("pcp");
+    group.sample_size(10);
+    let plus = PlusConfig { vertex_subsets: 2, image_clusters: 3, ..PlusConfig::default() };
+    // Proximity matrix computed once (phase 1+2 involve encoder passes and
+    // are covered by `pairwise_proximity_full` below).
+    group.bench_function("pairwise_proximity_full", |b| {
+        b.iter(|| {
+            std::hint::black_box(crossem::plus::minibatch::pairwise_proximity(
+                &f.clip,
+                &f.tokenizer,
+                &f.dataset,
+                1,
+            ))
+        });
+    });
+    let proximity =
+        crossem::plus::minibatch::pairwise_proximity(&f.clip, &f.tokenizer, &f.dataset, 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    group.bench_function("partition_phase3", |b| {
+        b.iter(|| std::hint::black_box(partition_by_proximity(&proximity, &plus, &mut rng)));
+    });
+    group.bench_function("random_partitions_control", |b| {
+        b.iter(|| {
+            std::hint::black_box(random_partitions(
+                f.dataset.entity_count(),
+                f.dataset.image_count(),
+                &plus,
+                &mut rng,
+            ))
+        });
+    });
+    let pcp = partition_by_proximity(&proximity, &plus, &mut rng);
+    group.bench_function("negative_sampling", |b| {
+        b.iter(|| {
+            let mut parts = pcp.partitions.clone();
+            negative_sampling(&mut parts, &proximity, 32, 6, &mut rng);
+            std::hint::black_box(parts)
+        });
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let f = fixture();
+    let mut group = c.benchmark_group("substrates");
+    group.bench_function("bfs_subgraph_d2", |b| {
+        b.iter(|| {
+            for &v in f.dataset.entities.iter().take(10) {
+                std::hint::black_box(cem_graph::d_hop_subgraph(&f.dataset.graph, v, 2));
+            }
+        });
+    });
+    let mut rng = StdRng::seed_from_u64(9);
+    let points: Vec<Vec<f32>> = (0..60)
+        .map(|i| (0..8).map(|j| ((i * 7 + j) % 13) as f32).collect())
+        .collect();
+    group.bench_function("kmeans_60x8_k4", |b| {
+        b.iter(|| std::hint::black_box(kmeans(&points, 4, 25, &mut rng)));
+    });
+    group.finish();
+}
+
+criterion_group!(components, bench_prompts, bench_encoders, bench_pcp, bench_substrates);
+criterion_main!(components);

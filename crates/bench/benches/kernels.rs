@@ -1,0 +1,88 @@
+//! Criterion microbenches over the tensor kernels that dominate training:
+//! matmul (forward + backward), softmax, layer norm, cross entropy, and the
+//! autograd bookkeeping itself.
+
+use cem_tensor::{init, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    let mut rng = StdRng::seed_from_u64(0);
+    for &n in &[16usize, 64, 128] {
+        let a = init::randn(&[n, n], 1.0, &mut rng);
+        let b = init::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+        let a_grad = init::randn(&[n, n], 1.0, &mut rng).requires_grad();
+        group.bench_with_input(BenchmarkId::new("forward_backward", n), &n, |bench, _| {
+            bench.iter(|| {
+                a_grad.zero_grad();
+                a_grad.matmul(&b).sum().backward();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("nt_vs_t", n), &n, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rowwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rowwise");
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = init::randn(&[256, 64], 1.0, &mut rng);
+    let gamma = Tensor::ones(&[64]);
+    let beta = Tensor::zeros(&[64]);
+    group.bench_function("softmax_rows_256x64", |b| {
+        b.iter(|| std::hint::black_box(x.softmax_rows()));
+    });
+    group.bench_function("log_softmax_rows_256x64", |b| {
+        b.iter(|| std::hint::black_box(x.log_softmax_rows()));
+    });
+    group.bench_function("layer_norm_256x64", |b| {
+        b.iter(|| std::hint::black_box(x.layer_norm(&gamma, &beta, 1e-5)));
+    });
+    group.bench_function("l2_normalize_256x64", |b| {
+        b.iter(|| std::hint::black_box(x.l2_normalize_rows()));
+    });
+    let targets: Vec<usize> = (0..256).map(|i| i % 64).collect();
+    group.bench_function("cross_entropy_256x64", |b| {
+        b.iter(|| std::hint::black_box(x.cross_entropy_rows(&targets)));
+    });
+    group.finish();
+}
+
+fn bench_autograd_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("autograd");
+    let mut rng = StdRng::seed_from_u64(2);
+    let x = init::randn(&[64, 64], 1.0, &mut rng);
+    group.bench_function("chain_depth_32_no_grad", |b| {
+        b.iter(|| {
+            cem_tensor::no_grad(|| {
+                let mut y = x.clone();
+                for _ in 0..32 {
+                    y = y.relu().add_scalar(0.01);
+                }
+                std::hint::black_box(y)
+            })
+        });
+    });
+    let xg = init::randn(&[64, 64], 1.0, &mut rng).requires_grad();
+    group.bench_function("chain_depth_32_with_backward", |b| {
+        b.iter(|| {
+            xg.zero_grad();
+            let mut y = xg.clone();
+            for _ in 0..32 {
+                y = y.relu().add_scalar(0.01);
+            }
+            y.sum().backward();
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, bench_matmul, bench_rowwise, bench_autograd_overhead);
+criterion_main!(kernels);

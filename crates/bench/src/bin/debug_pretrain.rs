@@ -1,0 +1,25 @@
+//! Diagnostic: pre-training quality and zero-shot behaviour per dataset.
+use cem_data::DatasetKind;
+
+fn main() {
+    let config = cem_bench::HarnessConfig::from_args();
+    for kind in [DatasetKind::Cub, DatasetKind::Sun, DatasetKind::Fb2k] {
+        let mut prepared = cem_bench::prepare(kind, &config);
+        let losses = &prepared.bundle.pretrain_report.epoch_losses;
+        println!("{}: pretrain losses {:?}", kind.label(), losses);
+        // Retrieval accuracy on a fresh aligned corpus sample.
+        let corpus = prepared.corpus(100);
+        let pairs: Vec<(Vec<usize>, cem_clip::Image)> = corpus
+            .into_iter()
+            .map(|p| (prepared.bundle.tokenizer.encode(&p.caption, 77).0, p.image))
+            .collect();
+        let acc = cem_clip::pretrain::aligned_top1_accuracy(&prepared.bundle.clip, &pairs);
+        println!("{}: aligned top-1 on held-out corpus = {:.3}", kind.label(), acc);
+        let out = cem_baselines::clip_zeroshot::run(
+            &prepared.bundle.clip,
+            &prepared.bundle.tokenizer,
+            &prepared.bundle.dataset,
+        );
+        println!("{}: zero-shot EM {}", kind.label(), out.metrics.row());
+    }
+}

@@ -1,0 +1,35 @@
+//! Diagnostic: sweep pre-training sizes to find a generalising recipe.
+use cem_clip::pretrain::PretrainConfig;
+use cem_data::{BundleConfig, DatasetBundle, DatasetKind, DatasetScale};
+
+fn main() {
+    for (pairs, epochs, batch, lr) in [
+        (500usize, 8usize, 32usize, 5e-4f32),
+        (1500, 10, 64, 1e-3),
+        (3000, 10, 64, 1e-3),
+        (3000, 16, 64, 1e-3),
+    ] {
+        let config = BundleConfig {
+            kind: DatasetKind::Cub,
+            scale: DatasetScale { classes: 40, images_per_class: 4 },
+            pretrain_pairs: pairs,
+            pretrain: PretrainConfig { epochs, batch_size: batch, lr, clip_norm: 5.0 },
+            seed: 17,
+        };
+        let t = std::time::Instant::now();
+        let mut bundle = DatasetBundle::prepare(config);
+        let secs = t.elapsed().as_secs_f64();
+        let mut rng = bundle.stage_rng(999);
+        let corpus = cem_data::generate_corpus(&mut bundle.world, &bundle.dataset.pool, 100, &mut rng);
+        let held: Vec<(Vec<usize>, cem_clip::Image)> = corpus
+            .into_iter()
+            .map(|p| (bundle.tokenizer.encode(&p.caption, 77).0, p.image))
+            .collect();
+        let acc = cem_clip::pretrain::aligned_top1_accuracy(&bundle.clip, &held);
+        let zs = cem_baselines::clip_zeroshot::run(&bundle.clip, &bundle.tokenizer, &bundle.dataset);
+        println!(
+            "pairs={pairs} epochs={epochs} batch={batch} lr={lr}: heldout={acc:.3} zeroshot {} ({secs:.0}s)",
+            zs.metrics.row()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Diagnostic: does prompt tuning improve over zero-shot?
+use cem_data::DatasetKind;
+use crossem::PromptKind;
+
+fn main() {
+    let config = cem_bench::HarnessConfig::from_args();
+    let kinds = [DatasetKind::Cub, DatasetKind::Sun, DatasetKind::Fb2k];
+    for kind in kinds {
+        let prepared = cem_bench::prepare(kind, &config);
+        let zs = cem_baselines::clip_zeroshot::run(
+            &prepared.bundle.clip,
+            &prepared.bundle.tokenizer,
+            &prepared.bundle.dataset,
+        );
+        println!("{}: zero-shot  {}", kind.label(), zs.metrics.row());
+        for prompt in [PromptKind::Baseline, PromptKind::Hard, PromptKind::Soft] {
+            let t = std::time::Instant::now();
+            let r = cem_bench::run_crossem(&prepared, prompt, config.em_epochs);
+            println!(
+                "{}: {:22} {}  (T/epoch {:.1}s, total {:.0}s, mem {:.0} MB)",
+                kind.label(), r.name, r.metrics.row(), r.epoch_seconds, t.elapsed().as_secs_f64(), r.mem_mb()
+            );
+        }
+        let t = std::time::Instant::now();
+        let r = cem_bench::run_crossem_plus(&prepared, cem_bench::default_plus(), config.em_epochs, "CrossEM+");
+        println!(
+            "{}: {:22} {}  (T/epoch {:.1}s, total {:.0}s, mem {:.0} MB)",
+            kind.label(), r.name, r.metrics.row(), r.epoch_seconds, t.elapsed().as_secs_f64(), r.mem_mb()
+        );
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates every table and figure in sequence.
+fn main() {
+    let config = cem_bench::HarnessConfig::from_args();
+    cem_bench::tables::table1(&config);
+    cem_bench::tables::table2(&config);
+    cem_bench::tables::table3(&config);
+    cem_bench::tables::fig8(&config);
+    cem_bench::tables::table4(&config);
+    cem_bench::tables::table5(&config);
+}

@@ -1,0 +1,160 @@
+//! Hyper-parameter sweeps for the design choices called out in DESIGN.md:
+//!
+//! 1. hard-prompt token budget (77 vs 512 — paper Sec. III-B drawback (2)
+//!    and the Sec. V-A note on extending the context window),
+//! 2. soft-prompt aggregation weight α (Eq. 6),
+//! 3. loss mixing weight β (Eq. 10),
+//! 4. negative-sampling top-k depth (Alg. 3),
+//! 5. PCP prune quantile θ (Alg. 2).
+//!
+//! ```text
+//! cargo run --release -p cem-bench --bin sweeps [--quick]
+//! ```
+
+use cem_bench::{default_plus, prepare, print_table, run_crossem_plus, HarnessConfig};
+use cem_data::DatasetKind;
+use crossem::{CrossEm, PromptKind};
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let prepared = prepare(DatasetKind::Cub, &config);
+
+    // ---- 1. hard prompt token budget --------------------------------
+    {
+        let mut rows = Vec::new();
+        for budget in [24usize, 48, 77] {
+            prepared.reset_clip();
+            let bundle = &prepared.bundle;
+            let mut rng = bundle.stage_rng(400 + budget as u64);
+            let mut cfg = prepared.train_config(PromptKind::Hard, config.em_epochs);
+            cfg.max_prompt_len = budget;
+            let matcher =
+                CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, cfg, &mut rng);
+            let report = matcher.train(&mut rng);
+            let metrics = matcher.evaluate();
+            rows.push(vec![
+                budget.to_string(),
+                format!("{:.2}", metrics.hits_at_1 * 100.0),
+                format!("{:.2}", metrics.mrr),
+                format!("{:.2}", report.avg_epoch_seconds()),
+            ]);
+        }
+        print_table(
+            "Sweep — hard-prompt token budget (CUB): truncation costs structure",
+            &["max tokens", "H@1", "MRR", "T (s/epoch)"],
+            &rows,
+        );
+    }
+
+    // ---- 2. soft prompt α -------------------------------------------
+    {
+        let mut rows = Vec::new();
+        for alpha in [0.0f32, 0.25, 0.5, 0.75, 1.0] {
+            prepared.reset_clip();
+            let bundle = &prepared.bundle;
+            let mut rng = bundle.stage_rng(500 + (alpha * 100.0) as u64);
+            let mut cfg = prepared.train_config(PromptKind::Soft, config.em_epochs);
+            cfg.alpha = alpha;
+            let matcher =
+                CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, cfg, &mut rng);
+            matcher.train(&mut rng);
+            let metrics = matcher.evaluate();
+            rows.push(vec![
+                format!("{alpha:.2}"),
+                format!("{:.2}", metrics.hits_at_1 * 100.0),
+                format!("{:.2}", metrics.mrr),
+            ]);
+        }
+        print_table(
+            "Sweep — soft-prompt aggregation weight α (Eq. 6, CUB)",
+            &["alpha", "H@1", "MRR"],
+            &rows,
+        );
+    }
+
+    // ---- 3. OPC mixing weight β --------------------------------------
+    {
+        let mut rows = Vec::new();
+        for beta in [0.5f32, 0.7, 0.8, 0.9, 1.0] {
+            let mut plus = default_plus();
+            let label = format!("beta={beta:.1}");
+            let result = {
+                let mut cfg_holder = prepared.train_config(PromptKind::Soft, config.em_epochs);
+                cfg_holder.beta = beta;
+                // run through the plus trainer to include OPC
+                prepared.reset_clip();
+                let bundle = &prepared.bundle;
+                let mut rng = bundle.stage_rng(600 + (beta * 100.0) as u64);
+                plus.orthogonal_constraint = beta < 1.0;
+                let trainer = crossem::plus::CrossEmPlus::new(
+                    &bundle.clip,
+                    &bundle.tokenizer,
+                    &bundle.dataset,
+                    cfg_holder,
+                    plus,
+                    &mut rng,
+                );
+                trainer.train(&mut rng);
+                trainer.evaluate()
+            };
+            rows.push(vec![
+                label,
+                format!("{:.2}", result.hits_at_1 * 100.0),
+                format!("{:.2}", result.mrr),
+            ]);
+        }
+        print_table(
+            "Sweep — loss mixing weight β (Eq. 10, CUB; β=1 disables OPC)",
+            &["beta", "H@1", "MRR"],
+            &rows,
+        );
+    }
+
+    // ---- 4. negative sampling depth ----------------------------------
+    {
+        let mut rows = Vec::new();
+        for top_k in [1usize, 4, 8, 16] {
+            let mut plus = default_plus();
+            plus.negative_top_k = top_k;
+            let result = run_crossem_plus(
+                &prepared,
+                plus,
+                config.em_epochs,
+                &format!("top_k={top_k}"),
+            );
+            rows.push(vec![
+                result.name.clone(),
+                format!("{:.2}", result.metrics.hits_at_1 * 100.0),
+                format!("{:.2}", result.metrics.mrr),
+                format!("{:.2}", result.epoch_seconds),
+            ]);
+        }
+        print_table(
+            "Sweep — negative sampling top-k (Alg. 3, CUB)",
+            &["setting", "H@1", "MRR", "T (s/epoch)"],
+            &rows,
+        );
+    }
+
+    // ---- 5. PCP prune quantile ----------------------------------------
+    {
+        let mut rows = Vec::new();
+        for q in [0.0f32, 0.2, 0.35, 0.5, 0.7] {
+            let mut plus = default_plus();
+            plus.prune_quantile = q;
+            let result =
+                run_crossem_plus(&prepared, plus, config.em_epochs, &format!("theta={q:.2}"));
+            rows.push(vec![
+                result.name.clone(),
+                format!("{:.2}", result.metrics.hits_at_1 * 100.0),
+                format!("{:.2}", result.metrics.mrr),
+                format!("{:.2}", result.epoch_seconds),
+            ]);
+        }
+        print_table(
+            "Sweep — PCP prune quantile θ (Alg. 2, CUB): time falls, accuracy holds until over-pruning",
+            &["setting", "H@1", "MRR", "T (s/epoch)"],
+            &rows,
+        );
+    }
+}

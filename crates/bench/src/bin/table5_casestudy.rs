@@ -1,0 +1,5 @@
+//! Regenerates the paper artefact; see `cem_bench::tables::table5`.
+fn main() {
+    let config = cem_bench::HarnessConfig::from_args();
+    cem_bench::tables::table5(&config);
+}

@@ -1,0 +1,341 @@
+//! One function per paper artefact; the `src/bin/*` entry points are thin
+//! wrappers so `run_all` can chain them.
+
+use cem_data::{generate, DatasetKind, DatasetScale};
+use crossem::PromptKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    default_plus, metric_cells, prepare, print_table, run_crossem, run_crossem_plus,
+    HarnessConfig, MethodResult, PreparedBundle,
+};
+
+/// Table I — dataset statistics: generated (at full paper scale) vs. the
+/// paper's reported numbers.
+pub fn table1(_config: &HarnessConfig) {
+    let mut rows = Vec::new();
+    for kind in [
+        DatasetKind::Cub,
+        DatasetKind::Sun,
+        DatasetKind::Fb2k,
+        DatasetKind::Fb6k,
+        DatasetKind::Fb10k,
+    ] {
+        let mut rng = StdRng::seed_from_u64(17);
+        let (_, dataset) = generate(kind, DatasetScale::paper(kind), &mut rng);
+        let ours = dataset.stats();
+        let paper = kind.paper_stats();
+        let fmt_tuples =
+            |t: Option<usize>| t.map(|v| v.to_string()).unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            kind.label().to_string(),
+            format!("{} / {}", ours.vertices, paper.vertices),
+            format!("{} / {}", ours.edges, paper.edges),
+            format!("{} / {}", fmt_tuples(ours.tuples), fmt_tuples(paper.tuples)),
+            format!("{} / {}", ours.images, paper.images),
+        ]);
+    }
+    print_table(
+        "Table I — dataset statistics (generated / paper)",
+        &["Dataset", "#Vertices", "#Edges", "#Tuples", "#Images"],
+        &rows,
+    );
+}
+
+fn push_metric_row(rows: &mut Vec<Vec<String>>, result: &MethodResult) {
+    let mut row = vec![result.name.clone()];
+    row.extend(metric_cells(&result.metrics));
+    rows.push(row);
+}
+
+/// Run the full Table II method roster on one prepared bundle.
+pub fn accuracy_roster(prepared: &mut PreparedBundle, config: &HarnessConfig) -> Vec<MethodResult> {
+    let mut results = Vec::new();
+    let corpus = prepared.corpus(config.pretrain_pairs.min(400));
+    let bundle = &prepared.bundle;
+    let dataset = &bundle.dataset;
+    let tokenizer = &bundle.tokenizer;
+
+    // Dual encoders (zero-shot from pre-training).
+    {
+        let out = cem_baselines::clip_zeroshot::run(&bundle.clip, tokenizer, dataset);
+        results.push(MethodResult {
+            name: "CLIP".into(),
+            metrics: out.metrics,
+            epoch_seconds: out.fit_seconds,
+            peak_bytes: 0,
+        });
+    }
+    {
+        let mut rng = bundle.stage_rng(201);
+        let out = cem_baselines::align::run(
+            &corpus,
+            tokenizer,
+            dataset,
+            dataset.images[0].patch_dim(),
+            &cem_clip::pretrain::PretrainConfig {
+                epochs: config.pretrain_epochs / 2 + 1,
+                batch_size: 32,
+                lr: 5e-4,
+                clip_norm: 5.0,
+            },
+            &cem_baselines::align::AlignNoise::default(),
+            &mut rng,
+        );
+        results.push(MethodResult {
+            name: "ALIGN".into(),
+            metrics: out.metrics,
+            epoch_seconds: out.fit_seconds,
+            peak_bytes: 0,
+        });
+    }
+
+    // Fusion encoders.
+    for (name, out) in [
+        ("VisualBERT", {
+            let mut rng = bundle.stage_rng(202);
+            cem_baselines::visualbert::run(&corpus, tokenizer, dataset, config.fusion_epochs, &mut rng)
+        }),
+        ("ViLBERT", {
+            let mut rng = bundle.stage_rng(203);
+            cem_baselines::vilbert::run(&corpus, tokenizer, dataset, config.fusion_epochs, &mut rng)
+        }),
+        ("TransAE", {
+            let mut rng = bundle.stage_rng(204);
+            cem_baselines::transae::run(&corpus, tokenizer, dataset, config.fusion_epochs, &mut rng)
+        }),
+        ("IMRAM", {
+            let mut rng = bundle.stage_rng(205);
+            cem_baselines::imram::run(&corpus, tokenizer, dataset, config.fusion_epochs, &mut rng)
+        }),
+    ] {
+        results.push(MethodResult {
+            name: name.into(),
+            metrics: out.metrics,
+            epoch_seconds: out.fit_seconds,
+            peak_bytes: 0,
+        });
+    }
+
+    // Prompt-tuning methods.
+    {
+        let mut rng = bundle.stage_rng(206);
+        let out = cem_baselines::gppt::run(tokenizer, dataset, config.em_epochs * 2, &mut rng);
+        results.push(MethodResult {
+            name: "GPPT".into(),
+            metrics: out.metrics,
+            epoch_seconds: out.fit_seconds,
+            peak_bytes: 0,
+        });
+    }
+    results.push(run_crossem(prepared, PromptKind::Hard, config.em_epochs));
+    results.push(run_crossem(prepared, PromptKind::Soft, config.em_epochs));
+    results.push(run_crossem_plus(prepared, default_plus(), config.em_epochs, "CrossEM+"));
+    results
+}
+
+/// Table II — overall accuracy on CUB / SUN / FB2K-IMG.
+pub fn table2(config: &HarnessConfig) {
+    for kind in [DatasetKind::Cub, DatasetKind::Sun, DatasetKind::Fb2k] {
+        let mut prepared = prepare(kind, config);
+        let results = accuracy_roster(&mut prepared, config);
+        let mut rows = Vec::new();
+        for r in &results {
+            push_metric_row(&mut rows, r);
+        }
+        print_table(
+            &format!("Table II — overall accuracy on {}", kind.label()),
+            &["Method", "H@1", "H@3", "H@5", "MRR"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper reference (H@1): CUB: CLIP 68.0 < hard 72 < soft 78 < CrossEM+ 82;\n\
+         SUN: CLIP 26.4 < hard 51.4 < soft 54.8 ≈ CrossEM+ 56.9;\n\
+         FB2K: soft 53.5 < hard 60.4 ≈ CLIP 62.1 < CrossEM+ 65.2."
+    );
+}
+
+/// Table III — training efficiency (per-epoch time, peak memory).
+///
+/// Run at 2× the accuracy-harness scale: PCP's pruning wins out over its
+/// partitioning overhead only once the candidate-pair count is large
+/// (exactly the paper's regime — its datasets hold 54M–755M pairs). The
+/// Figure-8 harness shows the same crossover explicitly.
+pub fn table3(config: &HarnessConfig) {
+    for kind in [DatasetKind::Cub, DatasetKind::Sun, DatasetKind::Fb2k] {
+        let mut harness = *config;
+        harness.scale = cem_data::DatasetScale {
+            classes: config.scale.classes * 2,
+            images_per_class: config.scale.images_per_class * 2,
+        };
+        let prepared = prepare(kind, &harness);
+        let mut rows = Vec::new();
+        for result in [
+            run_crossem(&prepared, PromptKind::Soft, config.em_epochs),
+            run_crossem_plus(
+                &prepared,
+                default_plus().without_mbg().without_ns(),
+                config.em_epochs,
+                "CrossEM+ w/o MBG,NS",
+            ),
+            run_crossem_plus(&prepared, default_plus(), config.em_epochs, "CrossEM+"),
+        ] {
+            rows.push(vec![
+                result.name.clone(),
+                format!("{:.2}", result.epoch_seconds),
+                format!("{:.1}", result.mem_mb()),
+                format!("{:.2}", result.metrics.mrr),
+            ]);
+        }
+        print_table(
+            &format!("Table III — efficiency on {} (T = s/epoch, Mem = peak MB)", kind.label()),
+            &["Method", "T (s)", "Mem (MB)", "MRR"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper reference: CrossEM+ is fastest everywhere (~22% faster than the\n\
+         runner-up, ~51% faster than CrossEM w/ f_pro^s) and uses the least memory\n\
+         (~7–13% less)."
+    );
+}
+
+/// Figure 8 — scalability across FB2K / FB6K / FB10K.
+pub fn fig8(config: &HarnessConfig) {
+    let mut rows = Vec::new();
+    for (kind, classes) in [
+        (DatasetKind::Fb2k, config.scale.classes),
+        (DatasetKind::Fb6k, config.scale.classes * 3),
+        (DatasetKind::Fb10k, config.scale.classes * 5),
+    ] {
+        let mut harness = *config;
+        harness.scale = DatasetScale { classes, images_per_class: config.scale.images_per_class };
+        let prepared = prepare(kind, &harness);
+        let pairs = prepared.bundle.dataset.candidate_pair_count();
+
+        let soft = run_crossem(&prepared, PromptKind::Soft, config.em_epochs.min(2));
+        let plus = run_crossem_plus(&prepared, default_plus(), config.em_epochs.min(2), "CrossEM+");
+        for result in [&soft, &plus] {
+            rows.push(vec![
+                kind.label().to_string(),
+                format!("{pairs}"),
+                result.name.clone(),
+                format!("{:.2}", result.metrics.mrr),
+                format!("{:.2}", result.epoch_seconds),
+                format!("{:.1}", result.mem_mb()),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 8 — scalability on FBxK-IMG (scaled-down sizes, same 1:3:5 ratio)",
+        &["Dataset", "Pairs", "Method", "MRR", "T (s/epoch)", "Mem (MB)"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference: CrossEM+ beats CrossEM w/ f_pro^s on MRR, time and\n\
+         memory at every size, and its time/memory growth is flatter."
+    );
+}
+
+/// Table IV — ablation study.
+pub fn table4(config: &HarnessConfig) {
+    for kind in [DatasetKind::Cub, DatasetKind::Sun, DatasetKind::Fb2k] {
+        let prepared = prepare(kind, config);
+        let mut rows = Vec::new();
+        for result in [
+            run_crossem(&prepared, PromptKind::Hard, config.em_epochs),
+            run_crossem(&prepared, PromptKind::Soft, config.em_epochs),
+            run_crossem_plus(&prepared, default_plus().without_mbg(), config.em_epochs, "CrossEM+ w/o MBG"),
+            run_crossem_plus(&prepared, default_plus().without_ns(), config.em_epochs, "CrossEM+ w/o NS"),
+            run_crossem_plus(&prepared, default_plus().without_opc(), config.em_epochs, "CrossEM+ w/o OPC"),
+            run_crossem_plus(&prepared, default_plus(), config.em_epochs, "CrossEM+ (full)"),
+        ] {
+            rows.push(vec![
+                result.name.clone(),
+                format!("{:.2}", result.metrics.hits_at_1 * 100.0),
+                format!("{:.2}", result.metrics.hits_at_5 * 100.0),
+                format!("{:.2}", result.metrics.mrr),
+                format!("{:.2}", result.epoch_seconds),
+                format!("{:.1}", result.mem_mb()),
+            ]);
+        }
+        print_table(
+            &format!("Table IV — ablations on {}", kind.label()),
+            &["Method", "H@1", "H@5", "MRR", "T (s)", "Mem (MB)"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper reference: MBG cuts time/memory without hurting accuracy; NS and\n\
+         OPC each buy a little accuracy and efficiency; the full CrossEM+ is the\n\
+         best or tied-best cell in every column."
+    );
+}
+
+/// Table V — case study: multi-modal knowledge-graph integration on FB-IMG.
+pub fn table5(config: &HarnessConfig) {
+    let mut prepared = prepare(DatasetKind::Fb2k, config);
+    let corpus = prepared.corpus(config.pretrain_pairs.min(400));
+    let mut rows = Vec::new();
+
+    {
+        let bundle = &prepared.bundle;
+        let dataset = &bundle.dataset;
+        let tokenizer = &bundle.tokenizer;
+        let kg_epochs = config.em_epochs * 4;
+        let align_epochs = config.em_epochs * 4;
+        let outs = vec![
+            {
+                let mut rng = bundle.stage_rng(301);
+                cem_baselines::vilbert::run(&corpus, tokenizer, dataset, config.fusion_epochs, &mut rng)
+            },
+            {
+                let mut rng = bundle.stage_rng(302);
+                cem_baselines::transae::run(&corpus, tokenizer, dataset, config.fusion_epochs, &mut rng)
+            },
+            {
+                let mut rng = bundle.stage_rng(303);
+                cem_baselines::kg::distmult::run(&bundle.clip, dataset, kg_epochs, align_epochs, &mut rng)
+            },
+            {
+                let mut rng = bundle.stage_rng(304);
+                cem_baselines::kg::rotate::run(&bundle.clip, dataset, kg_epochs, align_epochs, &mut rng)
+            },
+            {
+                let mut rng = bundle.stage_rng(305);
+                cem_baselines::kg::rsme::run(&bundle.clip, dataset, kg_epochs, align_epochs, &mut rng)
+            },
+            {
+                let mut rng = bundle.stage_rng(306);
+                cem_baselines::kg::mkgformer::run(tokenizer, dataset, config.em_epochs * 2, &mut rng)
+            },
+        ];
+        for out in outs {
+            let mut row = vec![out.name.to_string()];
+            row.extend(metric_cells(&out.metrics));
+            rows.push(row);
+        }
+    }
+
+    for result in [
+        run_crossem(&prepared, PromptKind::Hard, config.em_epochs),
+        run_crossem(&prepared, PromptKind::Soft, config.em_epochs),
+        run_crossem_plus(&prepared, default_plus(), config.em_epochs, "CrossEM+"),
+    ] {
+        let mut row = vec![result.name.clone()];
+        row.extend(metric_cells(&result.metrics));
+        rows.push(row);
+    }
+
+    print_table(
+        "Table V — multi-modal KG integration on FB-IMG",
+        &["Method", "H@1", "H@3", "H@5", "MRR"],
+        &rows,
+    );
+    println!(
+        "\nPaper reference (H@1): KG/fusion methods cluster at 19–26; CrossEM w/\n\
+         f_pro^s 53.5 < f_pro^h 60.4 < CrossEM+ 65.2."
+    );
+}

@@ -1,0 +1,105 @@
+//! The image representation: a bag of patch feature vectors.
+//!
+//! A real ViT/32 turns an image into a grid of 32×32 patches and embeds each
+//! patch before the Transformer ever sees it; a ResNet's final feature map
+//! is likewise a grid of local descriptors. This reproduction represents an
+//! image *at that stage*: `n_patches` feature vectors of `patch_dim`
+//! dimensions. The synthetic generators in `cem-data` render entity
+//! attributes into patches; PCP (paper Alg. 2 phase 1) consumes the same
+//! patches as its "local properties".
+
+use cem_tensor::Tensor;
+
+/// An image as a row-major `[n_patches, patch_dim]` block of patch features.
+#[derive(Debug, Clone)]
+pub struct Image {
+    data: Vec<f32>,
+    n_patches: usize,
+    patch_dim: usize,
+}
+
+impl Image {
+    /// Build from a flat patch-major buffer.
+    pub fn new(data: Vec<f32>, n_patches: usize, patch_dim: usize) -> Self {
+        assert_eq!(data.len(), n_patches * patch_dim, "patch buffer size mismatch");
+        assert!(n_patches > 0, "image must have at least one patch");
+        Image { data, n_patches, patch_dim }
+    }
+
+    /// Build from a list of equally-sized patch vectors.
+    pub fn from_patches(patches: Vec<Vec<f32>>) -> Self {
+        assert!(!patches.is_empty(), "image must have at least one patch");
+        let patch_dim = patches[0].len();
+        let n_patches = patches.len();
+        let mut data = Vec::with_capacity(n_patches * patch_dim);
+        for (i, p) in patches.iter().enumerate() {
+            assert_eq!(p.len(), patch_dim, "patch {i} has inconsistent dim");
+            data.extend_from_slice(p);
+        }
+        Image { data, n_patches, patch_dim }
+    }
+
+    pub fn n_patches(&self) -> usize {
+        self.n_patches
+    }
+
+    pub fn patch_dim(&self) -> usize {
+        self.patch_dim
+    }
+
+    /// Patch `i` as a slice.
+    pub fn patch(&self, i: usize) -> &[f32] {
+        &self.data[i * self.patch_dim..(i + 1) * self.patch_dim]
+    }
+
+    /// All patches as a `[n_patches, patch_dim]` tensor (no grad).
+    pub fn as_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.data.clone(), &[self.n_patches, self.patch_dim])
+    }
+
+    /// Mean of all patch vectors (a cheap whole-image descriptor used by
+    /// some baselines).
+    pub fn mean_patch(&self) -> Vec<f32> {
+        let mut mean = vec![0.0f32; self.patch_dim];
+        for i in 0..self.n_patches {
+            for (m, v) in mean.iter_mut().zip(self.patch(i)) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= self.n_patches as f32;
+        }
+        mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let img = Image::from_patches(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(img.n_patches(), 3);
+        assert_eq!(img.patch_dim(), 2);
+        assert_eq!(img.patch(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn tensor_view_shape() {
+        let img = Image::new(vec![0.0; 12], 4, 3);
+        assert_eq!(img.as_tensor().dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn mean_patch_averages() {
+        let img = Image::from_patches(vec![vec![1.0, 0.0], vec![3.0, 4.0]]);
+        assert_eq!(img.mean_patch(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent dim")]
+    fn ragged_patches_panic() {
+        Image::from_patches(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,183 @@
+//! The image tower: patch projection → class token → Transformer → head
+//! projection (a miniature ViT).
+
+use cem_nn::{Embedding, Linear, Module, TransformerEncoder};
+use cem_tensor::Tensor;
+use rand::Rng;
+
+use crate::image::Image;
+
+/// Configuration of the image tower.
+#[derive(Debug, Clone, Copy)]
+pub struct ImageEncoderConfig {
+    /// Dimensionality of raw patch features.
+    pub patch_dim: usize,
+    pub d_model: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub ffn_hidden: usize,
+    /// Maximum number of patches (positional table size, +1 for the class
+    /// token).
+    pub max_patches: usize,
+    /// Joint embedding dimension.
+    pub embed_dim: usize,
+}
+
+/// ViT-style image encoder.
+pub struct ImageEncoder {
+    patch_proj: Linear,
+    class_token: Tensor,
+    pos_emb: Embedding,
+    transformer: TransformerEncoder,
+    proj: Linear,
+    config: ImageEncoderConfig,
+}
+
+impl ImageEncoder {
+    pub fn new<R: Rng>(config: ImageEncoderConfig, rng: &mut R) -> Self {
+        ImageEncoder {
+            patch_proj: Linear::new(config.patch_dim, config.d_model, rng),
+            class_token: cem_tensor::init::randn(&[1, config.d_model], 0.02, rng).requires_grad(),
+            pos_emb: Embedding::new(config.max_patches + 1, config.d_model, rng),
+            transformer: TransformerEncoder::new(
+                config.d_model,
+                config.heads,
+                config.layers,
+                config.ffn_hidden,
+                rng,
+            ),
+            proj: Linear::new_no_bias(config.d_model, config.embed_dim, rng),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &ImageEncoderConfig {
+        &self.config
+    }
+
+    /// Encode one image into the joint space: `[embed_dim]`.
+    pub fn encode(&self, image: &Image) -> Tensor {
+        assert_eq!(
+            image.patch_dim(),
+            self.config.patch_dim,
+            "image patch dim {} != encoder patch dim {}",
+            image.patch_dim(),
+            self.config.patch_dim
+        );
+        let n = image.n_patches().min(self.config.max_patches);
+        let patches = image.as_tensor().slice_rows(0, n); // [n, patch_dim]
+        let projected = self.patch_proj.forward(&patches); // [n, d_model]
+        let seq = Tensor::concat_rows(&[self.class_token.clone(), projected]); // [n+1, d]
+        let positions: Vec<usize> = (0..n + 1).collect();
+        let seq = seq.add(&self.pos_emb.forward(&positions));
+        let hidden = self.transformer.forward(&seq, None);
+        let cls = hidden.slice_rows(0, 1);
+        self.proj.forward(&cls).reshape(&[self.config.embed_dim])
+    }
+
+    /// Encode a batch of images into `[N, embed_dim]`.
+    pub fn encode_batch(&self, images: &[&Image]) -> Tensor {
+        assert!(!images.is_empty(), "empty image batch");
+        let rows: Vec<Tensor> = images.iter().map(|img| self.encode(img)).collect();
+        Tensor::stack_rows(&rows)
+    }
+
+    pub fn embed_dim(&self) -> usize {
+        self.config.embed_dim
+    }
+}
+
+impl Module for ImageEncoder {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = cem_nn::module::with_prefix("patch_proj", self.patch_proj.named_params());
+        v.push(("class_token".to_string(), self.class_token.clone()));
+        v.extend(cem_nn::module::with_prefix("pos_emb", self.pos_emb.named_params()));
+        v.extend(cem_nn::module::with_prefix("transformer", self.transformer.named_params()));
+        v.extend(cem_nn::module::with_prefix("proj", self.proj.named_params()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> ImageEncoderConfig {
+        ImageEncoderConfig {
+            patch_dim: 6,
+            d_model: 16,
+            heads: 2,
+            layers: 2,
+            ffn_hidden: 32,
+            max_patches: 9,
+            embed_dim: 8,
+        }
+    }
+
+    fn random_image(rng: &mut StdRng, n: usize, d: usize) -> Image {
+        let data: Vec<f32> =
+            (0..n * d).map(|_| cem_tensor::init::randn_value(rng)).collect();
+        Image::new(data, n, d)
+    }
+
+    #[test]
+    fn encode_output_dim() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = ImageEncoder::new(small_config(), &mut rng);
+        let img = random_image(&mut rng, 4, 6);
+        assert_eq!(enc.encode(&img).dims(), &[8]);
+    }
+
+    #[test]
+    fn excess_patches_truncate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = ImageEncoder::new(small_config(), &mut rng);
+        let img = random_image(&mut rng, 20, 6);
+        assert_eq!(enc.encode(&img).dims(), &[8]);
+    }
+
+    #[test]
+    fn different_images_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = ImageEncoder::new(small_config(), &mut rng);
+        let a = enc.encode(&random_image(&mut rng, 4, 6)).to_vec();
+        let b = enc.encode(&random_image(&mut rng, 4, 6)).to_vec();
+        assert!(a.iter().zip(&b).any(|(x, y)| (x - y).abs() > 1e-4));
+    }
+
+    #[test]
+    fn batch_matches_individuals() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = ImageEncoder::new(small_config(), &mut rng);
+        let imgs: Vec<Image> = (0..3).map(|_| random_image(&mut rng, 4, 6)).collect();
+        let refs: Vec<&Image> = imgs.iter().collect();
+        let batch = enc.encode_batch(&refs);
+        assert_eq!(batch.dims(), &[3, 8]);
+        let single = enc.encode(&imgs[2]).to_vec();
+        for (j, v) in single.iter().enumerate() {
+            assert!((batch.at2(2, j) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_class_token_and_proj() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = ImageEncoder::new(small_config(), &mut rng);
+        let img = random_image(&mut rng, 4, 6);
+        enc.encode(&img).sum().backward();
+        for (name, p) in enc.named_params() {
+            assert!(p.grad().is_some(), "no grad for {name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "patch dim")]
+    fn wrong_patch_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = ImageEncoder::new(small_config(), &mut rng);
+        let img = random_image(&mut rng, 4, 5);
+        let _ = enc.encode(&img);
+    }
+}

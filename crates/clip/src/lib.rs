@@ -1,0 +1,38 @@
+//! # cem-clip
+//!
+//! A miniature CLIP-style dual encoder, built and *pre-trained in process*
+//! to stand in for the pre-trained CLIP checkpoint the paper prompt-tunes
+//! (see DESIGN.md for the substitution argument).
+//!
+//! Components mirror the reference model:
+//!
+//! * [`tokenizer::Tokenizer`] — word-level tokenizer with the `[CLS]` /
+//!   `[SEP]` / `[MASK]` specials the paper's sequence encoder uses, plus a
+//!   configurable context length (77 by default, extensible to 512 as the
+//!   paper does during prompt learning).
+//! * [`text_encoder::TextEncoder`] — token + positional embeddings feeding a
+//!   pre-LN Transformer; the `[CLS]` output is projected into the joint
+//!   embedding space. Exposes both the *sequence* entry point (token ids)
+//!   and the *feature* entry point (raw input embeddings) that the paper's
+//!   soft prompt requires (Fig. 4b).
+//! * [`image::Image`] + [`image_encoder::ImageEncoder`] — images are grids
+//!   of patch feature vectors (a ViT/32 after patchification is exactly
+//!   this); the encoder projects patches, prepends a learnable class token,
+//!   runs the Transformer, and projects into the joint space.
+//! * [`model::Clip`] — the dual encoder with a learnable temperature and the
+//!   symmetric InfoNCE objective used for pre-training.
+//! * [`pretrain`] — the in-process contrastive pre-training loop.
+
+pub mod image;
+pub mod image_encoder;
+pub mod model;
+pub mod pretrain;
+pub mod text_encoder;
+pub mod tokenizer;
+
+pub use image::Image;
+pub use image_encoder::ImageEncoder;
+pub use model::{Clip, ClipConfig};
+pub use pretrain::{pretrain, PretrainReport};
+pub use text_encoder::TextEncoder;
+pub use tokenizer::Tokenizer;

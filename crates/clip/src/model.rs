@@ -1,0 +1,300 @@
+//! The CLIP dual-encoder model: text tower + image tower + learnable
+//! temperature, with the symmetric contrastive objective.
+
+use cem_nn::Module;
+use cem_tensor::Tensor;
+use rand::Rng;
+
+use crate::image::Image;
+use crate::image_encoder::{ImageEncoder, ImageEncoderConfig};
+use crate::text_encoder::{TextEncoder, TextEncoderConfig};
+
+/// Joint configuration of both towers.
+#[derive(Debug, Clone, Copy)]
+pub struct ClipConfig {
+    pub vocab_size: usize,
+    pub d_model: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub ffn_hidden: usize,
+    /// Text context length (77 in stock CLIP).
+    pub max_len: usize,
+    pub embed_dim: usize,
+    pub patch_dim: usize,
+    pub max_patches: usize,
+}
+
+impl ClipConfig {
+    /// A laptop-scale model shaped like CLIP ViT/32 (12-layer text tower →
+    /// 2 layers here; 512-d joint space → 32-d here). Used by every
+    /// experiment unless a harness overrides it.
+    pub fn small(vocab_size: usize, patch_dim: usize) -> Self {
+        ClipConfig {
+            vocab_size,
+            d_model: 64,
+            heads: 4,
+            layers: 2,
+            ffn_hidden: 128,
+            max_len: 77,
+            embed_dim: 32,
+            patch_dim,
+            max_patches: 16,
+        }
+    }
+
+    /// An even smaller model for unit tests.
+    pub fn tiny(vocab_size: usize, patch_dim: usize) -> Self {
+        ClipConfig {
+            vocab_size,
+            d_model: 16,
+            heads: 2,
+            layers: 1,
+            ffn_hidden: 32,
+            max_len: 16,
+            embed_dim: 8,
+            patch_dim,
+            max_patches: 8,
+        }
+    }
+
+    fn text(&self) -> TextEncoderConfig {
+        TextEncoderConfig {
+            vocab_size: self.vocab_size,
+            d_model: self.d_model,
+            heads: self.heads,
+            layers: self.layers,
+            ffn_hidden: self.ffn_hidden,
+            max_len: self.max_len,
+            embed_dim: self.embed_dim,
+        }
+    }
+
+    fn image(&self) -> ImageEncoderConfig {
+        ImageEncoderConfig {
+            patch_dim: self.patch_dim,
+            d_model: self.d_model,
+            heads: self.heads,
+            layers: self.layers,
+            ffn_hidden: self.ffn_hidden,
+            max_patches: self.max_patches,
+            embed_dim: self.embed_dim,
+        }
+    }
+}
+
+/// The dual encoder. The learnable `log_temp` parameterises the softmax
+/// temperature τ of Eq. 4 as `exp(log_temp)` (kept in log space for
+/// stability, as in the reference implementation).
+pub struct Clip {
+    pub text: TextEncoder,
+    pub image: ImageEncoder,
+    log_temp: Tensor,
+    config: ClipConfig,
+}
+
+impl Clip {
+    pub fn new<R: Rng>(config: ClipConfig, rng: &mut R) -> Self {
+        Clip {
+            text: TextEncoder::new(config.text(), rng),
+            image: ImageEncoder::new(config.image(), rng),
+            // ln(1/0.07) ≈ 2.659 — the CLIP paper's initialisation.
+            log_temp: Tensor::scalar((1.0f32 / 0.07).ln()).requires_grad(),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &ClipConfig {
+        &self.config
+    }
+
+    /// Current temperature multiplier `exp(log_temp)`.
+    pub fn temperature(&self) -> f32 {
+        self.log_temp.at(0).exp()
+    }
+
+    /// Encode a batch of token-id sequences: `[N, embed_dim]`, L2-normalised.
+    pub fn encode_texts(&self, batch: &[Vec<usize>]) -> Tensor {
+        self.text.encode_batch(batch).l2_normalize_rows()
+    }
+
+    /// Encode a batch of images: `[M, embed_dim]`, L2-normalised.
+    pub fn encode_images(&self, images: &[&Image]) -> Tensor {
+        self.image.encode_batch(images).l2_normalize_rows()
+    }
+
+    /// Temperature-scaled cosine-similarity logits `[N, M]` between
+    /// already-normalised embedding matrices.
+    pub fn similarity_logits(&self, text_emb: &Tensor, image_emb: &Tensor) -> Tensor {
+        // Clamp the learnable temperature to CLIP's stability range.
+        let temp = self.log_temp.clamp(0.0, 4.6052).exp(); // e^4.6052 ≈ 100
+        text_emb.matmul_nt(image_emb).mul_scalar_tensor(&temp)
+    }
+
+    /// Eq. 4: matching probability of each text against all images — a
+    /// softmax over the image axis of the similarity logits.
+    pub fn matching_probabilities(&self, text_emb: &Tensor, image_emb: &Tensor) -> Tensor {
+        self.similarity_logits(text_emb, image_emb).softmax_rows()
+    }
+
+    /// Symmetric InfoNCE over an aligned batch: row `i` of `text_emb`
+    /// matches row `i` of `image_emb`.
+    pub fn contrastive_loss(&self, text_emb: &Tensor, image_emb: &Tensor) -> Tensor {
+        let (n, _) = text_emb.shape().as_matrix();
+        let (m, _) = image_emb.shape().as_matrix();
+        assert_eq!(n, m, "aligned contrastive loss needs equal batch sizes");
+        let targets: Vec<usize> = (0..n).collect();
+        let logits = self.similarity_logits(text_emb, image_emb);
+        let loss_t2i = logits.cross_entropy_rows(&targets);
+        let loss_i2t = logits.transpose().cross_entropy_rows(&targets);
+        loss_t2i.add(&loss_i2t).mul_scalar(0.5)
+    }
+
+    /// Freeze the image tower and contrastive temperature (the CrossEM
+    /// framework trains only prompts + text-side parameters; paper
+    /// Sec. II-C: "the image encoder M_I and the contrastive loss in the
+    /// CLIP are frozen").
+    pub fn freeze_image_tower(&self) {
+        self.image.set_trainable(false);
+        self.log_temp.set_requires_grad(false);
+    }
+
+    pub fn embed_dim(&self) -> usize {
+        self.config.embed_dim
+    }
+
+    /// Save all parameters to a checkpoint file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        self.state_dict().save(path)
+    }
+
+    /// Load parameters from a checkpoint produced by [`Clip::save`] into an
+    /// architecture-compatible model (shapes must match; names are checked).
+    pub fn load(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let dict = cem_tensor::io::StateDict::load(path)?;
+        self.load_state_dict(&dict);
+        Ok(())
+    }
+}
+
+impl Module for Clip {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = cem_nn::module::with_prefix("text", self.text.named_params());
+        v.extend(cem_nn::module::with_prefix("image", self.image.named_params()));
+        v.push(("log_temp".to_string(), self.log_temp.clone()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_clip(seed: u64) -> (Clip, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clip = Clip::new(ClipConfig::tiny(40, 6), &mut rng);
+        (clip, rng)
+    }
+
+    fn random_image(rng: &mut StdRng) -> Image {
+        let data: Vec<f32> = (0..4 * 6).map(|_| cem_tensor::init::randn_value(rng)).collect();
+        Image::new(data, 4, 6)
+    }
+
+    #[test]
+    fn temperature_initialised_like_clip() {
+        let (clip, _) = tiny_clip(0);
+        assert!((clip.temperature() - 1.0 / 0.07).abs() < 0.01);
+    }
+
+    #[test]
+    fn encodings_are_unit_norm() {
+        let (clip, mut rng) = tiny_clip(1);
+        let texts = vec![vec![1, 5, 2], vec![1, 8, 9, 2]];
+        let t = clip.encode_texts(&texts);
+        for r in 0..2 {
+            let norm: f32 = (0..8).map(|c| t.at2(r, c).powi(2)).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-4);
+        }
+        let imgs = [random_image(&mut rng)];
+        let refs: Vec<&Image> = imgs.iter().collect();
+        let i = clip.encode_images(&refs);
+        let norm: f32 = (0..8).map(|c| i.at2(0, c).powi(2)).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matching_probabilities_rows_sum_to_one() {
+        let (clip, mut rng) = tiny_clip(2);
+        let texts = vec![vec![1, 5, 2], vec![1, 7, 2]];
+        let imgs: Vec<Image> = (0..3).map(|_| random_image(&mut rng)).collect();
+        let refs: Vec<&Image> = imgs.iter().collect();
+        let p = clip.matching_probabilities(&clip.encode_texts(&texts), &clip.encode_images(&refs));
+        assert_eq!(p.dims(), &[2, 3]);
+        for r in 0..2 {
+            let s: f32 = (0..3).map(|c| p.at2(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn contrastive_loss_is_finite_and_positive() {
+        let (clip, mut rng) = tiny_clip(3);
+        let texts = vec![vec![1, 5, 2], vec![1, 7, 2], vec![1, 9, 2]];
+        let imgs: Vec<Image> = (0..3).map(|_| random_image(&mut rng)).collect();
+        let refs: Vec<&Image> = imgs.iter().collect();
+        let loss =
+            clip.contrastive_loss(&clip.encode_texts(&texts), &clip.encode_images(&refs)).item();
+        assert!(loss.is_finite());
+        assert!(loss > 0.0);
+    }
+
+    #[test]
+    fn freeze_image_tower_blocks_gradients() {
+        let (clip, mut rng) = tiny_clip(4);
+        clip.freeze_image_tower();
+        let texts = vec![vec![1, 5, 2], vec![1, 7, 2]];
+        let imgs: Vec<Image> = (0..2).map(|_| random_image(&mut rng)).collect();
+        let refs: Vec<&Image> = imgs.iter().collect();
+        let loss = clip.contrastive_loss(&clip.encode_texts(&texts), &clip.encode_images(&refs));
+        loss.backward();
+        // Text params get grads; image tower params do not.
+        assert!(clip.text.named_params().iter().any(|(_, p)| p.grad().is_some()));
+        // The image tower still participates in forward, so its tensors may
+        // appear in the graph, but frozen leaves accumulate nothing.
+        for (name, p) in clip.image.named_params() {
+            assert!(p.grad().is_none(), "frozen param {name} received grad");
+        }
+    }
+
+    #[test]
+    fn disk_checkpoint_roundtrip() {
+        let (clip, _) = tiny_clip(6);
+        let dir = std::env::temp_dir().join("cem_clip_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.cemt");
+        clip.save(&path).unwrap();
+
+        let (clip2, _) = tiny_clip(123);
+        clip2.load(&path).unwrap();
+        let texts = vec![vec![1, 7, 2]];
+        assert_eq!(clip.encode_texts(&texts).to_vec(), clip2.encode_texts(&texts).to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn state_dict_roundtrip_preserves_outputs() {
+        let (clip, mut rng) = tiny_clip(5);
+        let dict = clip.state_dict();
+        let (clip2, _) = tiny_clip(99); // different init
+        clip2.load_state_dict(&dict);
+        let texts = vec![vec![1, 6, 2]];
+        let a = clip.encode_texts(&texts).to_vec();
+        let b = clip2.encode_texts(&texts).to_vec();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+        let _ = &mut rng;
+    }
+}

@@ -1,0 +1,266 @@
+//! The text tower: token + positional embeddings → Transformer → `[CLS]`
+//! head projection into the joint embedding space.
+//!
+//! Two entry points mirror the paper's Figure 4:
+//!
+//! * **Sequence-based** ([`TextEncoder::encode_ids`]): takes token ids
+//!   (already wrapped in `[CLS] … [SEP]` by the tokenizer), used by the
+//!   baseline prompt and the hard-encoding prompt.
+//! * **Feature-based** ([`TextEncoder::forward_embeddings`]): takes raw
+//!   input embeddings `[T, d_model]`, used by the soft prompt, which splices
+//!   a learned structural feature vector into the input sequence (Eq. 7).
+
+use cem_nn::{Embedding, Module, TransformerEncoder};
+use cem_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration of the text tower.
+#[derive(Debug, Clone, Copy)]
+pub struct TextEncoderConfig {
+    pub vocab_size: usize,
+    pub d_model: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub ffn_hidden: usize,
+    /// Maximum sequence length (77 in stock CLIP; the paper extends to 512).
+    pub max_len: usize,
+    /// Joint embedding dimension.
+    pub embed_dim: usize,
+}
+
+/// CLIP text encoder.
+pub struct TextEncoder {
+    token_emb: Embedding,
+    pos_emb: Embedding,
+    transformer: TransformerEncoder,
+    proj: cem_nn::Linear,
+    config: TextEncoderConfig,
+}
+
+impl TextEncoder {
+    pub fn new<R: Rng>(config: TextEncoderConfig, rng: &mut R) -> Self {
+        TextEncoder {
+            token_emb: Embedding::new(config.vocab_size, config.d_model, rng),
+            pos_emb: Embedding::new(config.max_len, config.d_model, rng),
+            transformer: TransformerEncoder::new(
+                config.d_model,
+                config.heads,
+                config.layers,
+                config.ffn_hidden,
+                rng,
+            ),
+            proj: cem_nn::Linear::new_no_bias(config.d_model, config.embed_dim, rng),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &TextEncoderConfig {
+        &self.config
+    }
+
+    /// Grow (or shrink) the positional table to a new maximum length,
+    /// copying existing positions — how the paper "extend[s] the maximum
+    /// length of input tokens from the originally 77 to 512".
+    pub fn resize_max_len<R: Rng>(&mut self, new_max: usize, rng: &mut R) {
+        let old = self.pos_emb.weight().clone();
+        let (old_len, d) = old.shape().as_matrix();
+        let mut new_emb = cem_tensor::init::randn(&[new_max, d], 0.01, rng);
+        {
+            let src = old.to_vec();
+            let mut dst = new_emb.data_mut();
+            let copy = old_len.min(new_max);
+            dst.as_mut_slice()[..copy * d].copy_from_slice(&src[..copy * d]);
+        }
+        new_emb = new_emb.requires_grad();
+        self.pos_emb = Embedding::from_weight(new_emb);
+        self.config.max_len = new_max;
+    }
+
+    /// Embed token ids into `[T, d_model]` (token + positional), truncating
+    /// at `max_len`. This is the input the feature-based path manipulates.
+    pub fn embed_ids(&self, ids: &[usize]) -> Tensor {
+        let t = ids.len().min(self.config.max_len);
+        let ids = &ids[..t];
+        let positions: Vec<usize> = (0..t).collect();
+        self.token_emb.forward(ids).add(&self.pos_emb.forward(&positions))
+    }
+
+    /// Run the Transformer on pre-built input embeddings `[T, d_model]` and
+    /// return the projected `[CLS]`(=first position) representation
+    /// `[embed_dim]`.
+    pub fn forward_embeddings(&self, x: &Tensor) -> Tensor {
+        let (t, _) = x.shape().as_matrix();
+        assert!(t >= 1, "empty sequence");
+        assert!(
+            t <= self.config.max_len,
+            "sequence length {t} exceeds max_len {} — truncate first",
+            self.config.max_len
+        );
+        let hidden = self.transformer.forward(x, None);
+        let cls = hidden.slice_rows(0, 1); // [1, d_model]
+        self.proj.forward(&cls).reshape(&[self.config.embed_dim])
+    }
+
+    /// Sequence entry point: ids → joint-space vector `[embed_dim]`.
+    /// Sequences longer than `max_len` are truncated (paper Sec. III-B
+    /// drawback (2) — important for the hard-prompt ablation).
+    pub fn encode_ids(&self, ids: &[usize]) -> Tensor {
+        let x = self.embed_ids(ids);
+        self.forward_embeddings(&x)
+    }
+
+    /// Encode a batch of id sequences into `[N, embed_dim]`.
+    pub fn encode_batch(&self, batch: &[Vec<usize>]) -> Tensor {
+        assert!(!batch.is_empty(), "empty batch");
+        let rows: Vec<Tensor> = batch.iter().map(|ids| self.encode_ids(ids)).collect();
+        Tensor::stack_rows(&rows)
+    }
+
+    /// Read-only view of the token embedding table `[vocab, d_model]` —
+    /// used as the "pre-trained LM" initialisation for soft prompts and as
+    /// label features in PCP.
+    pub fn token_embedding_table(&self) -> &Tensor {
+        self.token_emb.weight()
+    }
+
+    /// Parameters of the output projection head only (for head-scope
+    /// prompt tuning, which preserves the pre-trained tower).
+    pub fn head_params(&self) -> Vec<cem_tensor::Tensor> {
+        self.proj.params()
+    }
+
+    /// Token + positional embedding parameters (input-side tuning).
+    pub fn embedding_params(&self) -> Vec<cem_tensor::Tensor> {
+        let mut v = self.token_emb.params();
+        v.extend(self.pos_emb.params());
+        v
+    }
+
+    pub fn d_model(&self) -> usize {
+        self.config.d_model
+    }
+
+    pub fn embed_dim(&self) -> usize {
+        self.config.embed_dim
+    }
+
+    pub fn max_len(&self) -> usize {
+        self.config.max_len
+    }
+}
+
+impl Module for TextEncoder {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = cem_nn::module::with_prefix("token_emb", self.token_emb.named_params());
+        v.extend(cem_nn::module::with_prefix("pos_emb", self.pos_emb.named_params()));
+        v.extend(cem_nn::module::with_prefix("transformer", self.transformer.named_params()));
+        v.extend(cem_nn::module::with_prefix("proj", self.proj.named_params()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> TextEncoderConfig {
+        TextEncoderConfig {
+            vocab_size: 50,
+            d_model: 16,
+            heads: 2,
+            layers: 2,
+            ffn_hidden: 32,
+            max_len: 12,
+            embed_dim: 8,
+        }
+    }
+
+    #[test]
+    fn encode_ids_output_dim() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = TextEncoder::new(small_config(), &mut rng);
+        let v = enc.encode_ids(&[1, 7, 9, 2]);
+        assert_eq!(v.dims(), &[8]);
+    }
+
+    #[test]
+    fn long_sequences_truncate_silently() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let enc = TextEncoder::new(small_config(), &mut rng);
+        let long: Vec<usize> = (0..40).map(|i| i % 50).collect();
+        let v = enc.encode_ids(&long);
+        assert_eq!(v.dims(), &[8]);
+        // Truncation means tokens past max_len do not change the output.
+        let mut longer = long.clone();
+        longer.extend([5, 6, 7]);
+        let v2 = enc.encode_ids(&longer);
+        let (a, b) = (v.to_vec(), v2.to_vec());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn different_tokens_give_different_embeddings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = TextEncoder::new(small_config(), &mut rng);
+        let a = enc.encode_ids(&[1, 10, 2]).to_vec();
+        let b = enc.encode_ids(&[1, 11, 2]).to_vec();
+        assert!(a.iter().zip(&b).any(|(x, y)| (x - y).abs() > 1e-4));
+    }
+
+    #[test]
+    fn batch_matches_individual_encodings() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let enc = TextEncoder::new(small_config(), &mut rng);
+        let seqs = vec![vec![1, 5, 2], vec![1, 9, 30, 2]];
+        let batch = enc.encode_batch(&seqs);
+        assert_eq!(batch.dims(), &[2, 8]);
+        let single = enc.encode_ids(&seqs[1]).to_vec();
+        for (j, v) in single.iter().enumerate() {
+            assert!((batch.at2(1, j) - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn resize_max_len_preserves_existing_positions_behaviour() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut enc = TextEncoder::new(small_config(), &mut rng);
+        let before = enc.encode_ids(&[1, 4, 2]).to_vec();
+        enc.resize_max_len(64, &mut rng);
+        assert_eq!(enc.max_len(), 64);
+        let after = enc.encode_ids(&[1, 4, 2]).to_vec();
+        for (x, y) in before.iter().zip(&after) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        // And longer sequences are now representable.
+        let long: Vec<usize> = (0..40).map(|i| i % 50).collect();
+        let v = enc.encode_ids(&long);
+        assert_eq!(v.dims(), &[8]);
+    }
+
+    #[test]
+    fn feature_path_consumes_custom_embeddings() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let enc = TextEncoder::new(small_config(), &mut rng);
+        let x = enc.embed_ids(&[1, 6, 2]);
+        assert_eq!(x.dims(), &[3, 16]);
+        let out = enc.forward_embeddings(&x);
+        assert_eq!(out.dims(), &[8]);
+        // Same as the sequence path end to end.
+        let direct = enc.encode_ids(&[1, 6, 2]).to_vec();
+        for (x, y) in out.to_vec().iter().zip(&direct) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_token_table() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = TextEncoder::new(small_config(), &mut rng);
+        enc.encode_ids(&[1, 3, 2]).sum().backward();
+        assert!(enc.token_embedding_table().grad().is_some());
+    }
+}

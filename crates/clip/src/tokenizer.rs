@@ -1,0 +1,184 @@
+//! Word-level tokenizer with BERT-style special tokens.
+
+use std::collections::HashMap;
+
+/// Id of the padding token.
+pub const PAD: usize = 0;
+/// Id of the sequence-start token (`[CLS]`).
+pub const CLS: usize = 1;
+/// Id of the sequence-end token (`[SEP]`).
+pub const SEP: usize = 2;
+/// Id of the mask/placeholder token (`[MASK]`).
+pub const MASK: usize = 3;
+/// Id of the unknown-word token.
+pub const UNK: usize = 4;
+
+const SPECIALS: [&str; 5] = ["[PAD]", "[CLS]", "[SEP]", "[MASK]", "[UNK]"];
+
+/// A fixed word-level vocabulary. Text is lowercased and split on
+/// non-alphanumeric boundaries (hyphens inside words are kept, matching how
+/// attribute names like `long-wings` appear in the datasets).
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    word_to_id: HashMap<String, usize>,
+    id_to_word: Vec<String>,
+}
+
+/// Split text into normalised word tokens.
+pub fn split_words(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !(c.is_alphanumeric() || c == '-' || c == '_'))
+        .filter(|w| !w.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+impl Tokenizer {
+    /// Build a vocabulary from a corpus of texts. Words are assigned ids in
+    /// first-appearance order after the special tokens.
+    pub fn build<'a>(corpus: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut word_to_id = HashMap::new();
+        let mut id_to_word = Vec::new();
+        for special in SPECIALS {
+            word_to_id.insert(special.to_string(), id_to_word.len());
+            id_to_word.push(special.to_string());
+        }
+        for text in corpus {
+            for word in split_words(text) {
+                if !word_to_id.contains_key(&word) {
+                    word_to_id.insert(word.clone(), id_to_word.len());
+                    id_to_word.push(word);
+                }
+            }
+        }
+        Tokenizer { word_to_id, id_to_word }
+    }
+
+    pub fn vocab_size(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Id of a word, or `UNK`.
+    pub fn id_of(&self, word: &str) -> usize {
+        self.word_to_id.get(word).copied().unwrap_or(UNK)
+    }
+
+    /// The word for an id (panics on out-of-range ids).
+    pub fn word_of(&self, id: usize) -> &str {
+        &self.id_to_word[id]
+    }
+
+    /// Tokenize raw text to word ids (no specials added).
+    pub fn tokenize(&self, text: &str) -> Vec<usize> {
+        split_words(text).iter().map(|w| self.id_of(w)).collect()
+    }
+
+    /// Encode as a `[CLS] … [SEP]`-delimited sequence, truncated to
+    /// `max_len` total positions (the paper calls out CLIP's 77-token limit
+    /// and later extends it to 512). Returns `(ids, valid_len)`; `ids` is
+    /// exactly `valid_len` long — padding is the caller's concern.
+    pub fn encode(&self, text: &str, max_len: usize) -> (Vec<usize>, usize) {
+        assert!(max_len >= 2, "max_len must fit [CLS] and [SEP]");
+        let mut ids = vec![CLS];
+        for id in self.tokenize(text) {
+            if ids.len() == max_len - 1 {
+                break; // reserve the final slot for [SEP]
+            }
+            ids.push(id);
+        }
+        ids.push(SEP);
+        let len = ids.len();
+        (ids, len)
+    }
+
+    /// Decode ids back to a readable string (specials skipped).
+    pub fn decode(&self, ids: &[usize]) -> String {
+        ids.iter()
+            .filter(|&&id| id >= SPECIALS.len())
+            .map(|&id| self.word_of(id))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Fraction of words in `text` that are in-vocabulary.
+    pub fn coverage(&self, text: &str) -> f32 {
+        let words = split_words(text);
+        if words.is_empty() {
+            return 1.0;
+        }
+        let known = words.iter().filter(|w| self.word_to_id.contains_key(*w)).count();
+        known as f32 / words.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_have_fixed_ids() {
+        let t = Tokenizer::build(["hello world"]);
+        assert_eq!(t.id_of("[PAD]"), PAD);
+        assert_eq!(t.id_of("[CLS]"), CLS);
+        assert_eq!(t.id_of("[SEP]"), SEP);
+        assert_eq!(t.id_of("[MASK]"), MASK);
+        assert_eq!(t.id_of("[UNK]"), UNK);
+        assert_eq!(t.vocab_size(), 7);
+    }
+
+    #[test]
+    fn split_normalises_case_and_punctuation() {
+        assert_eq!(split_words("A Photo, of LAYSAN albatross!"), vec![
+            "a", "photo", "of", "laysan", "albatross"
+        ]);
+        assert_eq!(split_words("long-wings"), vec!["long-wings"]);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let t = Tokenizer::build(["known words only"]);
+        assert_eq!(t.id_of("mystery"), UNK);
+        let ids = t.tokenize("known mystery");
+        assert_eq!(ids[1], UNK);
+    }
+
+    #[test]
+    fn encode_adds_specials_and_truncates() {
+        let t = Tokenizer::build(["a b c d e f g h"]);
+        let (ids, len) = t.encode("a b c d e f g h", 5);
+        assert_eq!(len, 5);
+        assert_eq!(ids[0], CLS);
+        assert_eq!(*ids.last().unwrap(), SEP);
+        assert_eq!(ids.len(), 5); // CLS + 3 words + SEP
+    }
+
+    #[test]
+    fn encode_short_text_is_not_padded() {
+        let t = Tokenizer::build(["bird"]);
+        let (ids, len) = t.encode("bird", 77);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(len, 3);
+    }
+
+    #[test]
+    fn decode_skips_specials() {
+        let t = Tokenizer::build(["white crown"]);
+        let (ids, _) = t.encode("white crown", 77);
+        assert_eq!(t.decode(&ids), "white crown");
+    }
+
+    #[test]
+    fn coverage_reflects_vocabulary() {
+        let t = Tokenizer::build(["white black"]);
+        assert!((t.coverage("white black") - 1.0).abs() < 1e-6);
+        assert!((t.coverage("white purple") - 0.5).abs() < 1e-6);
+        assert_eq!(t.coverage(""), 1.0);
+    }
+
+    #[test]
+    fn ids_stable_across_rebuilds() {
+        let t1 = Tokenizer::build(["alpha beta gamma"]);
+        let t2 = Tokenizer::build(["alpha beta gamma"]);
+        assert_eq!(t1.id_of("gamma"), t2.id_of("gamma"));
+    }
+}

@@ -1,0 +1,182 @@
+//! K-means clustering, used by PCP's cluster-based data partition (paper
+//! Alg. 2 phase 3).
+
+use rand::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids, row-major `[k][dim]`.
+    pub centroids: Vec<Vec<f32>>,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Lloyd's algorithm with k-means++-style seeding. `points` are rows of
+/// equal dimension. `k` is clamped to the number of points. Deterministic
+/// given the RNG.
+pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut R) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans: no points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "kmeans: ragged points");
+    let k = k.min(points.len()).max(1);
+
+    // k-means++ seeding: first centroid uniform, others proportional to
+    // squared distance from the nearest chosen centroid.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f32> = points
+            .iter()
+            .map(|p| centroids.iter().map(|c| sq_dist(p, c)).fold(f32::INFINITY, f32::min))
+            .collect();
+        let total: f32 = dists.iter().sum();
+        if total <= f32::EPSILON {
+            // All points coincide with existing centroids; duplicate one.
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f32>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, d) in dists.iter().enumerate() {
+            if target <= *d {
+                chosen = i;
+                break;
+            }
+            target -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0usize;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f32; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for (c, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                for (dst, s) in centroids[c].iter_mut().zip(sum) {
+                    *dst = s / count as f32;
+                }
+            }
+        }
+    }
+
+    KMeansResult { assignments, centroids, iterations }
+}
+
+/// Group point indices by cluster (clusters may be empty).
+pub fn clusters_of(result: &KMeansResult, k: usize) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); k.max(result.centroids.len())];
+    for (i, &a) in result.assignments.iter().enumerate() {
+        groups[a].push(i);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f32>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f32, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![10.0 + 0.01 * i as f32, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let pts = two_blobs();
+        let result = kmeans(&pts, 2, 50, &mut rng);
+        let first = result.assignments[0];
+        assert!(result.assignments[..10].iter().all(|&a| a == first));
+        assert!(result.assignments[10..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = vec![vec![1.0], vec![2.0]];
+        let result = kmeans(&pts, 10, 10, &mut rng);
+        assert!(result.centroids.len() <= 2);
+    }
+
+    #[test]
+    fn identical_points_terminate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = vec![vec![3.0, 3.0]; 8];
+        let result = kmeans(&pts, 3, 25, &mut rng);
+        assert_eq!(result.assignments.len(), 8);
+        assert!(result.iterations <= 25);
+    }
+
+    #[test]
+    fn clusters_of_partitions_all_points() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = two_blobs();
+        let result = kmeans(&pts, 2, 50, &mut rng);
+        let groups = clusters_of(&result, 2);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn centroids_land_near_blob_means() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pts = two_blobs();
+        let result = kmeans(&pts, 2, 50, &mut rng);
+        let mut xs: Vec<f32> = result.centroids.iter().map(|c| c[0]).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((xs[0] - 0.045).abs() < 0.5);
+        assert!((xs[1] - 10.045).abs() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_input_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        kmeans(&[], 2, 10, &mut rng);
+    }
+}

@@ -1,0 +1,42 @@
+//! # crossem
+//!
+//! The paper's primary contribution: **CrossEM**, a prompt-tuning framework
+//! for cross-modal entity matching, and **CrossEM⁺**, its improved matching
+//! framework for large heterogeneous data.
+//!
+//! Given a graph `G = (V, E, L)` (obtained from a data lake by the mapping
+//! in [`cem_graph`]) and an image repository `I`, the task is to find
+//! matching pairs between vertices and images (paper Def. 2). CrossEM
+//! addresses it by prompt-tuning a pre-trained CLIP-style dual encoder in an
+//! unsupervised manner:
+//!
+//! * [`prompt::baseline`] — the naive `"a photo of [MASK]"` prompt
+//!   (Sec. II-B baseline).
+//! * [`prompt::hard`] — discrete hard-encoding prompts `f_pro^h` (Eq. 5):
+//!   d-hop subgraph serialised through a concatenation template.
+//! * [`prompt::soft`] — continuous soft prompts `f_pro^s` (Eq. 6–7):
+//!   GNN/GraphSAGE-aggregated structural features spliced into the text
+//!   encoder input.
+//! * [`loss`] — the unsupervised contrastive objective (Eq. 2–3) and the
+//!   orthogonal prompt constraint (Eq. 9–10).
+//! * [`matcher`] — matching probabilities (Eq. 4), ranking, and the
+//!   matching-set extraction.
+//! * [`trainer`] — Algorithm 1 (CrossEM training loop).
+//! * [`plus`] — CrossEM⁺: PCP mini-batch generation (Alg. 2),
+//!   property-based negative sampling (Alg. 3), and the orthogonal prompt
+//!   constraint wired into training.
+//! * [`metrics`] — Hits@k and MRR evaluation.
+
+pub mod config;
+pub mod kmeans;
+pub mod loss;
+pub mod matcher;
+pub mod metrics;
+pub mod plus;
+pub mod prompt;
+pub mod trainer;
+
+pub use config::{PromptKind, TrainConfig};
+pub use matcher::{rank_images, MatchingSet};
+pub use metrics::{evaluate_rankings, Metrics};
+pub use trainer::{CrossEm, EpochStats, TrainReport};

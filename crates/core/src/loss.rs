@@ -1,0 +1,134 @@
+//! Training objectives.
+//!
+//! * [`unsupervised_contrastive_loss`] — the paper's Eq. 2–3. Cross-modal
+//!   EM has no labels, so the positive set `X_p` is "collected from the
+//!   pairs with top similarity" (Sec. II-B): for every vertex the current
+//!   best-matching image in the batch acts as its positive, and vice versa
+//!   (symmetric InfoNCE with self-generated targets). Prompt structure makes
+//!   those pseudo-positives better than the raw baseline's, which is what
+//!   lets tuning improve on zero-shot CLIP.
+//! * [`orthogonal_loss`] — the orthogonal prompt constraint of Eq. 9.
+//! * [`combined_loss`] — Eq. 10: `β·L_con + (1−β)·L_o`.
+
+use cem_tensor::{no_grad, Tensor};
+
+/// Symmetric contrastive loss over a batch similarity matrix
+/// (`logits = τ·cos(text, image)`, shape `[N1, N2]`) with *given*
+/// vertex-side pseudo-positive targets (mined globally by the trainer —
+/// the "pairs with top similarity" of Sec. II-B). The image-side direction
+/// uses in-batch top-similarity targets, computed without gradient.
+pub fn unsupervised_contrastive_loss(logits: &Tensor, vertex_targets: &[usize]) -> Tensor {
+    let (n1, n2) = logits.shape().as_matrix();
+    assert!(n1 >= 1 && n2 >= 2, "contrastive batch needs at least 2 images");
+    assert_eq!(vertex_targets.len(), n1, "one pseudo-positive per vertex expected");
+    let targets_i = no_grad(|| logits.transpose().argmax_rows());
+    let loss_v = logits.cross_entropy_rows(vertex_targets);
+    let loss_i = logits.transpose().cross_entropy_rows(&targets_i);
+    loss_v.add(&loss_i).mul_scalar(0.5)
+}
+
+/// Batch-local variant (both directions use in-batch argmax targets) —
+/// retained for components without access to global image embeddings.
+pub fn batch_local_contrastive_loss(logits: &Tensor) -> Tensor {
+    let targets_v = no_grad(|| logits.argmax_rows());
+    unsupervised_contrastive_loss(logits, &targets_v)
+}
+
+/// Supervised variant used by baselines with labels (e.g. GPPT): targets
+/// are given.
+pub fn supervised_contrastive_loss(logits: &Tensor, targets: &[usize]) -> Tensor {
+    logits.cross_entropy_rows(targets)
+}
+
+/// Eq. 9: `‖F·Fᵀ − I‖_F1` over a stacked prompt matrix `F ∈ [B, d]`.
+/// Rows are L2-normalised first so the diagonal is exactly 1 and the
+/// constraint purely penalises cross-prompt alignment.
+pub fn orthogonal_loss(prompts: &Tensor) -> Tensor {
+    let (b, _) = prompts.shape().as_matrix();
+    let normed = prompts.l2_normalize_rows();
+    let gram = normed.matmul_nt(&normed); // [B, B]
+    gram.sub(&Tensor::eye(b)).abs().sum().mul_scalar(1.0 / (b * b) as f32)
+}
+
+/// Eq. 10: `β·L_con + (1−β)·L_o`. Pass `None` for `l_o` when the prompt
+/// kind has no constraint (hard/baseline) — then `L = L_con` regardless of β.
+pub fn combined_loss(l_con: Tensor, l_o: Option<Tensor>, beta: f32) -> Tensor {
+    match l_o {
+        Some(lo) => l_con.mul_scalar(beta).add(&lo.mul_scalar(1.0 - beta)),
+        None => l_con,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contrastive_sharpens_confident_matches() {
+        // Logits where vertex 0 prefers image 1, vertex 1 prefers image 0.
+        let logits = Tensor::from_vec(vec![0.1, 2.0, 0.0, 3.0, 0.2, 0.1], &[2, 3]).requires_grad();
+        let loss = batch_local_contrastive_loss(&logits);
+        assert!(loss.item() > 0.0);
+        loss.backward();
+        let g = logits.grad().unwrap();
+        // Gradient pushes the chosen entries up (negative gradient).
+        assert!(g[1] < 0.0, "pseudo-positive (0,1) should be reinforced");
+        assert!(g[3] < 0.0, "pseudo-positive (1,0) should be reinforced");
+    }
+
+    #[test]
+    fn contrastive_loss_shrinks_with_confidence() {
+        let soft = Tensor::from_vec(vec![0.1, 0.2, 0.2, 0.1], &[2, 2]);
+        let sharp = Tensor::from_vec(vec![5.0, -5.0, -5.0, 5.0], &[2, 2]);
+        assert!(
+            batch_local_contrastive_loss(&sharp).item()
+                < batch_local_contrastive_loss(&soft).item()
+        );
+    }
+
+    #[test]
+    fn supervised_variant_uses_given_targets() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]);
+        let right = supervised_contrastive_loss(&logits, &[0, 1]).item();
+        let wrong = supervised_contrastive_loss(&logits, &[1, 0]).item();
+        assert!(right < wrong);
+    }
+
+    #[test]
+    fn orthogonal_loss_zero_for_orthonormal_rows() {
+        let prompts = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert!(orthogonal_loss(&prompts).item() < 1e-5);
+    }
+
+    #[test]
+    fn orthogonal_loss_penalises_aligned_rows() {
+        let aligned = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0], &[2, 2]);
+        let orthogonal = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert!(orthogonal_loss(&aligned).item() > orthogonal_loss(&orthogonal).item());
+    }
+
+    #[test]
+    fn orthogonal_loss_is_scale_invariant_via_normalisation() {
+        let a = Tensor::from_vec(vec![1.0, 0.2, 0.2, 1.0], &[2, 2]);
+        let b = a.mul_scalar(10.0);
+        assert!((orthogonal_loss(&a).item() - orthogonal_loss(&b).item()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn combined_loss_mixes_by_beta() {
+        let lc = Tensor::scalar(2.0);
+        let lo = Tensor::scalar(4.0);
+        let mixed = combined_loss(lc.clone(), Some(lo), 0.75).item();
+        assert!((mixed - (0.75 * 2.0 + 0.25 * 4.0)).abs() < 1e-6);
+        let without = combined_loss(lc, None, 0.75).item();
+        assert!((without - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_loss_gradient_flows() {
+        let prompts =
+            Tensor::from_vec(vec![1.0, 0.5, 0.8, 0.7, 0.2, 0.9], &[2, 3]).requires_grad();
+        orthogonal_loss(&prompts).backward();
+        assert!(prompts.grad().is_some());
+    }
+}

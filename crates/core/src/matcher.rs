@@ -1,0 +1,129 @@
+//! Matching probabilities (Eq. 4), image ranking, and matching-set
+//! extraction (Def. 2's set `S`).
+
+use cem_tensor::Tensor;
+
+/// Rank image indices for every query row of a score matrix `[N, M]`,
+/// best first, truncated to `top_k` (0 = keep all).
+pub fn rank_images(scores: &Tensor, top_k: usize) -> Vec<Vec<usize>> {
+    let (n, m) = scores.shape().as_matrix();
+    let data = scores.data();
+    let keep = if top_k == 0 { m } else { top_k.min(m) };
+    (0..n)
+        .map(|r| {
+            let row = &data[r * m..(r + 1) * m];
+            let mut idx: Vec<usize> = (0..m).collect();
+            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+            idx.truncate(keep);
+            idx
+        })
+        .collect()
+}
+
+/// The extracted matching set `S = {(x_i, x_j)}` with scores.
+#[derive(Debug, Clone)]
+pub struct MatchingSet {
+    /// `(entity index, image index, matching probability)`.
+    pub pairs: Vec<(usize, usize, f32)>,
+}
+
+impl MatchingSet {
+    /// Take the top-1 image per entity from a matching-probability matrix
+    /// (Eq. 4 output) — the "matching pair" decision of Def. 1.
+    pub fn top1(probabilities: &Tensor) -> MatchingSet {
+        let (n, m) = probabilities.shape().as_matrix();
+        let data = probabilities.data();
+        let pairs = (0..n)
+            .map(|r| {
+                let row = &data[r * m..(r + 1) * m];
+                let mut best = 0usize;
+                for (j, v) in row.iter().enumerate() {
+                    if *v > row[best] {
+                        best = j;
+                    }
+                }
+                (r, best, row[best])
+            })
+            .collect();
+        MatchingSet { pairs }
+    }
+
+    /// Keep all pairs whose matching probability exceeds `threshold`.
+    pub fn thresholded(probabilities: &Tensor, threshold: f32) -> MatchingSet {
+        let (n, m) = probabilities.shape().as_matrix();
+        let data = probabilities.data();
+        let mut pairs = Vec::new();
+        for r in 0..n {
+            for j in 0..m {
+                let p = data[r * m + j];
+                if p > threshold {
+                    pairs.push((r, j, p));
+                }
+            }
+        }
+        MatchingSet { pairs }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Precision against a gold predicate.
+    pub fn precision(&self, mut is_gold: impl FnMut(usize, usize) -> bool) -> f32 {
+        if self.pairs.is_empty() {
+            return 0.0;
+        }
+        let correct = self.pairs.iter().filter(|&&(e, i, _)| is_gold(e, i)).count();
+        correct as f32 / self.pairs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores() -> Tensor {
+        Tensor::from_vec(vec![0.1, 0.7, 0.2, 0.5, 0.3, 0.2], &[2, 3])
+    }
+
+    #[test]
+    fn ranking_orders_descending() {
+        let r = rank_images(&scores(), 0);
+        assert_eq!(r[0], vec![1, 2, 0]);
+        assert_eq!(r[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ranking_truncates() {
+        let r = rank_images(&scores(), 2);
+        assert_eq!(r[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn top1_picks_row_max() {
+        let s = MatchingSet::top1(&scores());
+        assert_eq!(s.pairs[0].0, 0);
+        assert_eq!(s.pairs[0].1, 1);
+        assert_eq!(s.pairs[1].1, 0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn threshold_filters_pairs() {
+        let s = MatchingSet::thresholded(&scores(), 0.45);
+        assert_eq!(s.len(), 2); // 0.7 and 0.5
+        assert!(s.pairs.iter().all(|&(_, _, p)| p > 0.45));
+    }
+
+    #[test]
+    fn precision_counts_gold() {
+        let s = MatchingSet::top1(&scores());
+        let p = s.precision(|e, i| e == 0 && i == 1);
+        assert!((p - 0.5).abs() < 1e-6);
+        assert_eq!(MatchingSet { pairs: vec![] }.precision(|_, _| true), 0.0);
+    }
+}

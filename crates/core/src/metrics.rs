@@ -1,0 +1,212 @@
+//! Evaluation metrics: Hits@k and Mean Reciprocal Rank over ranked image
+//! lists (paper Sec. V-A: "Hits@k (k=1,3,5) and MRR are employed for the
+//! accuracy evaluation").
+
+/// Accuracy metrics over a set of queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    pub hits_at_1: f32,
+    pub hits_at_3: f32,
+    pub hits_at_5: f32,
+    pub mrr: f32,
+    pub queries: usize,
+}
+
+impl Metrics {
+    /// Hits@k for the three standard cutoffs.
+    pub fn hits(&self, k: usize) -> f32 {
+        match k {
+            1 => self.hits_at_1,
+            3 => self.hits_at_3,
+            5 => self.hits_at_5,
+            _ => panic!("only k ∈ {{1,3,5}} are tracked"),
+        }
+    }
+
+    /// Render as a paper-style table row (percentages + MRR).
+    pub fn row(&self) -> String {
+        format!(
+            "H@1 {:5.2}  H@3 {:5.2}  H@5 {:5.2}  MRR {:.2}",
+            self.hits_at_1 * 100.0,
+            self.hits_at_3 * 100.0,
+            self.hits_at_5 * 100.0,
+            self.mrr
+        )
+    }
+}
+
+/// Evaluate ranked image lists against gold sets.
+///
+/// `rankings[q]` is the list of image indices for query `q`, best first
+/// (it may be a truncated top-k list, as long as it is at least 5 deep or
+/// exhausts the repository). `is_gold(q, image)` defines relevance. The rank
+/// of the *first* relevant image drives both metrics, the standard protocol
+/// when an entity has several gold images.
+pub fn evaluate_rankings(
+    rankings: &[Vec<usize>],
+    mut is_gold: impl FnMut(usize, usize) -> bool,
+) -> Metrics {
+    assert!(!rankings.is_empty(), "no queries to evaluate");
+    let mut h1 = 0usize;
+    let mut h3 = 0usize;
+    let mut h5 = 0usize;
+    let mut rr_sum = 0.0f64;
+    for (q, ranking) in rankings.iter().enumerate() {
+        let first_hit = ranking.iter().position(|&img| is_gold(q, img));
+        if let Some(rank0) = first_hit {
+            let rank = rank0 + 1;
+            if rank <= 1 {
+                h1 += 1;
+            }
+            if rank <= 3 {
+                h3 += 1;
+            }
+            if rank <= 5 {
+                h5 += 1;
+            }
+            rr_sum += 1.0 / rank as f64;
+        }
+    }
+    let n = rankings.len() as f32;
+    Metrics {
+        hits_at_1: h1 as f32 / n,
+        hits_at_3: h3 as f32 / n,
+        hits_at_5: h5 as f32 / n,
+        mrr: (rr_sum / rankings.len() as f64) as f32,
+        queries: rankings.len(),
+    }
+}
+
+/// A bootstrap confidence interval for MRR over queries.
+#[derive(Debug, Clone, Copy)]
+pub struct ConfidenceInterval {
+    pub mean: f32,
+    pub lo: f32,
+    pub hi: f32,
+    pub resamples: usize,
+}
+
+/// Percentile-bootstrap CI of the MRR. Resamples queries with replacement
+/// `resamples` times; `level` is the two-sided confidence level (e.g. 0.95).
+/// Useful because the harness scales are small enough that single-run
+/// differences of a few points can be noise — the harness can report the CI
+/// alongside the point estimate.
+pub fn bootstrap_mrr_ci<R: rand::Rng>(
+    rankings: &[Vec<usize>],
+    mut is_gold: impl FnMut(usize, usize) -> bool,
+    resamples: usize,
+    level: f32,
+    rng: &mut R,
+) -> ConfidenceInterval {
+    assert!(!rankings.is_empty(), "no queries");
+    assert!((0.0..1.0).contains(&level) || level == 0.0 || level < 1.0, "level in (0,1)");
+    assert!(resamples >= 10, "too few resamples for a CI");
+    // Per-query reciprocal ranks, computed once.
+    let rr: Vec<f32> = rankings
+        .iter()
+        .enumerate()
+        .map(|(q, ranking)| {
+            ranking
+                .iter()
+                .position(|&img| is_gold(q, img))
+                .map(|r| 1.0 / (r + 1) as f32)
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let n = rr.len();
+    let mean = rr.iter().sum::<f32>() / n as f32;
+    let mut means: Vec<f32> = (0..resamples)
+        .map(|_| {
+            let mut total = 0.0f32;
+            for _ in 0..n {
+                total += rr[rng.gen_range(0..n)];
+            }
+            total / n as f32
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f32) * alpha) as usize;
+    let hi_idx = (((resamples as f32) * (1.0 - alpha)) as usize).min(resamples - 1);
+    ConfidenceInterval { mean, lo: means[lo_idx], hi: means[hi_idx], resamples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_rankings() {
+        let rankings = vec![vec![0, 1, 2], vec![1, 0, 2]];
+        let m = evaluate_rankings(&rankings, |q, img| (q == 0 && img == 0) || (q == 1 && img == 1));
+        assert_eq!(m.hits_at_1, 1.0);
+        assert_eq!(m.hits_at_3, 1.0);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.queries, 2);
+    }
+
+    #[test]
+    fn rank_three_hit() {
+        let rankings = vec![vec![5, 6, 7, 8, 9]];
+        let m = evaluate_rankings(&rankings, |_, img| img == 7);
+        assert_eq!(m.hits_at_1, 0.0);
+        assert_eq!(m.hits_at_3, 1.0);
+        assert_eq!(m.hits_at_5, 1.0);
+        assert!((m.mrr - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn miss_contributes_zero() {
+        let rankings = vec![vec![1, 2], vec![3, 4]];
+        let m = evaluate_rankings(&rankings, |q, img| q == 0 && img == 1);
+        assert_eq!(m.hits_at_1, 0.5);
+        assert_eq!(m.mrr, 0.5);
+    }
+
+    #[test]
+    fn first_relevant_drives_metrics_with_multiple_golds() {
+        let rankings = vec![vec![9, 4, 7]];
+        // Both 4 and 7 are gold; rank of first (2) counts.
+        let m = evaluate_rankings(&rankings, |_, img| img == 4 || img == 7);
+        assert!((m.mrr - 0.5).abs() < 1e-6);
+        assert_eq!(m.hits_at_3, 1.0);
+    }
+
+    #[test]
+    fn row_renders_percentages() {
+        let m = Metrics { hits_at_1: 0.82, hits_at_3: 0.94, hits_at_5: 0.96, mrr: 0.86, queries: 50 };
+        let row = m.row();
+        assert!(row.contains("82.00"));
+        assert!(row.contains("0.86"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no queries")]
+    fn empty_rankings_panic() {
+        evaluate_rankings(&[], |_, _| false);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let rankings: Vec<Vec<usize>> = (0..20).map(|_| (0..10).collect()).collect();
+        // Half the queries hit at rank 1, half at rank 2.
+        let mut rng = StdRng::seed_from_u64(0);
+        let ci = bootstrap_mrr_ci(&rankings, |q, img| img == (q % 2), 500, 0.95, &mut rng);
+        assert!((ci.mean - 0.75).abs() < 1e-5);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        assert!(ci.hi - ci.lo < 0.3, "CI implausibly wide: {ci:?}");
+        assert_eq!(ci.resamples, 500);
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_when_all_queries_identical() {
+        let rankings: Vec<Vec<usize>> = (0..8).map(|_| vec![0, 1]).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ci = bootstrap_mrr_ci(&rankings, |_, img| img == 0, 100, 0.9, &mut rng);
+        assert_eq!(ci.mean, 1.0);
+        assert_eq!(ci.lo, 1.0);
+        assert_eq!(ci.hi, 1.0);
+    }
+}

@@ -1,0 +1,332 @@
+//! PCP — property-based closeness partition (paper Alg. 2, Fig. 7).
+//!
+//! Phase 1 extracts *property* features: one vector per graph vertex (from
+//! the pre-trained text tower) and one per image patch (from the frozen
+//! image tower), giving the property-closeness matrix `S_c = A × Cᵀ`.
+//! Phase 2 folds `S_c` into a pairwise proximity `S(v, I)` (Eq. 8): each
+//! neighbour of `v` contributes its best-matching patch of `I`. Phase 3
+//! randomly splits vertices into `k1` subsets, prunes images with low
+//! proximity to the subset, and k-means-clusters the survivors by their
+//! proximity distribution so images with similar matching behaviour share a
+//! mini-batch.
+
+use cem_clip::{Clip, Image, Tokenizer};
+use cem_data::EmDataset;
+use cem_graph::d_hop_subgraph;
+use cem_tensor::no_grad;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::PlusConfig;
+use crate::kmeans::{clusters_of, kmeans};
+
+/// One mini-batch partition `(V_i, I_j)`, holding entity indices and image
+/// indices into the dataset.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub vertices: Vec<usize>,
+    pub images: Vec<usize>,
+}
+
+impl Partition {
+    pub fn pair_count(&self) -> usize {
+        self.vertices.len() * self.images.len()
+    }
+}
+
+/// Output of mini-batch generation.
+#[derive(Debug, Clone)]
+pub struct Pcp {
+    pub partitions: Vec<Partition>,
+    /// Pairwise proximity `S[entity][image]` (Eq. 8) — reused by negative
+    /// sampling.
+    pub proximity: Vec<Vec<f32>>,
+    /// Candidate pairs surviving the pruning, for complexity accounting.
+    pub surviving_pairs: usize,
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Phase 1+2: the pairwise proximity matrix `S(v, I)` for all entities and
+/// images. Exposed separately because negative sampling needs it even when
+/// MBG itself is ablated (`CrossEM⁺ w/o MBG`).
+pub fn pairwise_proximity(
+    clip: &Clip,
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    hops: usize,
+) -> Vec<Vec<f32>> {
+    no_grad(|| {
+        // Phase 1a: label features A for every graph vertex.
+        let label_features: Vec<Vec<f32>> = dataset
+            .graph
+            .vertices()
+            .map(|v| {
+                let (ids, _) = tokenizer.encode(dataset.graph.vertex_label(v), 16);
+                clip.text.encode_ids(&ids).l2_normalize_rows().to_vec()
+            })
+            .collect();
+
+        // Phase 1b: patch features C for every image patch.
+        let patch_features: Vec<Vec<Vec<f32>>> = dataset
+            .images
+            .iter()
+            .map(|image| {
+                (0..image.n_patches())
+                    .map(|p| {
+                        let single = Image::from_patches(vec![image.patch(p).to_vec()]);
+                        clip.image.encode(&single).l2_normalize_rows().to_vec()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Phase 2: S(v, I) = Σ_{v_j ∈ N(v)} max_{c_k ∈ P(I)} <A[v_j], C[c_k]>.
+        dataset
+            .entities
+            .iter()
+            .map(|&v| {
+                let sub = d_hop_subgraph(&dataset.graph, v, hops);
+                let neighborhood: Vec<&Vec<f32>> =
+                    sub.vertices.iter().map(|u| &label_features[u.0]).collect();
+                patch_features
+                    .iter()
+                    .map(|patches| {
+                        neighborhood
+                            .iter()
+                            .map(|feat| {
+                                patches
+                                    .iter()
+                                    .map(|p| dot(feat, p))
+                                    .fold(f32::NEG_INFINITY, f32::max)
+                            })
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+/// Phase 3 over a precomputed proximity matrix: random vertex subsets,
+/// image pruning at the `prune_quantile`, and k-means over proximity
+/// distributions.
+pub fn partition_by_proximity<R: Rng>(
+    proximity: &[Vec<f32>],
+    config: &PlusConfig,
+    rng: &mut R,
+) -> Pcp {
+    config.validate();
+    let n_entities = proximity.len();
+    assert!(n_entities > 0, "no entities to partition");
+    let n_images = proximity[0].len();
+
+    let mut entity_order: Vec<usize> = (0..n_entities).collect();
+    entity_order.shuffle(rng);
+    let subset_size = n_entities.div_ceil(config.vertex_subsets);
+
+    let mut partitions = Vec::new();
+    let mut surviving_pairs = 0usize;
+    for subset in entity_order.chunks(subset_size) {
+        // Image score w.r.t. this subset: best proximity to any member.
+        let mut scored: Vec<(usize, f32)> = (0..n_images)
+            .map(|i| {
+                let s = subset
+                    .iter()
+                    .map(|&v| proximity[v][i])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                (i, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let prune = ((n_images as f32) * config.prune_quantile) as usize;
+        let survivors: Vec<usize> = scored[prune.min(n_images.saturating_sub(1))..]
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        if survivors.is_empty() {
+            continue;
+        }
+
+        // Proximity distribution per surviving image (normalised over the
+        // subset's vertices).
+        let distributions: Vec<Vec<f32>> = survivors
+            .iter()
+            .map(|&i| {
+                let raw: Vec<f32> = subset.iter().map(|&v| proximity[v][i]).collect();
+                let min = raw.iter().copied().fold(f32::INFINITY, f32::min);
+                let shifted: Vec<f32> = raw.iter().map(|x| x - min + 1e-6).collect();
+                let total: f32 = shifted.iter().sum();
+                shifted.iter().map(|x| x / total).collect()
+            })
+            .collect();
+
+        let result = kmeans(&distributions, config.image_clusters, 25, rng);
+        let mut clusters = clusters_of(&result, config.image_clusters);
+        clusters.shuffle(rng);
+        for cluster in clusters {
+            if cluster.is_empty() {
+                continue;
+            }
+            let images: Vec<usize> = cluster.iter().map(|&c| survivors[c]).collect();
+            surviving_pairs += subset.len() * images.len();
+            partitions.push(Partition { vertices: subset.to_vec(), images });
+        }
+    }
+    partitions.shuffle(rng);
+    Pcp { partitions, proximity: proximity.to_vec(), surviving_pairs }
+}
+
+/// Full Alg. 2: phases 1–3.
+pub fn minibatch_generation<R: Rng>(
+    clip: &Clip,
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    hops: usize,
+    config: &PlusConfig,
+    rng: &mut R,
+) -> Pcp {
+    let proximity = pairwise_proximity(clip, tokenizer, dataset, hops);
+    partition_by_proximity(&proximity, config, rng)
+}
+
+/// The ablation control (`CrossEM⁺ w/o MBG`): random partitions of the same
+/// granularity, no pruning, no locality.
+pub fn random_partitions<R: Rng>(
+    n_entities: usize,
+    n_images: usize,
+    config: &PlusConfig,
+    rng: &mut R,
+) -> Vec<Partition> {
+    let mut entity_order: Vec<usize> = (0..n_entities).collect();
+    let mut image_order: Vec<usize> = (0..n_images).collect();
+    entity_order.shuffle(rng);
+    image_order.shuffle(rng);
+    let subset_size = n_entities.div_ceil(config.vertex_subsets);
+    let cluster_size = n_images.div_ceil(config.image_clusters);
+    let mut partitions = Vec::new();
+    for subset in entity_order.chunks(subset_size) {
+        for cluster in image_order.chunks(cluster_size) {
+            partitions.push(Partition { vertices: subset.to_vec(), images: cluster.to_vec() });
+        }
+    }
+    partitions.shuffle(rng);
+    partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn uniform_proximity(entities: usize, images: usize) -> Vec<Vec<f32>> {
+        // Block-diagonal-ish: entity e prefers images with i % entities == e.
+        (0..entities)
+            .map(|e| {
+                (0..images)
+                    .map(|i| if i % entities == e { 1.0 } else { 0.1 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_cover_only_surviving_images() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let prox = uniform_proximity(8, 40);
+        let config = PlusConfig { vertex_subsets: 2, image_clusters: 3, prune_quantile: 0.25, ..PlusConfig::default() };
+        let pcp = partition_by_proximity(&prox, &config, &mut rng);
+        assert!(!pcp.partitions.is_empty());
+        let full_pairs = 8 * 40;
+        assert!(pcp.surviving_pairs < full_pairs, "pruning had no effect");
+        for p in &pcp.partitions {
+            assert!(!p.vertices.is_empty());
+            assert!(!p.images.is_empty());
+            assert_eq!(p.pair_count(), p.vertices.len() * p.images.len());
+        }
+    }
+
+    #[test]
+    fn every_entity_appears_in_some_partition() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let prox = uniform_proximity(10, 30);
+        let pcp = partition_by_proximity(&prox, &PlusConfig::default(), &mut rng);
+        let mut seen = [false; 10];
+        for p in &pcp.partitions {
+            for &v in &p.vertices {
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "entity lost by partitioning");
+    }
+
+    #[test]
+    fn high_proximity_images_survive_pruning() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Image 0 is loved by everyone; image 1 by no one.
+        let prox: Vec<Vec<f32>> = (0..4)
+            .map(|_| {
+                let mut row = vec![0.2; 20];
+                row[0] = 5.0;
+                row[1] = -5.0;
+                row
+            })
+            .collect();
+        let config = PlusConfig { vertex_subsets: 1, prune_quantile: 0.4, ..PlusConfig::default() };
+        let pcp = partition_by_proximity(&prox, &config, &mut rng);
+        let all_images: Vec<usize> =
+            pcp.partitions.iter().flat_map(|p| p.images.clone()).collect();
+        assert!(all_images.contains(&0), "best image was pruned");
+        assert!(!all_images.contains(&1), "worst image survived");
+    }
+
+    #[test]
+    fn random_partitions_cover_everything() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let parts = random_partitions(7, 13, &PlusConfig::default(), &mut rng);
+        let mut v_seen = [false; 7];
+        let mut i_seen = [false; 13];
+        for p in &parts {
+            for &v in &p.vertices {
+                v_seen[v] = true;
+            }
+            for &i in &p.images {
+                i_seen[i] = true;
+            }
+        }
+        assert!(v_seen.iter().all(|&s| s));
+        assert!(i_seen.iter().all(|&s| s));
+        // Random partitioning prunes nothing.
+        let pairs: usize = parts.iter().map(Partition::pair_count).sum();
+        assert_eq!(pairs, 7 * 13);
+    }
+
+    #[test]
+    fn clustering_groups_similarly_matched_images() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Two clean image populations: ones matching entity 0, others
+        // matching entity 1.
+        let row0: Vec<f32> = (0..20).map(|i| if i < 10 { 2.0 } else { 0.1 }).collect();
+        let row1: Vec<f32> = (0..20).map(|i| if i < 10 { 0.1 } else { 2.0 }).collect();
+        let prox = vec![row0, row1];
+        let config = PlusConfig {
+            vertex_subsets: 1,
+            image_clusters: 2,
+            prune_quantile: 0.0,
+            ..PlusConfig::default()
+        };
+        let pcp = partition_by_proximity(&prox, &config, &mut rng);
+        // Each partition's images should be homogeneous (all < 10 or ≥ 10).
+        for p in &pcp.partitions {
+            let low = p.images.iter().filter(|&&i| i < 10).count();
+            assert!(
+                low == 0 || low == p.images.len(),
+                "mixed cluster: {:?}",
+                p.images
+            );
+        }
+    }
+}

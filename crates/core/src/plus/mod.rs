@@ -1,0 +1,19 @@
+//! CrossEM⁺ (paper Sec. IV): three optimisations that make prompt tuning
+//! tractable on large heterogeneous data —
+//!
+//! 1. [`minibatch`] — PCP mini-batch generation (Alg. 2): partition
+//!    candidate pairs so entities and their associated images land in the
+//!    same mini-batch and unrelated pairs are pruned.
+//! 2. [`negsample`] — property-based negative sampling (Alg. 3): inject
+//!    hard negatives (high property proximity, different entity) into each
+//!    partition.
+//! 3. The orthogonal prompt constraint (Eq. 9–10), wired into the training
+//!    loss by [`trainer::CrossEmPlus`].
+
+pub mod minibatch;
+pub mod negsample;
+pub mod trainer;
+
+pub use minibatch::{minibatch_generation, Partition, Pcp};
+pub use negsample::negative_sampling;
+pub use trainer::{CrossEmPlus, PlusReport};

@@ -1,0 +1,144 @@
+//! Property-based negative sampling (paper Alg. 3).
+//!
+//! Default contrastive training samples negatives uniformly; that wastes
+//! capacity on easy negatives. This pass injects *hard* negatives into each
+//! partition: images with high property proximity to the partition's
+//! vertices that are nevertheless outside the partition. Batches are padded
+//! to a multiple of the batch size and shuffled at every level (pairs,
+//! batches, partitions) per Alg. 3 lines 3, 16, 17.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::plus::minibatch::Partition;
+
+/// Enrich `partitions` with hard negative images. `proximity` is the
+/// `S(v, I)` matrix from Alg. 2; `batch_images` is the batch size `N`
+/// whose multiple each partition's image count is padded to; `top_k`
+/// bounds the per-vertex candidate pool (Alg. 3 draws a random `k`, here
+/// `1..=top_k`).
+pub fn negative_sampling<R: Rng>(
+    partitions: &mut [Partition],
+    proximity: &[Vec<f32>],
+    batch_images: usize,
+    top_k: usize,
+    rng: &mut R,
+) {
+    assert!(batch_images >= 1, "batch size must be positive");
+    assert!(top_k >= 1, "top_k must be positive");
+    for partition in partitions.iter_mut() {
+        let have = partition.images.len();
+        let target = have.div_ceil(batch_images) * batch_images;
+        let mut needed = target - have;
+        if needed == 0 {
+            partition.images.shuffle(rng);
+            continue;
+        }
+
+        let inside: std::collections::HashSet<usize> =
+            partition.images.iter().copied().collect();
+        // Candidate hard negatives: per vertex, its top-k' images by
+        // proximity that are outside the partition.
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut seen = inside.clone();
+        for &v in &partition.vertices {
+            let k = rng.gen_range(1..=top_k);
+            let row = &proximity[v];
+            let mut order: Vec<usize> = (0..row.len()).collect();
+            order.sort_by(|&a, &b| {
+                row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for i in order.into_iter().take(k) {
+                if seen.insert(i) {
+                    candidates.push(i);
+                }
+            }
+        }
+        candidates.shuffle(rng);
+        for image in candidates {
+            if needed == 0 {
+                break;
+            }
+            partition.images.push(image);
+            needed -= 1;
+        }
+        partition.images.shuffle(rng);
+    }
+    partitions.shuffle(rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn proximity() -> Vec<Vec<f32>> {
+        // 3 entities × 12 images; entity v strongly prefers images 4v..4v+3.
+        (0..3)
+            .map(|v| {
+                (0..12)
+                    .map(|i| if i / 4 == v { 2.0 + (i % 4) as f32 * 0.1 } else { 0.1 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pads_to_multiple_of_batch_size() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut parts = vec![Partition { vertices: vec![0, 1], images: vec![0, 1, 2] }];
+        negative_sampling(&mut parts, &proximity(), 4, 3, &mut rng);
+        assert_eq!(parts[0].images.len(), 4);
+    }
+
+    #[test]
+    fn exact_multiple_is_left_alone() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut parts = vec![Partition { vertices: vec![0], images: vec![0, 1, 2, 3] }];
+        negative_sampling(&mut parts, &proximity(), 4, 3, &mut rng);
+        assert_eq!(parts[0].images.len(), 4);
+        let mut images = parts[0].images.clone();
+        images.sort_unstable();
+        assert_eq!(images, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sampled_negatives_are_high_proximity_outsiders() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Partition for entity 0 currently holds only image 8 (a low-prox
+        // image); padding should pull in entity 0's top images (0..4).
+        let mut parts = vec![Partition { vertices: vec![0], images: vec![8] }];
+        negative_sampling(&mut parts, &proximity(), 4, 4, &mut rng);
+        // Alg. 3 draws a random k ∈ 1..=top_k per vertex, so the pool may
+        // run dry before reaching the padding target — but it never
+        // overshoots, and everything added must be a top image of entity 0.
+        assert!(parts[0].images.len() <= 4);
+        assert!(parts[0].images.len() > 1, "no negatives added at all");
+        let added: Vec<usize> =
+            parts[0].images.iter().copied().filter(|&i| i != 8).collect();
+        assert!(added.iter().all(|&i| i < 4), "added non-top negatives: {added:?}");
+    }
+
+    #[test]
+    fn no_duplicate_images_after_sampling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut parts = vec![Partition { vertices: vec![0, 1, 2], images: vec![0, 4, 8] }];
+        negative_sampling(&mut parts, &proximity(), 8, 4, &mut rng);
+        let mut images = parts[0].images.clone();
+        let before = images.len();
+        images.sort_unstable();
+        images.dedup();
+        assert_eq!(images.len(), before, "duplicate images injected");
+    }
+
+    #[test]
+    fn candidate_exhaustion_is_not_fatal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Tiny repository: padding target may exceed what exists.
+        let prox = vec![vec![1.0, 0.5]];
+        let mut parts = vec![Partition { vertices: vec![0], images: vec![0] }];
+        negative_sampling(&mut parts, &prox, 8, 2, &mut rng);
+        assert!(parts[0].images.len() <= 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! The CrossEM⁺ training loop: Algorithm 1 with PCP partitions, hard
+//! negative sampling, and the orthogonal prompt constraint.
+
+use std::time::Instant;
+
+use cem_clip::{Clip, Tokenizer};
+use cem_data::EmDataset;
+use cem_tensor::memory;
+use cem_tensor::optim::AdamW;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::{PlusConfig, TrainConfig};
+use crate::metrics::Metrics;
+use crate::plus::minibatch::{
+    pairwise_proximity, partition_by_proximity, random_partitions,
+    Partition,
+};
+use crate::plus::negsample::negative_sampling;
+use crate::trainer::{CrossEm, EpochStats, TrainReport};
+
+/// Training outcome including the one-time preprocessing cost.
+#[derive(Debug, Clone)]
+pub struct PlusReport {
+    pub train: TrainReport,
+    /// Seconds spent in mini-batch generation + negative sampling.
+    pub prep_seconds: f64,
+    /// Candidate pairs per epoch after pruning (vs. `|V|·|I|` for plain
+    /// CrossEM) — the quantity behind the paper's complexity claim.
+    pub pairs_per_epoch: usize,
+    pub partitions: usize,
+}
+
+/// CrossEM⁺: wraps the base matcher with the Sec. IV optimisations.
+pub struct CrossEmPlus<'a> {
+    base: CrossEm<'a>,
+    plus: PlusConfig,
+}
+
+impl<'a> CrossEmPlus<'a> {
+    pub fn new<R: Rng>(
+        clip: &'a Clip,
+        tokenizer: &'a Tokenizer,
+        dataset: &'a EmDataset,
+        config: TrainConfig,
+        plus: PlusConfig,
+        rng: &mut R,
+    ) -> Self {
+        plus.validate();
+        let mut base = CrossEm::new(clip, tokenizer, dataset, config, rng);
+        base.orthogonal = plus.orthogonal_constraint;
+        CrossEmPlus { base, plus }
+    }
+
+    pub fn base(&self) -> &CrossEm<'a> {
+        &self.base
+    }
+
+    pub fn plus_config(&self) -> &PlusConfig {
+        &self.plus
+    }
+
+    /// Build the training partitions according to the enabled
+    /// optimisations. Returns the partitions and the proximity matrix (if
+    /// it was needed).
+    fn prepare_partitions<R: Rng>(&self, rng: &mut R) -> Vec<Partition> {
+        let dataset = self.base.dataset();
+        let needs_proximity = self.plus.minibatch_generation || self.plus.negative_sampling;
+        let proximity = if needs_proximity {
+            Some(pairwise_proximity(
+                self.base.clip(),
+                self.base.tokenizer(),
+                dataset,
+                self.base.config().hops,
+            ))
+        } else {
+            None
+        };
+
+        let mut partitions = if self.plus.minibatch_generation {
+            partition_by_proximity(proximity.as_ref().unwrap(), &self.plus, rng).partitions
+        } else {
+            random_partitions(dataset.entity_count(), dataset.image_count(), &self.plus, rng)
+        };
+
+        if self.plus.negative_sampling {
+            negative_sampling(
+                &mut partitions,
+                proximity.as_ref().unwrap(),
+                self.base.config().batch_images,
+                self.plus.negative_top_k,
+                rng,
+            );
+        }
+        partitions
+    }
+
+    /// Run the CrossEM⁺ training loop.
+    pub fn train<R: Rng>(&self, rng: &mut R) -> PlusReport {
+        let prep_start = Instant::now();
+        let mut partitions = self.prepare_partitions(rng);
+        let prep_seconds = prep_start.elapsed().as_secs_f64();
+        let pairs_per_epoch: usize = partitions.iter().map(Partition::pair_count).sum();
+
+        let config = *self.base.config();
+        let mut opt = AdamW::new(self.base.trainable_params(), config.lr);
+        let mut train = TrainReport::default();
+
+        for _epoch in 0..config.epochs {
+            memory::reset_peak();
+            let start = Instant::now();
+            partitions.shuffle(rng);
+            let mut loss_sum = 0.0f32;
+            let mut batches = 0usize;
+            for partition in &partitions {
+                for vertex_chunk in partition.vertices.chunks(config.batch_vertices) {
+                    for image_chunk in partition.images.chunks(config.batch_images) {
+                        if image_chunk.len() < 2 {
+                            continue;
+                        }
+                        loss_sum += self.base.train_step(&mut opt, vertex_chunk, image_chunk);
+                        batches += 1;
+                    }
+                }
+            }
+            train.epochs.push(EpochStats {
+                seconds: start.elapsed().as_secs_f64(),
+                peak_bytes: memory::peak_bytes(),
+                mean_loss: if batches > 0 { loss_sum / batches as f32 } else { f32::NAN },
+                batches,
+            });
+        }
+
+        PlusReport { train, prep_seconds, pairs_per_epoch, partitions: partitions.len() }
+    }
+
+    /// Evaluate with the tuned prompts (same protocol as CrossEM).
+    pub fn evaluate(&self) -> Metrics {
+        self.base.evaluate()
+    }
+
+    /// Full matching-probability matrix (Eq. 4).
+    pub fn matching_matrix(&self) -> cem_tensor::Tensor {
+        self.base.matching_matrix()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PromptKind;
+    use cem_clip::ClipConfig;
+    use cem_data::AttributePool;
+    use cem_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn micro() -> (Clip, Tokenizer, EmDataset, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut graph = Graph::new();
+        let mut entities = Vec::new();
+        let mut classes = Vec::new();
+        for (name, attr) in
+            [("white bird", "white"), ("black bird", "black"), ("grey bird", "grey")]
+        {
+            let v = graph.add_vertex(name);
+            let a = graph.add_vertex(attr);
+            graph.add_edge(v, a, "has color");
+            entities.push(v);
+            classes.push(cem_data::ClassSpec {
+                name: name.into(),
+                signature: vec![("color".into(), attr.into())],
+                name_reveals: 1,
+            });
+        }
+        let tokenizer =
+            Tokenizer::build(["a photo of white black grey bird has color in and"]);
+        let mk_img = |seed: f32| {
+            cem_clip::Image::from_patches(vec![vec![seed; 6], vec![-seed * 0.3; 6]])
+        };
+        let images: Vec<cem_clip::Image> =
+            (0..9).map(|i| mk_img((i as f32 - 4.0) * 0.5)).collect();
+        let image_gold = (0..9).map(|i| i % 3).collect();
+        let dataset = EmDataset {
+            name: "micro+".into(),
+            graph,
+            entities,
+            classes,
+            images,
+            image_gold,
+            pool: AttributePool::synthesize(2, 2),
+        };
+        dataset.validate();
+        let clip = Clip::new(ClipConfig::tiny(tokenizer.vocab_size(), 6), &mut rng);
+        (clip, tokenizer, dataset, rng)
+    }
+
+    fn train_config() -> TrainConfig {
+        TrainConfig {
+            prompt: PromptKind::Soft,
+            epochs: 1,
+            batch_vertices: 2,
+            batch_images: 4,
+            ..TrainConfig::default()
+        }
+    }
+
+    fn plus_config() -> PlusConfig {
+        PlusConfig {
+            vertex_subsets: 2,
+            image_clusters: 2,
+            prune_quantile: 0.2,
+            negative_top_k: 3,
+            ..PlusConfig::default()
+        }
+    }
+
+    #[test]
+    fn full_plus_pipeline_runs() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let plus =
+            CrossEmPlus::new(&clip, &tokenizer, &dataset, train_config(), plus_config(), &mut rng);
+        let report = plus.train(&mut rng);
+        assert_eq!(report.train.epochs.len(), 1);
+        assert!(report.partitions > 0);
+        assert!(report.pairs_per_epoch > 0);
+        assert!(report.prep_seconds >= 0.0);
+        let metrics = plus.evaluate();
+        assert_eq!(metrics.queries, 3);
+    }
+
+    #[test]
+    fn mbg_prunes_candidate_pairs() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let with_mbg =
+            CrossEmPlus::new(&clip, &tokenizer, &dataset, train_config(), plus_config(), &mut rng);
+        let report_mbg = with_mbg.train(&mut rng);
+
+        let without = CrossEmPlus::new(
+            &clip,
+            &tokenizer,
+            &dataset,
+            train_config(),
+            plus_config().without_mbg().without_ns(),
+            &mut rng,
+        );
+        let report_rand = without.train(&mut rng);
+        // Random partitioning covers every pair; MBG must not exceed it
+        // (NS padding can add a few back, hence <=).
+        assert!(report_mbg.pairs_per_epoch <= report_rand.pairs_per_epoch + 9);
+        assert_eq!(report_rand.pairs_per_epoch, 3 * 9);
+    }
+
+    #[test]
+    fn ablations_all_run() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        for plus in [
+            plus_config().without_mbg(),
+            plus_config().without_ns(),
+            plus_config().without_opc(),
+        ] {
+            let trainer =
+                CrossEmPlus::new(&clip, &tokenizer, &dataset, train_config(), plus, &mut rng);
+            let report = trainer.train(&mut rng);
+            assert!(report.train.final_loss().is_finite());
+        }
+    }
+
+    #[test]
+    fn opc_flag_propagates_to_base() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let with = CrossEmPlus::new(&clip, &tokenizer, &dataset, train_config(), plus_config(), &mut rng);
+        assert!(with.base().orthogonal);
+        let without = CrossEmPlus::new(
+            &clip,
+            &tokenizer,
+            &dataset,
+            train_config(),
+            plus_config().without_opc(),
+            &mut rng,
+        );
+        assert!(!without.base().orthogonal);
+    }
+}

@@ -1,0 +1,22 @@
+//! The naive prompt of Sec. II-B: a fixed text template around the vertex
+//! label — `"a photo of [MASK]"` with the label substituted for `[MASK]`.
+
+/// Build the baseline prompt for a vertex label.
+pub fn baseline_prompt(label: &str, photo_prefix: bool) -> String {
+    if photo_prefix {
+        format!("a photo of {label}")
+    } else {
+        label.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_substitution() {
+        assert_eq!(baseline_prompt("laysan albatross", true), "a photo of laysan albatross");
+        assert_eq!(baseline_prompt("laysan albatross", false), "laysan albatross");
+    }
+}

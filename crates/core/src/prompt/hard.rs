@@ -1,0 +1,201 @@
+//! Hard-encoding prompt `f_pro^h` (paper Eq. 5 and Example 2).
+//!
+//! For a vertex `v` and its d-hop subgraph, each neighbour contributes a
+//! *neighbouring sub-prompt* induced by breadth-first search:
+//!
+//! * depth-1 neighbour `u` reached over edge `e`: `"{L(e)} in {L(u)}"`
+//!   (e.g. `"has crown color in white"`);
+//! * deeper neighbour `u` reached from parent `p` over `e`:
+//!   `"{L(p)} {L(e)} in {L(u)}"` (e.g. `"long-wings has wing color in
+//!   grey"` — the s₄ of Figure 3).
+//!
+//! Sub-prompts are concatenated through the token set `T = {",", "and",
+//! "in"}`, producing exactly the Example 2 string shape:
+//! `"Laysan Albatross has crown color in white, …, and long-wings has wing
+//! color in grey"`.
+
+use std::collections::{HashSet, VecDeque};
+
+use cem_graph::{Graph, VertexId};
+
+/// Options for hard prompt construction.
+#[derive(Debug, Clone, Copy)]
+pub struct HardPromptOptions {
+    /// Neighbourhood radius `d`.
+    pub hops: usize,
+    /// Prepend `"a photo of"` (aligns with the CLIP pre-training caption
+    /// distribution; Example 2 omits it, so it is configurable).
+    pub photo_prefix: bool,
+    /// Cap on the number of sub-prompts (graph vertices can have hundreds
+    /// of neighbours; the text encoder truncates anyway, this merely avoids
+    /// building megabyte strings first).
+    pub max_subprompts: usize,
+}
+
+impl Default for HardPromptOptions {
+    fn default() -> Self {
+        HardPromptOptions { hops: 2, photo_prefix: true, max_subprompts: 64 }
+    }
+}
+
+/// The label of an edge between `p` and `u` in either direction (BFS runs
+/// over the undirected neighbourhood).
+fn connecting_edge_label(graph: &Graph, p: VertexId, u: VertexId) -> Option<String> {
+    for &e in graph.out_edges(p) {
+        if graph.edge_endpoints(e).1 == u {
+            return Some(graph.edge_label(e).to_string());
+        }
+    }
+    for &e in graph.in_edges(p) {
+        if graph.edge_endpoints(e).0 == u {
+            return Some(graph.edge_label(e).to_string());
+        }
+    }
+    None
+}
+
+/// Build the hard-encoding prompt `f_pro^h(v)`.
+pub fn hard_prompt(graph: &Graph, v: VertexId, options: &HardPromptOptions) -> String {
+    // BFS with parent tracking so each sub-prompt knows its discovery edge.
+    let mut subprompts: Vec<String> = Vec::new();
+    let mut seen: HashSet<VertexId> = HashSet::new();
+    let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
+    seen.insert(v);
+    queue.push_back((v, 0));
+    'bfs: while let Some((current, depth)) = queue.pop_front() {
+        if depth == options.hops {
+            continue;
+        }
+        for neighbor in graph.neighbors(current) {
+            if !seen.insert(neighbor) {
+                continue;
+            }
+            let edge_label = connecting_edge_label(graph, current, neighbor)
+                .unwrap_or_else(|| "related to".to_string());
+            let sub = if current == v {
+                format!("{edge_label} in {}", graph.vertex_label(neighbor))
+            } else {
+                format!(
+                    "{} {edge_label} in {}",
+                    graph.vertex_label(current),
+                    graph.vertex_label(neighbor)
+                )
+            };
+            subprompts.push(sub);
+            if subprompts.len() == options.max_subprompts {
+                break 'bfs;
+            }
+            queue.push_back((neighbor, depth + 1));
+        }
+    }
+
+    let label = graph.vertex_label(v);
+    let head = if options.photo_prefix {
+        format!("a photo of {label}")
+    } else {
+        label.to_string()
+    };
+    match subprompts.len() {
+        0 => head,
+        1 => format!("{head} {}", subprompts[0]),
+        n => {
+            let body = subprompts[..n - 1].join(", ");
+            format!("{head} {body}, and {}", subprompts[n - 1])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 3 example graph.
+    fn figure3() -> (Graph, VertexId) {
+        let mut g = Graph::new();
+        let albatross = g.add_vertex("laysan albatross");
+        let white = g.add_vertex("white");
+        let black = g.add_vertex("black");
+        let wings = g.add_vertex("long-wings");
+        let grey = g.add_vertex("grey");
+        g.add_edge(albatross, white, "has crown color");
+        g.add_edge(albatross, black, "has under tail color");
+        g.add_edge(albatross, wings, "has wing shape");
+        g.add_edge(wings, grey, "has wing color");
+        (g, albatross)
+    }
+
+    #[test]
+    fn reproduces_example_two_structure() {
+        let (g, v) = figure3();
+        let prompt =
+            hard_prompt(&g, v, &HardPromptOptions { hops: 2, photo_prefix: false, max_subprompts: 64 });
+        assert_eq!(
+            prompt,
+            "laysan albatross has crown color in white, has under tail color in black, \
+             has wing shape in long-wings, and long-wings has wing color in grey"
+        );
+    }
+
+    #[test]
+    fn one_hop_excludes_deep_subprompts() {
+        let (g, v) = figure3();
+        let prompt =
+            hard_prompt(&g, v, &HardPromptOptions { hops: 1, photo_prefix: false, max_subprompts: 64 });
+        assert!(!prompt.contains("grey"));
+        assert!(prompt.contains("white"));
+    }
+
+    #[test]
+    fn photo_prefix_prepended() {
+        let (g, v) = figure3();
+        let prompt = hard_prompt(&g, v, &HardPromptOptions::default());
+        assert!(prompt.starts_with("a photo of laysan albatross"));
+    }
+
+    #[test]
+    fn isolated_vertex_is_just_its_label() {
+        let mut g = Graph::new();
+        let v = g.add_vertex("lonely");
+        let prompt =
+            hard_prompt(&g, v, &HardPromptOptions { hops: 2, photo_prefix: false, max_subprompts: 64 });
+        assert_eq!(prompt, "lonely");
+    }
+
+    #[test]
+    fn single_neighbour_has_no_comma() {
+        let mut g = Graph::new();
+        let v = g.add_vertex("bird");
+        let w = g.add_vertex("white");
+        g.add_edge(v, w, "has color");
+        let prompt =
+            hard_prompt(&g, v, &HardPromptOptions { hops: 1, photo_prefix: false, max_subprompts: 64 });
+        assert_eq!(prompt, "bird has color in white");
+    }
+
+    #[test]
+    fn max_subprompts_caps_length() {
+        let mut g = Graph::new();
+        let v = g.add_vertex("hub");
+        for i in 0..100 {
+            let n = g.add_vertex(format!("n{i}"));
+            g.add_edge(v, n, "has part");
+        }
+        let prompt = hard_prompt(
+            &g,
+            v,
+            &HardPromptOptions { hops: 1, photo_prefix: false, max_subprompts: 5 },
+        );
+        assert_eq!(prompt.matches(" in ").count(), 5);
+    }
+
+    #[test]
+    fn incoming_edges_also_contribute() {
+        let mut g = Graph::new();
+        let v = g.add_vertex("white");
+        let bird = g.add_vertex("albatross");
+        g.add_edge(bird, v, "has crown color"); // edge points INTO v
+        let prompt =
+            hard_prompt(&g, v, &HardPromptOptions { hops: 1, photo_prefix: false, max_subprompts: 8 });
+        assert!(prompt.contains("albatross"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Prompt generation (paper Sec. III): the baseline label prompt, the
+//! discrete hard-encoding prompt, and the continuous soft prompt.
+
+pub mod baseline;
+pub mod hard;
+pub mod soft;
+
+pub use baseline::baseline_prompt;
+pub use hard::{hard_prompt, HardPromptOptions};
+pub use soft::SoftPromptGenerator;

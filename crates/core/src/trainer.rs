@@ -1,0 +1,520 @@
+//! Algorithm 1: the CrossEM prompt-tuning loop.
+//!
+//! Entity pairs are split into random mini-batches; each batch builds
+//! prompts for its vertices, encodes them with the (trainable) text tower,
+//! pairs them against frozen image embeddings, and optimises the
+//! unsupervised contrastive loss. The image tower and temperature are
+//! frozen (Sec. II-C), so image embeddings are computed once up front —
+//! exactly the optimisation the frozen tower licenses.
+
+use std::time::Instant;
+
+use cem_clip::{Clip, Tokenizer};
+use cem_data::EmDataset;
+use cem_nn::Module;
+use cem_tensor::optim::{AdamW, Optimizer};
+use cem_tensor::{memory, no_grad, Tensor};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::config::{PromptKind, TrainConfig};
+use crate::loss::{combined_loss, orthogonal_loss, unsupervised_contrastive_loss};
+use crate::matcher::rank_images;
+use crate::metrics::{evaluate_rankings, Metrics};
+use crate::prompt::{baseline_prompt, hard_prompt, HardPromptOptions, SoftPromptGenerator};
+
+/// Per-epoch measurements (drives the paper's Table III / Figure 8).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    pub seconds: f64,
+    /// Peak live tensor bytes during the epoch (the GPU-memory proxy).
+    pub peak_bytes: usize,
+    pub mean_loss: f32,
+    pub batches: usize,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    pub epochs: Vec<EpochStats>,
+}
+
+impl TrainReport {
+    /// Average seconds per epoch ("T" in the paper's tables).
+    pub fn avg_epoch_seconds(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.seconds).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Maximum peak memory across epochs ("Mem").
+    pub fn peak_bytes(&self) -> usize {
+        self.epochs.iter().map(|e| e.peak_bytes).max().unwrap_or(0)
+    }
+
+    pub fn final_loss(&self) -> f32 {
+        self.epochs.last().map(|e| e.mean_loss).unwrap_or(f32::NAN)
+    }
+}
+
+/// The CrossEM matcher: prompt construction + trainable text side + frozen
+/// image side.
+pub struct CrossEm<'a> {
+    clip: &'a Clip,
+    tokenizer: &'a Tokenizer,
+    dataset: &'a EmDataset,
+    config: TrainConfig,
+    /// Token ids per entity: full prompt for baseline/hard, bare label for
+    /// soft (whose prompt is continuous).
+    prompt_ids: Vec<Vec<usize>>,
+    soft: Option<SoftPromptGenerator>,
+    /// `[n_entities, d_model]` frozen mean label-token embeddings (Eq. 7's
+    /// `h(l_v)`); populated in soft mode.
+    label_means: Option<Tensor>,
+    /// `[|I|, embed_dim]` precomputed normalised image embeddings.
+    image_embeddings: Tensor,
+    /// `[n_entities, |I|]` zero-shot similarity prior from the *pre-trained*
+    /// model with the baseline prompt, frozen at construction. Pseudo-
+    /// positive mining adds it to the live scores so early tuning steps
+    /// (when structure-aware prompts are still off-distribution) do not
+    /// lock in arbitrary matches.
+    prior_logits: Tensor,
+    /// Apply the orthogonal prompt constraint (CrossEM⁺'s OPC; off for
+    /// plain CrossEM).
+    pub(crate) orthogonal: bool,
+}
+
+impl<'a> CrossEm<'a> {
+    /// Prepare a matcher: build prompts, freeze the image tower, and
+    /// precompute image embeddings.
+    pub fn new<R: Rng>(
+        clip: &'a Clip,
+        tokenizer: &'a Tokenizer,
+        dataset: &'a EmDataset,
+        config: TrainConfig,
+        rng: &mut R,
+    ) -> Self {
+        config.validate();
+        clip.freeze_image_tower();
+
+        let max_len = config.max_prompt_len.min(clip.text.max_len());
+        let prompt_ids: Vec<Vec<usize>> = match config.prompt {
+            PromptKind::Baseline => (0..dataset.entity_count())
+                .map(|e| {
+                    let text = baseline_prompt(dataset.entity_label(e), config.photo_prefix);
+                    tokenizer.encode(&text, max_len).0
+                })
+                .collect(),
+            PromptKind::Hard => {
+                let options = HardPromptOptions {
+                    hops: config.hops,
+                    photo_prefix: config.photo_prefix,
+                    max_subprompts: config.max_subprompts,
+                };
+                dataset
+                    .entities
+                    .iter()
+                    .map(|&v| {
+                        let text = hard_prompt(&dataset.graph, v, &options);
+                        tokenizer.encode(&text, max_len).0
+                    })
+                    .collect()
+            }
+            PromptKind::Soft => (0..dataset.entity_count())
+                .map(|e| tokenizer.encode(dataset.entity_label(e), max_len).0)
+                .collect(),
+        };
+
+        let (soft, label_means) = if config.prompt == PromptKind::Soft {
+            let generator = SoftPromptGenerator::new(
+                &dataset.graph,
+                &clip.text,
+                tokenizer,
+                config.soft_backend,
+                config.alpha,
+                rng,
+            );
+            let means = no_grad(|| {
+                let table = clip.text.token_embedding_table();
+                let d = clip.text.d_model();
+                let rows: Vec<Tensor> = (0..dataset.entity_count())
+                    .map(|e| {
+                        let ids = tokenizer.tokenize(dataset.entity_label(e));
+                        if ids.is_empty() {
+                            Tensor::zeros(&[d])
+                        } else {
+                            table.gather_rows(&ids).mean_axis0()
+                        }
+                    })
+                    .collect();
+                Tensor::stack_rows(&rows)
+            })
+            .detach();
+            (Some(generator), Some(means))
+        } else {
+            (None, None)
+        };
+
+        let image_embeddings = no_grad(|| {
+            let refs: Vec<&cem_clip::Image> = dataset.images.iter().collect();
+            let mut parts = Vec::new();
+            for chunk in refs.chunks(64) {
+                parts.push(clip.encode_images(chunk));
+            }
+            Tensor::concat_rows(&parts)
+        })
+        .detach();
+
+        let prior_logits = no_grad(|| {
+            let prompts: Vec<Vec<usize>> = (0..dataset.entity_count())
+                .map(|e| {
+                    let text = baseline_prompt(dataset.entity_label(e), config.photo_prefix);
+                    tokenizer.encode(&text, max_len).0
+                })
+                .collect();
+            let mut parts = Vec::new();
+            for chunk in prompts.chunks(32) {
+                parts.push(clip.encode_texts(chunk));
+            }
+            let text_emb = Tensor::concat_rows(&parts);
+            clip.similarity_logits(&text_emb, &image_embeddings)
+        })
+        .detach();
+
+        CrossEm {
+            clip,
+            tokenizer,
+            dataset,
+            config,
+            prompt_ids,
+            soft,
+            label_means,
+            image_embeddings,
+            prior_logits,
+            orthogonal: false,
+        }
+    }
+
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    pub(crate) fn dataset(&self) -> &EmDataset {
+        self.dataset
+    }
+
+    pub(crate) fn clip(&self) -> &Clip {
+        self.clip
+    }
+
+    pub(crate) fn tokenizer(&self) -> &Tokenizer {
+        self.tokenizer
+    }
+
+    /// The precomputed normalised image embeddings `[|I|, embed_dim]`.
+    pub fn image_embeddings(&self) -> &Tensor {
+        &self.image_embeddings
+    }
+
+    /// Encode a batch of entity indices into normalised joint-space vectors
+    /// `[B, embed_dim]`. For soft prompts, also returns the raw prompt
+    /// matrix `[B, d_model]` the orthogonal constraint applies to.
+    pub(crate) fn encode_entities(&self, batch: &[usize]) -> (Tensor, Option<Tensor>) {
+        assert!(!batch.is_empty(), "empty entity batch");
+        match &self.soft {
+            None => {
+                let rows: Vec<Tensor> =
+                    batch.iter().map(|&e| self.clip.text.encode_ids(&self.prompt_ids[e])).collect();
+                (Tensor::stack_rows(&rows).l2_normalize_rows(), None)
+            }
+            Some(generator) => {
+                let vertex_ids: Vec<usize> =
+                    batch.iter().map(|&e| self.dataset.entities[e].0).collect();
+                let prompts = generator.prompts_for(&vertex_ids);
+                let means =
+                    self.label_means.as_ref().expect("soft mode has label means").gather_rows(batch);
+                let injected = generator.input_tokens(&means, &prompts); // [B, d_model]
+                let rows: Vec<Tensor> = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, &e)| {
+                        let ids = &self.prompt_ids[e];
+                        let emb = self.clip.text.embed_ids(ids); // [T, d]
+                        let t = emb.shape().dim(0);
+                        // Splice the prompt token between [CLS] and the rest.
+                        let seq = Tensor::concat_rows(&[
+                            emb.slice_rows(0, 1),
+                            injected.slice_rows(bi, bi + 1),
+                            emb.slice_rows(1, t),
+                        ]);
+                        self.clip.text.forward_embeddings(&seq)
+                    })
+                    .collect();
+                (Tensor::stack_rows(&rows).l2_normalize_rows(), Some(prompts))
+            }
+        }
+    }
+
+    /// Trainable parameters: the selected text-side scope plus soft-prompt
+    /// state.
+    pub fn trainable_params(&self) -> Vec<Tensor> {
+        let mut params = Vec::new();
+        match self.config.tune_scope {
+            crate::config::TuneScope::Full => params.extend(self.clip.text.params()),
+            crate::config::TuneScope::Head => {
+                params.extend(self.clip.text.head_params());
+                params.extend(self.clip.text.embedding_params());
+            }
+        }
+        if let Some(generator) = &self.soft {
+            params.extend(generator.params());
+        }
+        params
+    }
+
+    /// One optimisation step over an explicit `(vertices, images)`
+    /// mini-batch; returns the loss value. Shared by Algorithm 1 and the
+    /// CrossEM⁺ trainer.
+    ///
+    /// The positive set `X_p` is "collected from the pairs with top
+    /// similarity" (Sec. II-B): each vertex's best-matching image over the
+    /// *whole* repository (cheap — image embeddings are frozen and
+    /// precomputed) is injected into the batch as its pseudo-positive; the
+    /// remaining batch images act as `X_n`. Mining globally rather than
+    /// within the random batch keeps self-training from reinforcing
+    /// arbitrary in-batch matches.
+    pub(crate) fn train_step(
+        &self,
+        opt: &mut AdamW,
+        vertex_batch: &[usize],
+        image_batch: &[usize],
+    ) -> f32 {
+        let (text_emb, prompts) = self.encode_entities(vertex_batch);
+
+        // Mine global pseudo-positives with the current prompts, anchored
+        // by the frozen zero-shot prior (no grad).
+        let mined: Vec<usize> = no_grad(|| {
+            let live = self
+                .clip
+                .similarity_logits(&text_emb.detach(), &self.image_embeddings);
+            let prior = self
+                .prior_logits
+                .gather_rows(vertex_batch)
+                .mul_scalar(self.config.mining_prior_weight);
+            live.add(&prior).argmax_rows()
+        });
+        let mut images: Vec<usize> = image_batch.to_vec();
+        let mut targets = Vec::with_capacity(vertex_batch.len());
+        for &img in &mined {
+            match images.iter().position(|&x| x == img) {
+                Some(pos) => targets.push(pos),
+                None => {
+                    images.push(img);
+                    targets.push(images.len() - 1);
+                }
+            }
+        }
+
+        let image_emb = self.image_embeddings.gather_rows(&images);
+        let logits = self.clip.similarity_logits(&text_emb, &image_emb);
+        let l_con = unsupervised_contrastive_loss(&logits, &targets);
+        let loss = if self.orthogonal {
+            combined_loss(l_con, prompts.as_ref().map(orthogonal_loss), self.config.beta)
+        } else {
+            l_con
+        };
+        let value = loss.item();
+        opt.zero_grad();
+        loss.backward();
+        opt.clip_grad_norm(self.config.clip_norm);
+        opt.step();
+        value
+    }
+
+    /// Algorithm 1: random mini-batch prompt tuning.
+    pub fn train<R: Rng>(&self, rng: &mut R) -> TrainReport {
+        let mut opt = AdamW::new(self.trainable_params(), self.config.lr);
+        let mut entity_order: Vec<usize> = (0..self.dataset.entity_count()).collect();
+        let mut image_order: Vec<usize> = (0..self.dataset.image_count()).collect();
+        let mut report = TrainReport::default();
+
+        for _epoch in 0..self.config.epochs {
+            memory::reset_peak();
+            let start = Instant::now();
+            entity_order.shuffle(rng);
+            image_order.shuffle(rng);
+            let mut loss_sum = 0.0f32;
+            let mut batches = 0usize;
+            for vertex_chunk in entity_order.chunks(self.config.batch_vertices) {
+                for image_chunk in image_order.chunks(self.config.batch_images) {
+                    if image_chunk.len() < 2 {
+                        continue;
+                    }
+                    loss_sum += self.train_step(&mut opt, vertex_chunk, image_chunk);
+                    batches += 1;
+                }
+            }
+            report.epochs.push(EpochStats {
+                seconds: start.elapsed().as_secs_f64(),
+                peak_bytes: memory::peak_bytes(),
+                mean_loss: if batches > 0 { loss_sum / batches as f32 } else { f32::NAN },
+                batches,
+            });
+        }
+        report
+    }
+
+    /// Matching probabilities (Eq. 4) for all entities against all images:
+    /// `[n_entities, n_images]`.
+    pub fn matching_matrix(&self) -> Tensor {
+        no_grad(|| {
+            let all: Vec<usize> = (0..self.dataset.entity_count()).collect();
+            let mut parts = Vec::new();
+            for chunk in all.chunks(self.config.batch_vertices.max(8)) {
+                let (emb, _) = self.encode_entities(chunk);
+                parts.push(emb);
+            }
+            let text_emb = Tensor::concat_rows(&parts);
+            self.clip.matching_probabilities(&text_emb, &self.image_embeddings)
+        })
+    }
+
+    /// Rank all images per entity and compute Hits@k / MRR against the
+    /// dataset's gold pairs.
+    pub fn evaluate(&self) -> Metrics {
+        let probabilities = self.matching_matrix();
+        let rankings = rank_images(&probabilities, 0);
+        evaluate_rankings(&rankings, |entity, image| self.dataset.is_match(entity, image))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cem_clip::{ClipConfig, Image};
+    use cem_data::AttributePool;
+    use cem_graph::Graph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A micro dataset (2 entities, 4 images) and an untrained tiny CLIP —
+    /// enough to exercise every code path cheaply. End-to-end learning
+    /// tests live in the workspace `tests/` directory.
+    fn micro() -> (Clip, Tokenizer, EmDataset, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut graph = Graph::new();
+        let a = graph.add_vertex("white bird");
+        let b = graph.add_vertex("black bird");
+        let white = graph.add_vertex("white");
+        let black = graph.add_vertex("black");
+        graph.add_edge(a, white, "has color");
+        graph.add_edge(b, black, "has color");
+        let tokenizer =
+            Tokenizer::build(["a photo of white black bird has color in and"]);
+        let mk_img = |seed: f32| {
+            Image::from_patches(vec![vec![seed; 6], vec![seed * 0.5; 6], vec![-seed; 6]])
+        };
+        let dataset = EmDataset {
+            name: "micro".into(),
+            graph,
+            entities: vec![a, b],
+            classes: vec![
+                cem_data::ClassSpec { name: "white bird".into(), signature: vec![], name_reveals: 0 },
+                cem_data::ClassSpec { name: "black bird".into(), signature: vec![], name_reveals: 0 },
+            ],
+            images: vec![mk_img(1.0), mk_img(-1.0), mk_img(0.8), mk_img(-0.7)],
+            image_gold: vec![0, 1, 0, 1],
+            pool: AttributePool::synthesize(2, 2),
+        };
+        dataset.validate();
+        let clip = Clip::new(ClipConfig::tiny(tokenizer.vocab_size(), 6), &mut rng);
+        (clip, tokenizer, dataset, rng)
+    }
+
+    fn config(prompt: PromptKind) -> TrainConfig {
+        TrainConfig {
+            prompt,
+            epochs: 1,
+            batch_vertices: 2,
+            batch_images: 4,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_and_hard_prompts_tokenised() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let baseline = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Baseline), &mut rng);
+        let hard = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Hard), &mut rng);
+        // Hard prompts include neighbour structure -> longer than baseline.
+        assert!(hard.prompt_ids[0].len() > baseline.prompt_ids[0].len());
+    }
+
+    #[test]
+    fn encode_entities_shapes() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        for kind in [PromptKind::Baseline, PromptKind::Hard, PromptKind::Soft] {
+            let m = CrossEm::new(&clip, &tokenizer, &dataset, config(kind), &mut rng);
+            let (emb, prompts) = m.encode_entities(&[0, 1]);
+            assert_eq!(emb.dims(), &[2, clip.embed_dim()]);
+            assert_eq!(prompts.is_some(), kind == PromptKind::Soft);
+        }
+    }
+
+    #[test]
+    fn train_runs_and_records_stats() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Hard), &mut rng);
+        let report = m.train(&mut rng);
+        assert_eq!(report.epochs.len(), 1);
+        let stats = report.epochs[0];
+        assert!(stats.batches >= 1);
+        assert!(stats.mean_loss.is_finite());
+        assert!(stats.peak_bytes > 0);
+        assert!(report.avg_epoch_seconds() > 0.0);
+    }
+
+    #[test]
+    fn soft_training_touches_soft_params() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Soft), &mut rng);
+        let before: Vec<f32> = m.soft.as_ref().unwrap().params()[0].to_vec();
+        m.train(&mut rng);
+        let after: Vec<f32> = m.soft.as_ref().unwrap().params()[0].to_vec();
+        assert!(before.iter().zip(&after).any(|(x, y)| (x - y).abs() > 1e-7));
+    }
+
+    #[test]
+    fn matching_matrix_rows_are_distributions() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Baseline), &mut rng);
+        let p = m.matching_matrix();
+        assert_eq!(p.dims(), &[2, 4]);
+        for r in 0..2 {
+            let s: f32 = (0..4).map(|c| p.at2(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn evaluate_produces_metrics() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Baseline), &mut rng);
+        let metrics = m.evaluate();
+        assert_eq!(metrics.queries, 2);
+        assert!(metrics.mrr > 0.0); // ranking always finds the gold eventually
+        assert!(metrics.hits_at_5 >= metrics.hits_at_3);
+        assert!(metrics.hits_at_3 >= metrics.hits_at_1);
+    }
+
+    #[test]
+    fn image_tower_stays_frozen_through_training() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Hard), &mut rng);
+        let before: Vec<f32> = clip.image.params()[0].to_vec();
+        m.train(&mut rng);
+        let after: Vec<f32> = clip.image.params()[0].to_vec();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,142 @@
+//! The latent concept space: a hidden unit vector per word.
+
+use std::collections::HashMap;
+
+use cem_tensor::init::randn_value;
+use rand::Rng;
+
+/// Maps words to fixed random unit vectors. Two pieces of data (a caption
+/// and an image, a vertex label and a patch) are semantically related in the
+//  synthetic world exactly when they share concepts.
+#[derive(Debug, Clone)]
+pub struct ConceptSpace {
+    dim: usize,
+    vectors: HashMap<String, Vec<f32>>,
+}
+
+impl ConceptSpace {
+    pub fn new(dim: usize) -> Self {
+        ConceptSpace { dim, vectors: HashMap::new() }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Register `word` with a fresh random unit vector if unseen; returns
+    /// its concept vector. Registration order (not call count) determines
+    /// the vector, so generators must register deterministically.
+    pub fn ensure<R: Rng>(&mut self, word: &str, rng: &mut R) -> &[f32] {
+        if !self.vectors.contains_key(word) {
+            let mut v: Vec<f32> = (0..self.dim).map(|_| randn_value(rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-9);
+            for x in v.iter_mut() {
+                *x /= norm;
+            }
+            self.vectors.insert(word.to_string(), v);
+        }
+        self.vectors.get(word).unwrap()
+    }
+
+    /// Concept vector of a registered word.
+    pub fn get(&self, word: &str) -> Option<&[f32]> {
+        self.vectors.get(word).map(Vec::as_slice)
+    }
+
+    /// Mean concept of several words (zero vector if none are registered).
+    pub fn blend(&self, words: &[&str]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut count = 0usize;
+        for w in words {
+            if let Some(v) = self.vectors.get(*w) {
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                count += 1;
+            }
+        }
+        if count > 0 {
+            for a in acc.iter_mut() {
+                *a /= count as f32;
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity between two registered words (0 if either missing).
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        match (self.get(a), self.get(b)) {
+            (Some(x), Some(y)) => x.iter().zip(y).map(|(a, b)| a * b).sum(),
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut cs = ConceptSpace::new(8);
+        let v = cs.ensure("white", &mut rng).to_vec();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cs = ConceptSpace::new(8);
+        let a = cs.ensure("white", &mut rng).to_vec();
+        let b = cs.ensure("white", &mut rng).to_vec();
+        assert_eq!(a, b);
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn distinct_words_nearly_orthogonal_in_high_dim() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cs = ConceptSpace::new(64);
+        cs.ensure("white", &mut rng);
+        cs.ensure("black", &mut rng);
+        assert!(cs.similarity("white", "black").abs() < 0.5);
+        assert!((cs.similarity("white", "white") - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn blend_averages_known_words() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cs = ConceptSpace::new(4);
+        cs.ensure("a", &mut rng);
+        cs.ensure("b", &mut rng);
+        let blend = cs.blend(&["a", "b", "unknown"]);
+        let expect: Vec<f32> = cs
+            .get("a")
+            .unwrap()
+            .iter()
+            .zip(cs.get("b").unwrap())
+            .map(|(x, y)| (x + y) / 2.0)
+            .collect();
+        for (u, v) in blend.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn blend_of_unknowns_is_zero() {
+        let cs = ConceptSpace::new(4);
+        assert_eq!(cs.blend(&["nope"]), vec![0.0; 4]);
+    }
+}

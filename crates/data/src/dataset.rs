@@ -1,0 +1,160 @@
+//! The cross-modal EM dataset container: a graph, an image repository, and
+//! the gold matching pairs used for evaluation only (training is
+//! unsupervised).
+
+use cem_clip::Image;
+use cem_graph::{Graph, VertexId};
+
+use crate::schema::{AttributePool, ClassSpec};
+
+/// Table I-style statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetStats {
+    pub vertices: usize,
+    pub edges: usize,
+    /// Number of distinct attributes (CUB/SUN); `None` for the KG-shaped
+    /// FB datasets, mirroring the `-` cells of Table I.
+    pub tuples: Option<usize>,
+    pub images: usize,
+}
+
+/// A generated cross-modal entity-matching benchmark.
+pub struct EmDataset {
+    pub name: String,
+    /// The canonical graph `G = (V, E, L)`.
+    pub graph: Graph,
+    /// The source entities to be matched (a subset of graph vertices).
+    pub entities: Vec<VertexId>,
+    /// Class specs parallel to `entities`.
+    pub classes: Vec<ClassSpec>,
+    /// The image repository `I`.
+    pub images: Vec<Image>,
+    /// Gold entity index (into `entities`) for every image.
+    pub image_gold: Vec<usize>,
+    /// The attribute schema the classes were drawn from.
+    pub pool: AttributePool,
+}
+
+impl EmDataset {
+    /// Dataset statistics for the Table I harness.
+    pub fn stats(&self) -> DatasetStats {
+        // KG-shaped datasets (all vertices are entities) report no
+        // attribute count, mirroring the `-` cells of Table I.
+        let is_kg = self.graph.vertex_count() == self.entities.len();
+        DatasetStats {
+            vertices: self.graph.vertex_count(),
+            edges: self.graph.edge_count(),
+            tuples: if is_kg { None } else { Some(self.pool.attribute_count()) },
+            images: self.images.len(),
+        }
+    }
+
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    pub fn image_count(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Number of candidate vertex–image pairs (`|V|·|I|`, the quantity the
+    /// paper's scalability experiment scales by).
+    pub fn candidate_pair_count(&self) -> usize {
+        self.entities.len() * self.images.len()
+    }
+
+    /// The label of entity `i`.
+    pub fn entity_label(&self, i: usize) -> &str {
+        self.graph.vertex_label(self.entities[i])
+    }
+
+    /// Gold image indices of entity `i`.
+    pub fn gold_images_of(&self, entity: usize) -> Vec<usize> {
+        self.image_gold
+            .iter()
+            .enumerate()
+            .filter(|(_, &g)| g == entity)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether `(entity, image)` is a gold matching pair.
+    pub fn is_match(&self, entity: usize, image: usize) -> bool {
+        self.image_gold[image] == entity
+    }
+
+    /// Sanity-check internal consistency; called by generators and tests.
+    pub fn validate(&self) {
+        assert_eq!(self.entities.len(), self.classes.len(), "entities/classes length mismatch");
+        assert_eq!(self.images.len(), self.image_gold.len(), "images/gold length mismatch");
+        for &g in &self.image_gold {
+            assert!(g < self.entities.len(), "gold index {g} out of range");
+        }
+        for &v in &self.entities {
+            assert!(v.0 < self.graph.vertex_count(), "entity vertex {v:?} not in graph");
+        }
+        assert!(
+            self.entities.iter().all(|v| !self.graph.vertex_label(*v).is_empty()),
+            "entities must be labelled"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EmDataset {
+        let mut graph = Graph::new();
+        let a = graph.add_vertex("a bird");
+        let b = graph.add_vertex("b bird");
+        let white = graph.add_vertex("white");
+        graph.add_edge(a, white, "has color");
+        graph.add_edge(b, white, "has color");
+        let img = Image::from_patches(vec![vec![0.0; 4]]);
+        EmDataset {
+            name: "tiny".into(),
+            graph,
+            entities: vec![a, b],
+            classes: vec![
+                ClassSpec { name: "a bird".into(), signature: vec![], name_reveals: 0 },
+                ClassSpec { name: "b bird".into(), signature: vec![], name_reveals: 0 },
+            ],
+            images: vec![img.clone(), img.clone(), img],
+            image_gold: vec![0, 1, 0],
+            pool: AttributePool::synthesize(2, 2),
+        }
+    }
+
+    #[test]
+    fn stats_counts() {
+        let d = tiny();
+        let s = d.stats();
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 2);
+        assert_eq!(s.images, 3);
+        assert_eq!(d.candidate_pair_count(), 6);
+    }
+
+    #[test]
+    fn gold_lookup() {
+        let d = tiny();
+        assert_eq!(d.gold_images_of(0), vec![0, 2]);
+        assert_eq!(d.gold_images_of(1), vec![1]);
+        assert!(d.is_match(0, 2));
+        assert!(!d.is_match(1, 2));
+    }
+
+    #[test]
+    fn validate_accepts_consistent_dataset() {
+        tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gold index")]
+    fn validate_rejects_bad_gold() {
+        let mut d = tiny();
+        d.image_gold[0] = 99;
+        d.validate();
+    }
+}

@@ -1,0 +1,424 @@
+//! Dataset generators shaped like the paper's three benchmark families.
+//!
+//! | knob | CUB-like | SUN-like | FBxK-IMG-like |
+//! |---|---|---|---|
+//! | attribute pool | 52 groups × 6 = 312 | 34 × 3 = 102 | 40 × 5 (entity traits) |
+//! | signature size | 16 | 3 | 5 |
+//! | name reveals | 2 values | 0 values | 3 values |
+//! | graph shape | class→value star | class→value star | entity↔entity KG |
+//! | images/class (full) | 59 | 23 | 10 |
+//!
+//! "Name reveals" controls zero-shot difficulty (how much a bare label tells
+//! CLIP); signature size controls how much structure-aware prompts can add;
+//! the KG shape of FB makes neighbour text noisier, which is why hard
+//! prompts beat soft prompts there in the paper.
+
+use cem_graph::{Graph, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::{DatasetStats, EmDataset};
+use crate::schema::{generate_classes, AttributePool, ClassSpec};
+use crate::world::{World, WorldConfig};
+
+/// Which benchmark family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    Cub,
+    Sun,
+    Fb2k,
+    Fb6k,
+    Fb10k,
+}
+
+impl DatasetKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::Cub => "CUB",
+            DatasetKind::Sun => "SUN",
+            DatasetKind::Fb2k => "FB2K-IMG",
+            DatasetKind::Fb6k => "FB6K-IMG",
+            DatasetKind::Fb10k => "FB10K-IMG",
+        }
+    }
+
+    /// The statistics the paper's Table I reports for this dataset.
+    pub fn paper_stats(&self) -> DatasetStats {
+        match self {
+            DatasetKind::Cub => DatasetStats { vertices: 512, edges: 3_245, tuples: Some(312), images: 11_788 },
+            DatasetKind::Sun => DatasetStats { vertices: 819, edges: 2_130, tuples: Some(717), images: 16_594 },
+            DatasetKind::Fb2k => DatasetStats { vertices: 2_667, edges: 8_382, tuples: None, images: 20_455 },
+            DatasetKind::Fb6k => DatasetStats { vertices: 6_342, edges: 30_884, tuples: None, images: 44_813 },
+            DatasetKind::Fb10k => DatasetStats { vertices: 10_856, edges: 78_747, tuples: None, images: 69_629 },
+        }
+    }
+
+    /// Full-size class count (CUB has 200 bird species, SUN 717 scene
+    /// classes, FBxK that many entities).
+    pub fn full_classes(&self) -> usize {
+        match self {
+            DatasetKind::Cub => 200,
+            DatasetKind::Sun => 717,
+            DatasetKind::Fb2k => 2_000,
+            DatasetKind::Fb6k => 6_000,
+            DatasetKind::Fb10k => 10_000,
+        }
+    }
+
+    fn full_images_per_class(&self) -> usize {
+        match self {
+            DatasetKind::Cub => 59,
+            DatasetKind::Sun => 23,
+            _ => 10,
+        }
+    }
+}
+
+/// How much of the full-size dataset to materialise. Training the miniature
+/// CLIP is CPU-bound, so experiment harnesses default to a reduced scale and
+/// record the scale factor in their output (see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetScale {
+    pub classes: usize,
+    pub images_per_class: usize,
+}
+
+impl DatasetScale {
+    /// Tiny — unit tests.
+    pub fn smoke() -> Self {
+        DatasetScale { classes: 6, images_per_class: 2 }
+    }
+
+    /// Default for experiment harnesses.
+    pub fn bench() -> Self {
+        DatasetScale { classes: 40, images_per_class: 4 }
+    }
+
+    /// Full paper-size counts for `kind` (statistics harness; heavy for
+    /// training).
+    pub fn paper(kind: DatasetKind) -> Self {
+        DatasetScale {
+            classes: kind.full_classes(),
+            images_per_class: kind.full_images_per_class(),
+        }
+    }
+
+    pub fn clamped(&self, kind: DatasetKind) -> DatasetScale {
+        DatasetScale {
+            classes: self.classes.min(kind.full_classes()),
+            images_per_class: self.images_per_class,
+        }
+    }
+}
+
+/// Per-family generation profile.
+struct Profile {
+    pool_groups: usize,
+    pool_values: usize,
+    attrs_per_class: usize,
+    name_reveals: usize,
+    /// Patches depicting signature values per image.
+    value_patches: usize,
+    /// Whether the image also shows the class's revealed name words (strong
+    /// name→image signal; high for FB).
+    name_patches: usize,
+    /// KG-shaped graph (entity↔entity edges) instead of class→value stars.
+    knowledge_graph: bool,
+    /// Extra random KG edges per entity (noise).
+    random_edges: usize,
+}
+
+fn profile(kind: DatasetKind) -> Profile {
+    match kind {
+        DatasetKind::Cub => Profile {
+            pool_groups: 52,
+            pool_values: 6,
+            attrs_per_class: 16,
+            name_reveals: 3,
+            value_patches: 3,
+            name_patches: 3,
+            knowledge_graph: false,
+            random_edges: 0,
+        },
+        DatasetKind::Sun => Profile {
+            pool_groups: 34,
+            pool_values: 3,
+            attrs_per_class: 3,
+            name_reveals: 0,
+            value_patches: 3,
+            name_patches: 0,
+            knowledge_graph: false,
+            random_edges: 0,
+        },
+        DatasetKind::Fb2k | DatasetKind::Fb6k | DatasetKind::Fb10k => Profile {
+            pool_groups: 40,
+            pool_values: 5,
+            attrs_per_class: 5,
+            name_reveals: 3,
+            value_patches: 1,
+            name_patches: 3,
+            knowledge_graph: true,
+            random_edges: 0,
+        },
+    }
+}
+
+/// Generate a dataset of the given family at the given scale. Returns the
+/// world (needed to render more images or captions from the same concept
+/// space) and the dataset.
+pub fn generate<R: Rng>(kind: DatasetKind, scale: DatasetScale, rng: &mut R) -> (World, EmDataset) {
+    let scale = scale.clamped(kind);
+    let p = profile(kind);
+    let pool = AttributePool::synthesize(p.pool_groups, p.pool_values);
+    let classes = generate_classes(&pool, scale.classes, p.attrs_per_class, p.name_reveals, rng);
+
+    let mut world = World::new(WorldConfig::default(), rng);
+    // Register the full attribute vocabulary and all class names so the
+    // concept space is stable regardless of which classes an image uses.
+    for g in 0..pool.group_count() {
+        let (gname, values) = pool.group(g);
+        world.register_text(gname, rng);
+        for v in values {
+            world.register_text(v, rng);
+        }
+    }
+    for c in &classes {
+        world.register_text(&c.name, rng);
+    }
+
+    let (graph, entities) = if p.knowledge_graph {
+        build_knowledge_graph(&classes, p.random_edges, rng)
+    } else {
+        build_star_graph(&classes)
+    };
+
+    // Render images: each image shows a sample of the class's signature
+    // values plus (for name-driven datasets) its revealed name words.
+    let mut images = Vec::with_capacity(scale.classes * scale.images_per_class);
+    let mut image_gold = Vec::with_capacity(images.capacity());
+    for (ci, class) in classes.iter().enumerate() {
+        let values = class.signature_values();
+        for _ in 0..scale.images_per_class {
+            let mut phrases: Vec<&str> = Vec::new();
+            // The values the class name reveals are always depicted — an
+            // image of a "white crowned" bird reliably shows its white
+            // crown. This is what gives bare-name zero-shot prompting its
+            // paper-level signal on name-informative datasets.
+            for w in class.revealed_values().iter().take(p.name_patches.max(class.name_reveals)) {
+                phrases.push(w);
+            }
+            // Plus a random sample of the remaining signature values.
+            let hidden: Vec<&str> =
+                values.iter().skip(class.name_reveals).copied().collect();
+            let mut idx: Vec<usize> = (0..hidden.len()).collect();
+            idx.shuffle(rng);
+            for &i in idx.iter().take(p.value_patches) {
+                phrases.push(hidden[i]);
+            }
+            if phrases.is_empty() {
+                phrases.push(values[0]);
+            }
+            images.push(world.render_image(&phrases, rng));
+            image_gold.push(ci);
+        }
+    }
+
+    let dataset = EmDataset {
+        name: kind.label().to_string(),
+        graph,
+        entities,
+        classes,
+        images,
+        image_gold,
+        pool,
+    };
+    dataset.validate();
+    (world, dataset)
+}
+
+/// CUB/SUN shape: every class vertex points at shared value vertices with
+/// `has <group>` edges (the Figure 1(b) structure).
+fn build_star_graph(classes: &[ClassSpec]) -> (Graph, Vec<VertexId>) {
+    let mut graph = Graph::new();
+    let mut value_vertex: std::collections::HashMap<String, VertexId> =
+        std::collections::HashMap::new();
+    let mut entities = Vec::with_capacity(classes.len());
+    for class in classes {
+        let v = graph.add_vertex(class.name.clone());
+        entities.push(v);
+        for (group, value) in &class.signature {
+            let vv = *value_vertex
+                .entry(value.clone())
+                .or_insert_with(|| graph.add_vertex(value.clone()));
+            graph.add_edge(v, vv, format!("has {group}"));
+        }
+    }
+    (graph, entities)
+}
+
+/// FB shape: entities connect to other entities. An edge is added between
+/// classes that share a signature value (labelled by the shared group), plus
+/// `random_edges` uniformly random `related to` edges as relational noise.
+fn build_knowledge_graph<R: Rng>(
+    classes: &[ClassSpec],
+    random_edges: usize,
+    rng: &mut R,
+) -> (Graph, Vec<VertexId>) {
+    let mut graph = Graph::new();
+    let entities: Vec<VertexId> =
+        classes.iter().map(|c| graph.add_vertex(c.name.clone())).collect();
+
+    // Index classes by signature value for shared-trait linking.
+    let mut by_value: std::collections::HashMap<&str, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, c) in classes.iter().enumerate() {
+        for (_, v) in &c.signature {
+            by_value.entry(v.as_str()).or_default().push(i);
+        }
+    }
+    // One shared-trait edge per (class, trait) to its next sharer — keeps
+    // degree bounded (~signature size) like FB15K-237's sparsity.
+    for (value, members) in &by_value {
+        if members.len() < 2 {
+            continue;
+        }
+        for w in members.windows(2) {
+            let group = classes[w[0]]
+                .signature
+                .iter()
+                .find(|(_, v)| v == value)
+                .map(|(g, _)| g.clone())
+                .unwrap_or_else(|| "related".to_string());
+            graph.add_edge(entities[w[0]], entities[w[1]], format!("shares {group}"));
+        }
+    }
+    for (i, _) in classes.iter().enumerate() {
+        for _ in 0..random_edges {
+            let j = rng.gen_range(0..classes.len());
+            if j != i {
+                graph.add_edge(entities[i], entities[j], "related to".to_string());
+            }
+        }
+    }
+    (graph, entities)
+}
+
+/// Convenience: generate one of the FB scalability steps.
+pub fn fbimg<R: Rng>(step: DatasetKind, scale: DatasetScale, rng: &mut R) -> (World, EmDataset) {
+    assert!(
+        matches!(step, DatasetKind::Fb2k | DatasetKind::Fb6k | DatasetKind::Fb10k),
+        "fbimg() expects an FB dataset kind"
+    );
+    generate(step, scale, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cub_generation_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (_, d) = generate(DatasetKind::Cub, DatasetScale::smoke(), &mut rng);
+        assert_eq!(d.entity_count(), 6);
+        assert_eq!(d.image_count(), 12);
+        // Star graph: entities + value vertices; each entity has 16 edges.
+        assert_eq!(d.graph.edge_count(), 6 * 16);
+        assert!(d.graph.vertex_count() > d.entity_count());
+        d.validate();
+    }
+
+    #[test]
+    fn sun_names_reveal_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (_, d) = generate(DatasetKind::Sun, DatasetScale::smoke(), &mut rng);
+        for c in &d.classes {
+            assert_eq!(c.name_reveals, 0);
+            assert_eq!(c.signature.len(), 3);
+        }
+    }
+
+    #[test]
+    fn fb_is_entity_to_entity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, d) = generate(DatasetKind::Fb2k, DatasetScale::smoke(), &mut rng);
+        // No value vertices: every vertex is an entity.
+        assert_eq!(d.graph.vertex_count(), d.entity_count());
+        assert!(d.graph.edge_count() > 0);
+    }
+
+    #[test]
+    fn gold_images_are_per_class() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, d) = generate(DatasetKind::Cub, DatasetScale::smoke(), &mut rng);
+        for e in 0..d.entity_count() {
+            assert_eq!(d.gold_images_of(e).len(), 2);
+        }
+    }
+
+    #[test]
+    fn images_of_same_class_share_structure() {
+        // Two images of one class should be closer (mean-patch cosine) than
+        // images of different classes, on average — the learnability
+        // precondition for the whole pipeline.
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, d) = generate(DatasetKind::Cub, DatasetScale::smoke(), &mut rng);
+        let cos = |a: &[f32], b: &[f32]| {
+            let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            dot / (na * nb).max(1e-9)
+        };
+        let mut same = 0.0f32;
+        let mut diff = 0.0f32;
+        let mut same_n = 0;
+        let mut diff_n = 0;
+        for i in 0..d.image_count() {
+            for j in (i + 1)..d.image_count() {
+                let c = cos(&d.images[i].mean_patch(), &d.images[j].mean_patch());
+                if d.image_gold[i] == d.image_gold[j] {
+                    same += c;
+                    same_n += 1;
+                } else {
+                    diff += c;
+                    diff_n += 1;
+                }
+            }
+        }
+        assert!(same / same_n as f32 > diff / diff_n as f32);
+    }
+
+    #[test]
+    fn scale_is_clamped_to_full_size() {
+        let huge = DatasetScale { classes: 10_000, images_per_class: 1 };
+        assert_eq!(huge.clamped(DatasetKind::Cub).classes, 200);
+    }
+
+    #[test]
+    fn paper_stats_match_table_one() {
+        let s = DatasetKind::Cub.paper_stats();
+        assert_eq!(s.vertices, 512);
+        assert_eq!(s.edges, 3245);
+        assert_eq!(s.tuples, Some(312));
+        assert_eq!(s.images, 11788);
+        assert_eq!(DatasetKind::Fb10k.paper_stats().images, 69_629);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let (_, a) = generate(DatasetKind::Sun, DatasetScale::smoke(), &mut StdRng::seed_from_u64(9));
+        let (_, b) = generate(DatasetKind::Sun, DatasetScale::smoke(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.graph.vertex_count(), b.graph.vertex_count());
+        assert_eq!(a.entity_label(0), b.entity_label(0));
+        assert_eq!(a.images[0].patch(0), b.images[0].patch(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "FB dataset kind")]
+    fn fbimg_rejects_non_fb() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = fbimg(DatasetKind::Cub, DatasetScale::smoke(), &mut rng);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cem-data
+//!
+//! Synthetic data generation for the CrossEM reproduction. The paper
+//! evaluates on CUB (birds with 312 attributes), SUN (scenes with 102
+//! attributes) and FB15K-237-IMG (a Freebase subset with 10 images per
+//! entity). None of those corpora are available here, so this crate builds
+//! statistically-shaped equivalents on top of a *latent concept space*:
+//!
+//! * every attribute word has a hidden unit "concept vector";
+//! * an image is a bag of patches, each rendered from one concept vector of
+//!   the depicted entity through a fixed world-renderer projection plus
+//!   noise and distractor patches;
+//! * a caption is natural-ish text mentioning some of the same words.
+//!
+//! Because captions and images share the concept space, a CLIP model
+//! pre-trained on generic caption↔image pairs learns genuine word↔patch
+//! alignment — giving prompt tuning the same starting point the paper's
+//! pre-trained CLIP provides. Dataset knobs (how many signature attributes a
+//! class has, how many of them its *name* reveals, how noisy graph
+//! neighbourhoods are) reproduce the relative difficulty ordering of
+//! CUB/SUN/FB observed in the paper (see DESIGN.md).
+
+pub mod bundle;
+pub mod concepts;
+pub mod dataset;
+pub mod generators;
+pub mod pretrain_corpus;
+pub mod schema;
+pub mod splits;
+pub mod world;
+
+pub use bundle::{BundleConfig, DatasetBundle};
+pub use concepts::ConceptSpace;
+pub use dataset::{DatasetStats, EmDataset};
+pub use generators::{fbimg, generate, DatasetKind, DatasetScale};
+pub use pretrain_corpus::{generate_corpus, CaptionPair};
+pub use schema::{AttributePool, ClassSpec};
+pub use splits::EntitySplit;
+pub use world::World;

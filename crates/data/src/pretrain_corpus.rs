@@ -1,0 +1,128 @@
+//! Generic caption↔image corpus for CLIP pre-training.
+//!
+//! Captions mention attribute value words and generic nouns drawn from the
+//! same concept space the datasets use — but never the datasets' opaque
+//! class tags. This mirrors real CLIP pre-training: the model has seen
+//! "white", "albatross", "long wings" in countless captions, but not the
+//! specific entity ids of a downstream knowledge graph.
+
+use cem_clip::Image;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::schema::AttributePool;
+use crate::world::World;
+
+/// A caption/image pre-training pair (caption still as text; the bundle
+/// tokenises after the tokenizer is built).
+#[derive(Debug, Clone)]
+pub struct CaptionPair {
+    pub caption: String,
+    pub image: Image,
+}
+
+const CAPTION_NOUNS: &[&str] = &[
+    "bird", "scene", "animal", "place", "creature", "landscape", "building", "object",
+];
+
+/// Generate `n_pairs` caption↔image pairs over the pool's vocabulary.
+/// Every pair depicts 2–4 attribute values plus a generic noun; the image
+/// renders exactly the mentioned phrases (plus world distractors).
+pub fn generate_corpus<R: Rng>(
+    world: &mut World,
+    pool: &AttributePool,
+    n_pairs: usize,
+    rng: &mut R,
+) -> Vec<CaptionPair> {
+    for noun in CAPTION_NOUNS {
+        world.register_text(noun, rng);
+    }
+    // Also make sure the prompt-template words exist as concepts/tokens.
+    world.register_text("a photo of with and", rng);
+
+    let mut group_indices: Vec<usize> = (0..pool.group_count()).collect();
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for _ in 0..n_pairs {
+        group_indices.shuffle(rng);
+        // Mention 2–6 attributes so the image encoder sees the same patch
+        // counts the datasets later produce (CUB renders up to 7 patches).
+        let k = rng.gen_range(2..=6usize.min(pool.group_count()));
+        let mut phrases: Vec<String> = Vec::with_capacity(k);
+        for &g in group_indices.iter().take(k) {
+            let (_, values) = pool.group(g);
+            phrases.push(values[rng.gen_range(0..values.len())].clone());
+        }
+        let noun = CAPTION_NOUNS[rng.gen_range(0..CAPTION_NOUNS.len())];
+        let phrase_refs: Vec<&str> = phrases.iter().map(String::as_str).collect();
+        // Two caption syntaxes alternate so the encoder learns both the
+        // "noun with attributes" and the "attributes noun" word orders —
+        // the latter is the shape of descriptive entity names.
+        let caption = if rng.gen_bool(0.5) {
+            World::caption(noun, &phrase_refs)
+        } else {
+            format!("a photo of {} {noun}", phrase_refs.join(" "))
+        };
+        // The noun is depicted too, so name words carry visual signal.
+        let mut render: Vec<&str> = phrase_refs.clone();
+        render.push(noun);
+        let image = world.render_image(&render, rng);
+        pairs.push(CaptionPair { caption, image });
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corpus_has_requested_size_and_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut world = World::new(WorldConfig::default(), &mut rng);
+        let pool = AttributePool::synthesize(10, 3);
+        for g in 0..pool.group_count() {
+            let (gname, values) = pool.group(g);
+            world.register_text(gname, &mut rng);
+            for v in values {
+                world.register_text(v, &mut rng);
+            }
+        }
+        let corpus = generate_corpus(&mut world, &pool, 20, &mut rng);
+        assert_eq!(corpus.len(), 20);
+        for pair in &corpus {
+            assert!(pair.caption.starts_with("a photo of "));
+            assert!(pair.image.n_patches() >= 3); // ≥2 values + noun
+        }
+    }
+
+    #[test]
+    fn captions_use_pool_vocabulary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut world = World::new(WorldConfig::default(), &mut rng);
+        let pool = AttributePool::synthesize(6, 2);
+        for g in 0..pool.group_count() {
+            let (gname, values) = pool.group(g);
+            world.register_text(gname, &mut rng);
+            for v in values {
+                world.register_text(v, &mut rng);
+            }
+        }
+        let vocab = pool.vocabulary();
+        let corpus = generate_corpus(&mut world, &pool, 10, &mut rng);
+        for pair in &corpus {
+            // Both caption styles start with the template prefix; pool words
+            // appear in the remainder.
+            let tail = pair.caption.strip_prefix("a photo of ").unwrap_or(&pair.caption);
+            let mut known = 0;
+            for w in cem_clip::tokenizer::split_words(tail) {
+                if w != "and" && w != "with" && vocab.contains(&w) {
+                    known += 1;
+                }
+            }
+            assert!(known >= 2, "caption mentions too few pool words: {}", pair.caption);
+        }
+    }
+}

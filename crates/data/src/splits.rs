@@ -1,0 +1,150 @@
+//! Train/test entity splits.
+//!
+//! The paper evaluates CUB and SUN with the seen/unseen class splits of
+//! Xian et al. [42] (the zero-shot-learning protocol). This module provides
+//! the equivalent: a deterministic split of entity indices into *seen*
+//! (whose images may inform preprocessing) and *unseen* (evaluation-only)
+//! sets, plus a view that restricts evaluation to one side.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::EmDataset;
+
+/// A seen/unseen partition of a dataset's entities.
+#[derive(Debug, Clone)]
+pub struct EntitySplit {
+    pub seen: Vec<usize>,
+    pub unseen: Vec<usize>,
+}
+
+impl EntitySplit {
+    /// Split `dataset`'s entities with `unseen_fraction` held out.
+    /// Deterministic given the RNG. Guarantees both sides are non-empty
+    /// whenever the dataset has ≥ 2 entities.
+    pub fn new<R: Rng>(dataset: &EmDataset, unseen_fraction: f32, rng: &mut R) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&unseen_fraction),
+            "unseen_fraction must be in [0,1]"
+        );
+        let n = dataset.entity_count();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut n_unseen = ((n as f32) * unseen_fraction).round() as usize;
+        if n >= 2 {
+            n_unseen = n_unseen.clamp(1, n - 1);
+        }
+        let unseen: Vec<usize> = order[..n_unseen].to_vec();
+        let seen: Vec<usize> = order[n_unseen..].to_vec();
+        EntitySplit { seen, unseen }
+    }
+
+    pub fn is_unseen(&self, entity: usize) -> bool {
+        self.unseen.contains(&entity)
+    }
+
+    /// Image indices whose gold entity is unseen (the retrieval pool for
+    /// strict zero-shot evaluation).
+    pub fn unseen_images(&self, dataset: &EmDataset) -> Vec<usize> {
+        (0..dataset.image_count())
+            .filter(|&i| self.unseen.contains(&dataset.image_gold[i]))
+            .collect()
+    }
+}
+
+impl EntitySplit {
+    /// Filter full rankings down to the strict zero-shot protocol: keep
+    /// only unseen-entity queries, and within each ranking keep only images
+    /// of unseen entities (a method must not look good by retrieving
+    /// seen-class images it peeked at). Returns `(unseen entity indices,
+    /// filtered rankings)` in matching order, ready for
+    /// `crossem::metrics::evaluate_rankings`.
+    pub fn filter_rankings(
+        &self,
+        rankings: &[Vec<usize>],
+        dataset: &EmDataset,
+    ) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let pool: std::collections::HashSet<usize> =
+            self.unseen_images(dataset).into_iter().collect();
+        let mut queries = Vec::with_capacity(self.unseen.len());
+        let mut filtered = Vec::with_capacity(self.unseen.len());
+        for &e in &self.unseen {
+            queries.push(e);
+            filtered.push(
+                rankings[e].iter().copied().filter(|i| pool.contains(i)).collect(),
+            );
+        }
+        (queries, filtered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{generate, DatasetKind, DatasetScale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dataset() -> EmDataset {
+        let mut rng = StdRng::seed_from_u64(0);
+        generate(DatasetKind::Cub, DatasetScale::smoke(), &mut rng).1
+    }
+
+    #[test]
+    fn split_covers_all_entities_exactly_once() {
+        let d = dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let split = EntitySplit::new(&d, 0.3, &mut rng);
+        let mut all: Vec<usize> = split.seen.iter().chain(&split.unseen).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..d.entity_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn both_sides_nonempty() {
+        let d = dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        for f in [0.0f32, 0.01, 0.5, 0.99, 1.0] {
+            let split = EntitySplit::new(&d, f, &mut rng);
+            assert!(!split.seen.is_empty(), "fraction {f}: empty seen");
+            assert!(!split.unseen.is_empty(), "fraction {f}: empty unseen");
+        }
+    }
+
+    #[test]
+    fn unseen_images_belong_to_unseen_entities() {
+        let d = dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = EntitySplit::new(&d, 0.5, &mut rng);
+        for i in split.unseen_images(&d) {
+            assert!(split.is_unseen(d.image_gold[i]));
+        }
+    }
+
+    #[test]
+    fn filter_rankings_keeps_only_unseen_pool() {
+        let d = dataset();
+        let mut rng = StdRng::seed_from_u64(4);
+        let split = EntitySplit::new(&d, 0.5, &mut rng);
+        let full: Vec<Vec<usize>> =
+            (0..d.entity_count()).map(|_| (0..d.image_count()).collect()).collect();
+        let (queries, filtered) = split.filter_rankings(&full, &d);
+        assert_eq!(queries.len(), split.unseen.len());
+        let pool_size = split.unseen_images(&d).len();
+        for ranking in &filtered {
+            assert_eq!(ranking.len(), pool_size);
+            for &img in ranking {
+                assert!(split.is_unseen(d.image_gold[img]));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = dataset();
+        let a = EntitySplit::new(&d, 0.4, &mut StdRng::seed_from_u64(9));
+        let b = EntitySplit::new(&d, 0.4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.seen, b.seen);
+        assert_eq!(a.unseen, b.unseen);
+    }
+}

@@ -1,0 +1,183 @@
+//! The synthetic world: renders concept words into image patches and
+//! captions, so that vision and language share a common latent structure.
+
+use cem_clip::Image;
+use cem_tensor::init::randn_value;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::concepts::ConceptSpace;
+
+/// World configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Latent concept dimensionality.
+    pub concept_dim: usize,
+    /// Patch feature dimensionality (what the image encoder sees).
+    pub patch_dim: usize,
+    /// Std-dev of additive patch noise.
+    pub patch_noise: f32,
+    /// Number of distractor (background) patches per image.
+    pub distractor_patches: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig { concept_dim: 16, patch_dim: 16, patch_noise: 0.15, distractor_patches: 1 }
+    }
+}
+
+/// The world holds the concept space plus a fixed random "camera" projection
+/// from concept space to patch-feature space. The projection is frozen: it
+/// plays the role of physics/optics, not of anything learned.
+pub struct World {
+    config: WorldConfig,
+    concepts: ConceptSpace,
+    /// `[concept_dim, patch_dim]` row-major projection.
+    camera: Vec<f32>,
+}
+
+impl World {
+    pub fn new<R: Rng>(config: WorldConfig, rng: &mut R) -> Self {
+        let camera: Vec<f32> = (0..config.concept_dim * config.patch_dim)
+            .map(|_| randn_value(rng) / (config.concept_dim as f32).sqrt())
+            .collect();
+        World { config, concepts: ConceptSpace::new(config.concept_dim), camera }
+    }
+
+    pub fn config(&self) -> &WorldConfig {
+        &self.config
+    }
+
+    pub fn concepts(&self) -> &ConceptSpace {
+        &self.concepts
+    }
+
+    /// Register every word of `text` in the concept space.
+    pub fn register_text<R: Rng>(&mut self, text: &str, rng: &mut R) {
+        for word in cem_clip::tokenizer::split_words(text) {
+            self.concepts.ensure(&word, rng);
+        }
+    }
+
+    /// Project a concept vector through the camera into patch space.
+    fn project(&self, concept: &[f32]) -> Vec<f32> {
+        let (cd, pd) = (self.config.concept_dim, self.config.patch_dim);
+        debug_assert_eq!(concept.len(), cd);
+        let mut out = vec![0.0f32; pd];
+        for (i, &c) in concept.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            for (o, w) in out.iter_mut().zip(&self.camera[i * pd..(i + 1) * pd]) {
+                *o += c * w;
+            }
+        }
+        out
+    }
+
+    /// Render one patch depicting `phrase` (multi-word phrases blend their
+    /// word concepts) plus Gaussian noise.
+    pub fn render_patch<R: Rng>(&self, phrase: &str, rng: &mut R) -> Vec<f32> {
+        let words: Vec<String> = cem_clip::tokenizer::split_words(phrase);
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let concept = self.concepts.blend(&refs);
+        let mut patch = self.project(&concept);
+        for v in patch.iter_mut() {
+            *v += self.config.patch_noise * randn_value(rng);
+        }
+        patch
+    }
+
+    /// Render an image of an entity described by `phrases`: one patch per
+    /// phrase (shuffled), plus the configured number of pure-noise
+    /// distractor patches.
+    pub fn render_image<R: Rng>(&self, phrases: &[&str], rng: &mut R) -> Image {
+        assert!(!phrases.is_empty(), "cannot render an image of nothing");
+        let mut patches: Vec<Vec<f32>> =
+            phrases.iter().map(|p| self.render_patch(p, rng)).collect();
+        for _ in 0..self.config.distractor_patches {
+            patches.push(
+                (0..self.config.patch_dim)
+                    .map(|_| 0.5 * randn_value(rng))
+                    .collect(),
+            );
+        }
+        patches.shuffle(rng);
+        Image::from_patches(patches)
+    }
+
+    /// A natural-ish caption mentioning the phrases, e.g.
+    /// `"a photo of white albatross with long wings and black tail"`.
+    pub fn caption(subject: &str, phrases: &[&str]) -> String {
+        if phrases.is_empty() {
+            format!("a photo of {subject}")
+        } else {
+            format!("a photo of {subject} with {}", phrases.join(" and "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world(seed: u64) -> (World, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = World::new(WorldConfig::default(), &mut rng);
+        (w, rng)
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-9)
+    }
+
+    #[test]
+    fn same_word_patches_correlate() {
+        let (mut w, mut rng) = world(0);
+        w.register_text("white black", &mut rng);
+        let p1 = w.render_patch("white", &mut rng);
+        let p2 = w.render_patch("white", &mut rng);
+        let q = w.render_patch("black", &mut rng);
+        assert!(cosine(&p1, &p2) > cosine(&p1, &q), "same-word patches should be closer");
+    }
+
+    #[test]
+    fn render_image_has_expected_patch_count() {
+        let (mut w, mut rng) = world(1);
+        w.register_text("white long-wings", &mut rng);
+        let img = w.render_image(&["white", "long-wings"], &mut rng);
+        assert_eq!(img.n_patches(), 2 + w.config().distractor_patches);
+        assert_eq!(img.patch_dim(), w.config().patch_dim);
+    }
+
+    #[test]
+    fn caption_format() {
+        assert_eq!(
+            World::caption("albatross", &["white crown", "long wings"]),
+            "a photo of albatross with white crown and long wings"
+        );
+        assert_eq!(World::caption("albatross", &[]), "a photo of albatross");
+    }
+
+    #[test]
+    fn unknown_phrase_renders_noise_only() {
+        let (w, mut rng) = world(2);
+        let p = w.render_patch("never registered", &mut rng);
+        // Projection of a zero blend is zero; only noise remains.
+        let energy: f32 = p.iter().map(|x| x * x).sum::<f32>() / p.len() as f32;
+        assert!(energy < 4.0 * w.config().patch_noise * w.config().patch_noise + 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing")]
+    fn empty_image_panics() {
+        let (w, mut rng) = world(3);
+        let _ = w.render_image(&[], &mut rng);
+    }
+}

@@ -1,0 +1,272 @@
+//! Directed labelled graph `G = (V, E, L)`.
+
+use std::collections::BTreeSet;
+
+/// Index of a vertex in its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VertexId(pub usize);
+
+/// Index of an edge in its [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Vertex {
+    label: String,
+    out: Vec<EdgeId>,
+    inc: Vec<EdgeId>,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    src: VertexId,
+    dst: VertexId,
+    label: String,
+}
+
+/// A directed graph with string labels on vertices and edges.
+///
+/// `L` from the paper's definition — the set of all unique words in labels —
+/// is exposed via [`Graph::label_words`].
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    vertices: Vec<Vertex>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Add a vertex with the given label; returns its id.
+    pub fn add_vertex(&mut self, label: impl Into<String>) -> VertexId {
+        let id = VertexId(self.vertices.len());
+        self.vertices.push(Vertex { label: label.into(), out: Vec::new(), inc: Vec::new() });
+        id
+    }
+
+    /// Add a directed labelled edge; returns its id. Panics on dangling ids.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, label: impl Into<String>) -> EdgeId {
+        assert!(src.0 < self.vertices.len(), "dangling source vertex {src:?}");
+        assert!(dst.0 < self.vertices.len(), "dangling target vertex {dst:?}");
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { src, dst, label: label.into() });
+        self.vertices[src.0].out.push(id);
+        self.vertices[dst.0].inc.push(id);
+        id
+    }
+
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All vertex ids, in insertion order.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len()).map(VertexId)
+    }
+
+    /// `L(v)` — the label of a vertex.
+    pub fn vertex_label(&self, v: VertexId) -> &str {
+        &self.vertices[v.0].label
+    }
+
+    /// `L(e)` — the label of an edge.
+    pub fn edge_label(&self, e: EdgeId) -> &str {
+        &self.edges[e.0].label
+    }
+
+    /// Endpoints of an edge as `(src, dst)`.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let edge = &self.edges[e.0];
+        (edge.src, edge.dst)
+    }
+
+    /// Outgoing edges of `v`.
+    pub fn out_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.vertices[v.0].out
+    }
+
+    /// Incoming edges of `v`.
+    pub fn in_edges(&self, v: VertexId) -> &[EdgeId] {
+        &self.vertices[v.0].inc
+    }
+
+    /// Out-neighbours (targets of outgoing edges), in edge order.
+    pub fn out_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        self.vertices[v.0].out.iter().map(|&e| self.edges[e.0].dst).collect()
+    }
+
+    /// In-neighbours (sources of incoming edges), in edge order.
+    pub fn in_neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        self.vertices[v.0].inc.iter().map(|&e| self.edges[e.0].src).collect()
+    }
+
+    /// Undirected neighbourhood (out ∪ in), deduplicated, sorted by id.
+    /// The prompt generators treat association as symmetric, matching the
+    /// paper's use of "neighbours" for both directions.
+    pub fn neighbors(&self, v: VertexId) -> Vec<VertexId> {
+        let mut set: BTreeSet<VertexId> = BTreeSet::new();
+        set.extend(self.out_neighbors(v));
+        set.extend(self.in_neighbors(v));
+        set.remove(&v); // self loops are not neighbours
+        set.into_iter().collect()
+    }
+
+    /// Degree in the undirected sense (distinct neighbours).
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Find the first vertex with an exact label, if any (test helper and
+    /// small-data convenience; O(V)).
+    pub fn find_vertex(&self, label: &str) -> Option<VertexId> {
+        self.vertices.iter().position(|v| v.label == label).map(VertexId)
+    }
+
+    /// `L` — the set of unique whitespace-separated words across all vertex
+    /// and edge labels.
+    pub fn label_words(&self) -> BTreeSet<String> {
+        let mut words = BTreeSet::new();
+        for v in &self.vertices {
+            words.extend(v.label.split_whitespace().map(str::to_string));
+        }
+        for e in &self.edges {
+            words.extend(e.label.split_whitespace().map(str::to_string));
+        }
+        words
+    }
+
+    /// Undirected adjacency list over all vertices (index = vertex id).
+    /// This is the format the GNN layers consume.
+    pub fn adjacency(&self) -> Vec<Vec<usize>> {
+        (0..self.vertices.len())
+            .map(|i| self.neighbors(VertexId(i)).into_iter().map(|v| v.0).collect())
+            .collect()
+    }
+
+    /// Merge another graph into this one; returns the vertex-id offset that
+    /// was applied to `other`'s ids.
+    pub fn merge(&mut self, other: &Graph) -> usize {
+        let offset = self.vertices.len();
+        for v in &other.vertices {
+            self.add_vertex(v.label.clone());
+        }
+        for e in &other.edges {
+            self.add_edge(
+                VertexId(e.src.0 + offset),
+                VertexId(e.dst.0 + offset),
+                e.label.clone(),
+            );
+        }
+        offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Graph, VertexId, VertexId, VertexId) {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("c");
+        g.add_edge(a, b, "ab");
+        g.add_edge(b, c, "bc");
+        g.add_edge(c, a, "ca");
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn counts_and_labels() {
+        let (g, a, _, _) = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.vertex_label(a), "a");
+        assert_eq!(g.edge_label(EdgeId(0)), "ab");
+    }
+
+    #[test]
+    fn directed_neighbourhoods() {
+        let (g, a, b, c) = triangle();
+        assert_eq!(g.out_neighbors(a), vec![b]);
+        assert_eq!(g.in_neighbors(a), vec![c]);
+        assert_eq!(g.neighbors(a), vec![b, c]);
+        assert_eq!(g.degree(b), 2);
+    }
+
+    #[test]
+    fn self_loops_excluded_from_neighbours() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        g.add_edge(a, a, "loop");
+        assert!(g.neighbors(a).is_empty());
+        assert_eq!(g.out_neighbors(a), vec![a]); // raw view keeps the loop
+    }
+
+    #[test]
+    fn duplicate_edges_deduped_in_neighbors() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        g.add_edge(a, b, "x");
+        g.add_edge(a, b, "y");
+        g.add_edge(b, a, "z");
+        assert_eq!(g.neighbors(a), vec![b]);
+        assert_eq!(g.out_neighbors(a).len(), 2);
+    }
+
+    #[test]
+    fn label_words_unions_vertices_and_edges() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("laysan albatross");
+        let b = g.add_vertex("white");
+        g.add_edge(a, b, "has crown color");
+        let words = g.label_words();
+        for w in ["laysan", "albatross", "white", "has", "crown", "color"] {
+            assert!(words.contains(w), "missing {w}");
+        }
+        assert_eq!(words.len(), 6);
+    }
+
+    #[test]
+    fn adjacency_matches_neighbors() {
+        let (g, a, ..) = triangle();
+        let adj = g.adjacency();
+        assert_eq!(adj[a.0], vec![1, 2]);
+    }
+
+    #[test]
+    fn merge_offsets_ids() {
+        let (mut g, ..) = triangle();
+        let (h, ..) = triangle();
+        let offset = g.merge(&h);
+        assert_eq!(offset, 3);
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        // Edges of the merged copy connect shifted ids.
+        let (src, dst) = g.edge_endpoints(EdgeId(3));
+        assert_eq!(src, VertexId(3));
+        assert_eq!(dst, VertexId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn dangling_edge_panics() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        g.add_edge(a, VertexId(9), "bad");
+    }
+
+    #[test]
+    fn find_vertex_by_label() {
+        let (g, _, b, _) = triangle();
+        assert_eq!(g.find_vertex("b"), Some(b));
+        assert_eq!(g.find_vertex("zzz"), None);
+    }
+}

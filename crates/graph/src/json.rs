@@ -1,0 +1,382 @@
+//! A minimal JSON value type with parser and serialiser.
+//!
+//! Hand-rolled because only `serde` (not `serde_json`) is on the offline
+//! dependency allowlist, and the data-lake mapping needs just enough JSON to
+//! model semi-structured sources: objects, arrays, strings, numbers, bools,
+//! null, plus `"@ref:<key>"` strings which the mapping treats as references
+//! to other entities.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Object keys are ordered (BTreeMap) so graph construction is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parse a JSON document. Returns a descriptive error on malformed input.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+        parser.skip_ws();
+        let value = parser.parse_value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.err("trailing characters"));
+        }
+        Ok(value)
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a `"@ref:<key>"` reference string; returns the key.
+    pub fn as_reference(&self) -> Option<&str> {
+        self.as_str().and_then(|s| s.strip_prefix("@ref:"))
+    }
+
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => write!(f, "null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            JsonValue::String(s) => write!(f, "\"{}\"", escape(s)),
+            JsonValue::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            JsonValue::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    pub message: String,
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            self.pos = self.pos.saturating_sub(1);
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| JsonError { message: format!("bad number {text:?}"), offset: start })
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+                            code = code * 16
+                                + (c as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.err("bad hex in \\u escape"))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(first) => {
+                    // Multi-byte UTF-8: copy the remaining continuation bytes.
+                    let width = match first {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let end = (start + width).min(self.bytes.len());
+                    self.pos = end;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or ']'"));
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(map)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.err("expected ',' or '}'"));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(JsonValue::parse("-3.5e2").unwrap(), JsonValue::Number(-350.0));
+        assert_eq!(
+            JsonValue::parse("\"hi\\nthere\"").unwrap(),
+            JsonValue::String("hi\nthere".into())
+        );
+    }
+
+    #[test]
+    fn parse_nested_document() {
+        let doc = r#"{"bird": {"name": "laysan albatross", "colors": ["white", "black"], "wingspan": 2.03, "rare": false}}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let bird = v.get("bird").unwrap();
+        assert_eq!(bird.get("name").unwrap().as_str(), Some("laysan albatross"));
+        assert_eq!(bird.get("colors").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(bird.get("wingspan").unwrap().as_number(), Some(2.03));
+    }
+
+    #[test]
+    fn reference_strings_detected() {
+        let v = JsonValue::parse(r#"{"habitat": "@ref:hawaii"}"#).unwrap();
+        assert_eq!(v.get("habitat").unwrap().as_reference(), Some("hawaii"));
+        assert_eq!(JsonValue::String("plain".into()).as_reference(), None);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let doc = r#"{"a":[1,2,{"b":"c"}],"d":null}"#;
+        let v = JsonValue::parse(doc).unwrap();
+        let reparsed = JsonValue::parse(&v.to_string()).unwrap();
+        assert_eq!(v, reparsed);
+    }
+
+    #[test]
+    fn unicode_escape_and_utf8_passthrough() {
+        assert_eq!(
+            JsonValue::parse("\"\\u00e9\"").unwrap(),
+            JsonValue::String("é".into())
+        );
+        assert_eq!(JsonValue::parse("\"héllo\"").unwrap(), JsonValue::String("héllo".into()));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = JsonValue::parse("{\"a\": }").unwrap_err();
+        assert!(err.offset > 0);
+        assert!(JsonValue::parse("[1, 2").is_err());
+        assert!(JsonValue::parse("tru").is_err());
+        assert!(JsonValue::parse("1 2").is_err()); // trailing
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::parse("[]").unwrap(), JsonValue::Array(vec![]));
+        assert_eq!(JsonValue::parse("{}").unwrap(), JsonValue::Object(BTreeMap::new()));
+        assert_eq!(JsonValue::parse("[ ]").unwrap(), JsonValue::Array(vec![]));
+    }
+}

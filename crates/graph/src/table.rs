@@ -1,0 +1,134 @@
+//! Relational tables: a named set of tuples over a fixed attribute schema.
+
+/// A relational table (paper Sec. II-A: "a set of tuples T associated with a
+/// set of attributes"). Values are strings, as is standard for data-lake
+/// ingestion before typing.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+    /// Column index used as the entity key (tuple identity).
+    key_column: usize,
+    /// Columns that are foreign keys into `(table, column)` targets.
+    foreign_keys: Vec<(usize, String)>,
+}
+
+impl Table {
+    /// Create an empty table. The first column is the key by default.
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        assert!(!columns.is_empty(), "table must have at least one column");
+        Table { name: name.into(), columns, rows: Vec::new(), key_column: 0, foreign_keys: Vec::new() }
+    }
+
+    /// Choose which column identifies the tuple's entity.
+    pub fn with_key_column(mut self, column: &str) -> Self {
+        self.key_column = self.column_index(column).unwrap_or_else(|| {
+            panic!("key column {column:?} not in schema {:?}", self.columns)
+        });
+        self
+    }
+
+    /// Declare `column` a foreign key referencing entities of `target_table`.
+    pub fn with_foreign_key(mut self, column: &str, target_table: &str) -> Self {
+        let idx = self.column_index(column).unwrap_or_else(|| {
+            panic!("fk column {column:?} not in schema {:?}", self.columns)
+        });
+        self.foreign_keys.push((idx, target_table.to_string()));
+        self
+    }
+
+    /// Append a tuple. Panics if arity mismatches the schema.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row arity {} != schema arity {}", row.len(), self.columns.len());
+        self.rows.push(row);
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    pub fn key_column(&self) -> usize {
+        self.key_column
+    }
+
+    /// The key value of row `i`.
+    pub fn key_of(&self, i: usize) -> &str {
+        &self.rows[i][self.key_column]
+    }
+
+    pub fn foreign_keys(&self) -> &[(usize, String)] {
+        &self.foreign_keys
+    }
+
+    /// The value at `(row, column-name)`, if the column exists.
+    pub fn value(&self, row: usize, column: &str) -> Option<&str> {
+        self.column_index(column).map(|c| self.rows[row][c].as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn birds() -> Table {
+        let mut t = Table::new(
+            "birds",
+            vec!["name".into(), "color".into(), "wings".into(), "origin".into()],
+        );
+        t.push_row(vec!["laysan albatross".into(), "white".into(), "long".into(), "hawaii".into()]);
+        t.push_row(vec!["woodpecker".into(), "black".into(), "short".into(), "europe".into()]);
+        t
+    }
+
+    #[test]
+    fn schema_and_rows() {
+        let t = birds();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.columns().len(), 4);
+        assert_eq!(t.value(0, "color"), Some("white"));
+        assert_eq!(t.value(1, "nope"), None);
+    }
+
+    #[test]
+    fn key_defaults_to_first_column() {
+        let t = birds();
+        assert_eq!(t.key_of(0), "laysan albatross");
+    }
+
+    #[test]
+    fn custom_key_column() {
+        let t = birds().with_key_column("origin");
+        assert_eq!(t.key_of(1), "europe");
+    }
+
+    #[test]
+    fn foreign_keys_registered() {
+        let t = Table::new("sightings", vec!["id".into(), "bird".into()])
+            .with_foreign_key("bird", "birds");
+        assert_eq!(t.foreign_keys(), &[(1usize, "birds".to_string())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push_row(vec!["x".into(), "y".into()]);
+    }
+}

@@ -1,0 +1,186 @@
+//! Breadth-first traversal and d-hop subgraph extraction (paper Sec. III-A).
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::graph::{EdgeId, Graph, VertexId};
+
+/// BFS over the undirected neighbourhood starting at `start`, capped at
+/// `max_depth` hops. Returns `(vertex, depth)` pairs in visit order; the
+/// start vertex is first with depth 0.
+pub fn bfs_order(graph: &Graph, start: VertexId, max_depth: usize) -> Vec<(VertexId, usize)> {
+    let mut order = Vec::new();
+    let mut seen: HashSet<VertexId> = HashSet::new();
+    let mut queue: VecDeque<(VertexId, usize)> = VecDeque::new();
+    seen.insert(start);
+    queue.push_back((start, 0));
+    while let Some((v, depth)) = queue.pop_front() {
+        order.push((v, depth));
+        if depth == max_depth {
+            continue;
+        }
+        for n in graph.neighbors(v) {
+            if seen.insert(n) {
+                queue.push_back((n, depth + 1));
+            }
+        }
+    }
+    order
+}
+
+/// The d-hop subgraph of a vertex: the vertices within `d` hops plus all
+/// edges with both endpoints inside (paper: "induced by the vertices V_d
+/// within d hops of v").
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// Center vertex.
+    pub center: VertexId,
+    /// Vertices in BFS order (center first).
+    pub vertices: Vec<VertexId>,
+    /// Depth of each vertex, parallel to `vertices`.
+    pub depths: Vec<usize>,
+    /// All edges of the host graph with both endpoints in `vertices`.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Subgraph {
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertices at exactly `depth` hops.
+    pub fn at_depth(&self, depth: usize) -> Vec<VertexId> {
+        self.vertices
+            .iter()
+            .zip(&self.depths)
+            .filter(|(_, &d)| d == depth)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.contains(&v)
+    }
+}
+
+/// Extract the d-hop subgraph of `v` (see [`Subgraph`]).
+pub fn d_hop_subgraph(graph: &Graph, v: VertexId, d: usize) -> Subgraph {
+    let order = bfs_order(graph, v, d);
+    let vertices: Vec<VertexId> = order.iter().map(|&(v, _)| v).collect();
+    let depths: Vec<usize> = order.iter().map(|&(_, d)| d).collect();
+    let inside: HashSet<VertexId> = vertices.iter().copied().collect();
+    let mut edges = Vec::new();
+    for v in &vertices {
+        for &e in graph.out_edges(*v) {
+            let (_, dst) = graph.edge_endpoints(e);
+            if inside.contains(&dst) {
+                edges.push(e);
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Subgraph { center: v, vertices, depths, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph a - b - c - d (undirected via paired edges).
+    fn path() -> (Graph, Vec<VertexId>) {
+        let mut g = Graph::new();
+        let ids: Vec<VertexId> = ["a", "b", "c", "d"].iter().map(|l| g.add_vertex(*l)).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], "next");
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn bfs_depths_on_path() {
+        let (g, ids) = path();
+        let order = bfs_order(&g, ids[0], 10);
+        assert_eq!(order, vec![(ids[0], 0), (ids[1], 1), (ids[2], 2), (ids[3], 3)]);
+    }
+
+    #[test]
+    fn bfs_respects_max_depth() {
+        let (g, ids) = path();
+        let order = bfs_order(&g, ids[0], 1);
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn bfs_undirected_reaches_in_neighbors() {
+        let (g, ids) = path();
+        // Start at the end of the directed chain: BFS is over undirected
+        // neighbourhoods so it still reaches everything.
+        let order = bfs_order(&g, ids[3], 10);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn subgraph_includes_internal_edges_only() {
+        let (g, ids) = path();
+        let sub = d_hop_subgraph(&g, ids[1], 1); // {a, b, c}
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 2); // a->b, b->c ; c->d excluded
+        assert!(sub.contains(ids[0]));
+        assert!(!sub.contains(ids[3]));
+    }
+
+    #[test]
+    fn at_depth_partitions_vertices() {
+        let (g, ids) = path();
+        let sub = d_hop_subgraph(&g, ids[0], 2);
+        assert_eq!(sub.at_depth(0), vec![ids[0]]);
+        assert_eq!(sub.at_depth(1), vec![ids[1]]);
+        assert_eq!(sub.at_depth(2), vec![ids[2]]);
+    }
+
+    #[test]
+    fn star_subgraph_matches_paper_example() {
+        // Figure 3 shape: center with 3 attribute neighbours, one of which
+        // has its own neighbour (2-hop).
+        let mut g = Graph::new();
+        let albatross = g.add_vertex("laysan albatross");
+        let white = g.add_vertex("white");
+        let black = g.add_vertex("black");
+        let wings = g.add_vertex("long-wings");
+        let grey = g.add_vertex("grey");
+        g.add_edge(albatross, white, "has crown color");
+        g.add_edge(albatross, black, "has under tail color");
+        g.add_edge(albatross, wings, "has wing shape");
+        g.add_edge(wings, grey, "has wing color");
+
+        let one_hop = d_hop_subgraph(&g, albatross, 1);
+        assert_eq!(one_hop.vertex_count(), 4);
+        assert_eq!(one_hop.edge_count(), 3);
+
+        let two_hop = d_hop_subgraph(&g, albatross, 2);
+        assert_eq!(two_hop.vertex_count(), 5);
+        assert_eq!(two_hop.edge_count(), 4);
+        assert_eq!(two_hop.at_depth(2), vec![grey]);
+    }
+
+    #[test]
+    fn zero_hop_subgraph_is_just_center() {
+        let (g, ids) = path();
+        let sub = d_hop_subgraph(&g, ids[2], 0);
+        assert_eq!(sub.vertices, vec![ids[2]]);
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn disconnected_vertices_unreached() {
+        let mut g = Graph::new();
+        let a = g.add_vertex("a");
+        let _lonely = g.add_vertex("lonely");
+        let sub = d_hop_subgraph(&g, a, 5);
+        assert_eq!(sub.vertex_count(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Multi-head scaled-dot-product self-attention over a single sequence.
+//!
+//! Operates on `[T, D]` (one sequence at a time); the encoders loop over the
+//! batch. An optional additive mask (e.g. `-1e9` at padding positions)
+//! matches the behaviour of masked softmax in the reference CLIP text
+//! encoder.
+
+use cem_tensor::Tensor;
+use rand::Rng;
+
+use crate::linear::Linear;
+use crate::module::{with_prefix, Module};
+
+/// Multi-head self-attention with fused QKV projection.
+pub struct MultiHeadAttention {
+    qkv: Linear,
+    proj: Linear,
+    heads: usize,
+    dim: usize,
+    head_dim: usize,
+}
+
+impl MultiHeadAttention {
+    pub fn new<R: Rng>(dim: usize, heads: usize, rng: &mut R) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
+        MultiHeadAttention {
+            qkv: Linear::new(dim, 3 * dim, rng),
+            proj: Linear::new(dim, dim, rng),
+            heads,
+            dim,
+            head_dim: dim / heads,
+        }
+    }
+
+    /// Self-attention over `[T, D]`. `mask` (if given) must be `[T, T]` and
+    /// is added to the attention logits before softmax.
+    pub fn forward(&self, x: &Tensor, mask: Option<&Tensor>) -> Tensor {
+        let (t, d) = x.shape().as_matrix();
+        debug_assert_eq!(d, self.dim);
+        let qkv = self.qkv.forward(x); // [T, 3D]
+        let q = qkv.slice_cols(0, d);
+        let k = qkv.slice_cols(d, 2 * d);
+        let v = qkv.slice_cols(2 * d, 3 * d);
+
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let lo = h * self.head_dim;
+            let hi = lo + self.head_dim;
+            let qh = q.slice_cols(lo, hi); // [T, hd]
+            let kh = k.slice_cols(lo, hi);
+            let vh = v.slice_cols(lo, hi);
+            let mut scores = qh.matmul_nt(&kh).mul_scalar(scale); // [T, T]
+            if let Some(m) = mask {
+                debug_assert_eq!(m.dims(), &[t, t]);
+                scores = scores.add(m);
+            }
+            let attn = scores.softmax_rows();
+            head_outputs.push(attn.matmul(&vh)); // [T, hd]
+        }
+        let concat = head_outputs
+            .into_iter()
+            .reduce(|acc, h| acc.concat_cols(&h))
+            .expect("at least one head");
+        self.proj.forward(&concat)
+    }
+
+    /// Build an additive padding mask for a sequence where positions
+    /// `valid_len..t` are padding: those key columns get `-1e9`.
+    pub fn padding_mask(t: usize, valid_len: usize) -> Tensor {
+        let mut data = vec![0.0f32; t * t];
+        for row in 0..t {
+            for col in valid_len..t {
+                data[row * t + col] = -1e9;
+            }
+        }
+        Tensor::from_vec(data, &[t, t])
+    }
+
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = with_prefix("qkv", self.qkv.named_params());
+        v.extend(with_prefix("proj", self.proj.named_params()));
+        v
+    }
+}
+
+/// Multi-head cross-attention: queries from one sequence, keys/values from
+/// another (the co-attention primitive of two-stream fusion models such as
+/// ViLBERT).
+pub struct CrossAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    proj: Linear,
+    heads: usize,
+    dim: usize,
+    head_dim: usize,
+}
+
+impl CrossAttention {
+    pub fn new<R: Rng>(dim: usize, heads: usize, rng: &mut R) -> Self {
+        assert!(heads > 0 && dim.is_multiple_of(heads), "dim {dim} not divisible by heads {heads}");
+        CrossAttention {
+            wq: Linear::new(dim, dim, rng),
+            wk: Linear::new(dim, dim, rng),
+            wv: Linear::new(dim, dim, rng),
+            proj: Linear::new(dim, dim, rng),
+            heads,
+            dim,
+            head_dim: dim / heads,
+        }
+    }
+
+    /// Attend from `x` (`[Tx, D]`) over `context` (`[Tc, D]`); returns
+    /// `[Tx, D]`.
+    pub fn forward(&self, x: &Tensor, context: &Tensor) -> Tensor {
+        debug_assert_eq!(x.shape().last_dim(), self.dim);
+        debug_assert_eq!(context.shape().last_dim(), self.dim);
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(context);
+        let v = self.wv.forward(context);
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        let mut heads = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let lo = h * self.head_dim;
+            let hi = lo + self.head_dim;
+            let attn = q
+                .slice_cols(lo, hi)
+                .matmul_nt(&k.slice_cols(lo, hi))
+                .mul_scalar(scale)
+                .softmax_rows();
+            heads.push(attn.matmul(&v.slice_cols(lo, hi)));
+        }
+        let concat =
+            heads.into_iter().reduce(|acc, h| acc.concat_cols(&h)).expect("at least one head");
+        self.proj.forward(&concat)
+    }
+}
+
+impl Module for CrossAttention {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = with_prefix("wq", self.wq.named_params());
+        v.extend(with_prefix("wk", self.wk.named_params()));
+        v.extend(with_prefix("wv", self.wv.named_params()));
+        v.extend(with_prefix("proj", self.proj.named_params()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = cem_tensor::init::randn(&[5, 8], 1.0, &mut rng);
+        let y = mha.forward(&x, None);
+        assert_eq!(y.dims(), &[5, 8]);
+    }
+
+    #[test]
+    fn padding_mask_blocks_attention_to_padding() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mha = MultiHeadAttention::new(4, 1, &mut rng);
+        let x = cem_tensor::init::randn(&[4, 4], 1.0, &mut rng);
+
+        // With a full mask over the last two positions, changing those rows'
+        // *content* must not affect the first row's output.
+        let mask = MultiHeadAttention::padding_mask(4, 2);
+        let y1 = mha.forward(&x, Some(&mask));
+
+        let mut data = x.to_vec();
+        for v in data[8..16].iter_mut() {
+            *v += 100.0; // perturb padding rows
+        }
+        let x2 = Tensor::from_vec(data, &[4, 4]);
+        let y2 = mha.forward(&x2, Some(&mask));
+
+        // First two (valid) query rows attend only to valid keys.
+        for i in 0..8 {
+            assert!((y1.to_vec()[i] - y2.to_vec()[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mha = MultiHeadAttention::new(8, 4, &mut rng);
+        let x = cem_tensor::init::randn(&[3, 8], 1.0, &mut rng);
+        mha.forward(&x, None).sum().backward();
+        for (name, p) in mha.named_params() {
+            assert!(p.grad().is_some(), "no grad for {name}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_heads_panic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = MultiHeadAttention::new(6, 4, &mut rng);
+    }
+
+    #[test]
+    fn cross_attention_shapes_follow_query() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ca = CrossAttention::new(8, 2, &mut rng);
+        let x = cem_tensor::init::randn(&[3, 8], 1.0, &mut rng);
+        let ctx = cem_tensor::init::randn(&[7, 8], 1.0, &mut rng);
+        let y = ca.forward(&x, &ctx);
+        assert_eq!(y.dims(), &[3, 8]);
+    }
+
+    #[test]
+    fn cross_attention_depends_on_context() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ca = CrossAttention::new(8, 2, &mut rng);
+        let x = cem_tensor::init::randn(&[2, 8], 1.0, &mut rng);
+        let c1 = cem_tensor::init::randn(&[4, 8], 1.0, &mut rng);
+        let c2 = cem_tensor::init::randn(&[4, 8], 1.0, &mut rng);
+        let y1 = ca.forward(&x, &c1).to_vec();
+        let y2 = ca.forward(&x, &c2).to_vec();
+        assert!(y1.iter().zip(&y2).any(|(a, b)| (a - b).abs() > 1e-5));
+    }
+
+    #[test]
+    fn cross_attention_gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ca = CrossAttention::new(4, 1, &mut rng);
+        let x = cem_tensor::init::randn(&[2, 4], 1.0, &mut rng);
+        let ctx = cem_tensor::init::randn(&[3, 4], 1.0, &mut rng);
+        ca.forward(&x, &ctx).sum().backward();
+        for (name, p) in ca.named_params() {
+            assert!(p.grad().is_some(), "no grad for {name}");
+        }
+    }
+}

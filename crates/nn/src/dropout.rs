@@ -1,0 +1,91 @@
+//! Inverted dropout.
+
+use cem_tensor::Tensor;
+use rand::Rng;
+
+/// Dropout with probability `p`. At train time a Bernoulli mask is sampled
+/// from the provided RNG and the surviving activations are scaled by
+/// `1/(1-p)` so evaluation needs no correction. Calling it in eval mode is
+/// the identity.
+pub struct Dropout {
+    p: f32,
+}
+
+impl Dropout {
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1)");
+        Dropout { p }
+    }
+
+    /// Training-mode forward (samples a fresh mask).
+    pub fn forward_train<R: Rng>(&self, x: &Tensor, rng: &mut R) -> Tensor {
+        if self.p == 0.0 {
+            return x.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mask: Vec<f32> = (0..x.numel())
+            .map(|_| if rng.gen::<f32>() < self.p { 0.0 } else { scale })
+            .collect();
+        let mask_t = Tensor::from_vec(mask, x.dims());
+        x.mul(&mask_t)
+    }
+
+    /// Evaluation-mode forward (identity).
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        x.clone()
+    }
+
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_p_is_identity() {
+        let d = Dropout::new(0.0);
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(d.forward_train(&x, &mut rng).to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[10_000]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let y = d.forward_train(&x, &mut rng);
+        let mean: f32 = y.to_vec().iter().sum::<f32>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn eval_mode_never_drops() {
+        let d = Dropout::new(0.9);
+        let x = Tensor::ones(&[16]);
+        assert_eq!(d.forward_eval(&x).to_vec(), vec![1.0; 16]);
+    }
+
+    #[test]
+    fn masked_positions_get_zero_grad() {
+        let d = Dropout::new(0.5);
+        let x = Tensor::ones(&[64]).requires_grad();
+        let mut rng = StdRng::seed_from_u64(2);
+        let y = d.forward_train(&x, &mut rng);
+        y.sum().backward();
+        let g = x.grad().unwrap();
+        let out = y.to_vec();
+        for (gv, ov) in g.iter().zip(&out) {
+            if *ov == 0.0 {
+                assert_eq!(*gv, 0.0);
+            } else {
+                assert!((gv - 2.0).abs() < 1e-6); // scale = 1/(1-0.5)
+            }
+        }
+    }
+}

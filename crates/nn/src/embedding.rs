@@ -1,0 +1,91 @@
+//! Token and positional embeddings.
+
+use cem_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::module::Module;
+
+/// A `[vocab, dim]` lookup table. `forward` gathers rows (differentiable:
+/// backward scatter-adds into the table).
+pub struct Embedding {
+    weight: Tensor,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    pub fn new<R: Rng>(vocab: usize, dim: usize, rng: &mut R) -> Self {
+        // CLIP-style small-normal init keeps early logits in a sane range.
+        Embedding { weight: init::randn(&[vocab, dim], 0.02, rng).requires_grad(), vocab, dim }
+    }
+
+    /// Wrap an existing table (e.g. to share weights between modules).
+    pub fn from_weight(weight: Tensor) -> Self {
+        let (vocab, dim) = weight.shape().as_matrix();
+        Embedding { weight, vocab, dim }
+    }
+
+    /// `[N] token ids -> [N, dim]`.
+    pub fn forward(&self, ids: &[usize]) -> Tensor {
+        self.weight.gather_rows(ids)
+    }
+
+    /// A single token's embedding as `[dim]`.
+    pub fn lookup(&self, id: usize) -> Tensor {
+        self.weight.gather_rows(&[id]).reshape(&[self.dim])
+    }
+
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Embedding {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        vec![("weight".to_string(), self.weight.clone())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_gathers_rows() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(10, 4, &mut rng);
+        let out = e.forward(&[3, 3, 7]);
+        assert_eq!(out.dims(), &[3, 4]);
+        let w = e.weight().to_vec();
+        assert_eq!(&out.to_vec()[0..4], &w[12..16]);
+        assert_eq!(&out.to_vec()[4..8], &w[12..16]);
+    }
+
+    #[test]
+    fn gradients_scatter_to_used_rows_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(4, 2, &mut rng);
+        e.forward(&[1]).sum().backward();
+        let g = e.weight().grad().unwrap();
+        assert_eq!(&g[0..2], &[0.0, 0.0]);
+        assert_eq!(&g[2..4], &[1.0, 1.0]);
+        assert_eq!(&g[4..8], &[0.0; 4]);
+    }
+
+    #[test]
+    fn lookup_is_rank1() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = Embedding::new(4, 3, &mut rng);
+        assert_eq!(e.lookup(2).dims(), &[3]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cem-nn
+//!
+//! Neural-network layers built on [`cem_tensor`]: the building blocks of the
+//! CLIP-style dual encoder (Linear, LayerNorm, Embedding, multi-head
+//! attention, Transformer encoder) plus the graph layers the paper's soft
+//! prompt relies on (a mean-aggregating GNN layer and GraphSAGE).
+//!
+//! Everything is a [`Module`]: a named bag of parameter tensors that can be
+//! collected for an optimiser or serialised via
+//! [`cem_tensor::io::StateDict`].
+
+pub mod attention;
+pub mod dropout;
+pub mod embedding;
+pub mod gnn;
+pub mod linear;
+pub mod mlp;
+pub mod module;
+pub mod norm;
+pub mod transformer;
+
+pub use attention::{CrossAttention, MultiHeadAttention};
+pub use dropout::Dropout;
+pub use embedding::Embedding;
+pub use gnn::{GnnLayer, GraphSageLayer};
+pub use linear::Linear;
+pub use mlp::FeedForward;
+pub use module::Module;
+pub use norm::LayerNorm;
+pub use transformer::{TransformerBlock, TransformerEncoder};

@@ -1,0 +1,112 @@
+//! Fully-connected layer `y = x·W + b`.
+
+use cem_tensor::{init, Tensor};
+use rand::Rng;
+
+use crate::module::Module;
+
+/// Linear projection with optional bias. Weight layout is `[in, out]` so
+/// forward is a plain `x.matmul(&w)`.
+pub struct Linear {
+    weight: Tensor,
+    bias: Option<Tensor>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Xavier-initialised linear layer with bias.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: init::xavier_uniform(in_dim, out_dim, rng).requires_grad(),
+            bias: Some(Tensor::zeros(&[out_dim]).requires_grad()),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Xavier-initialised linear layer without bias (projection heads).
+    pub fn new_no_bias<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: init::xavier_uniform(in_dim, out_dim, rng).requires_grad(),
+            bias: None,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// `[N, in] -> [N, out]` (rank-1 inputs behave as a single row).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        debug_assert_eq!(x.shape().last_dim(), self.in_dim, "Linear input dim mismatch");
+        let y = x.matmul(&self.weight);
+        match &self.bias {
+            Some(b) => y.add_row(b),
+            None => y,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+}
+
+impl Module for Linear {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = vec![("weight".to_string(), self.weight.clone())];
+        if let Some(b) = &self.bias {
+            v.push(("bias".to_string(), b.clone()));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::ones(&[4, 3]);
+        let y = l.forward(&x);
+        assert_eq!(y.dims(), &[4, 2]);
+    }
+
+    #[test]
+    fn identity_weight_passthrough() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new_no_bias(2, 2, &mut rng);
+        l.weight().copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+        let x = Tensor::from_vec(vec![3.0, -1.0], &[1, 2]);
+        assert_eq!(l.forward(&x).to_vec(), vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn gradient_flows_to_params() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        l.forward(&x).sum().backward();
+        for (_, p) in l.named_params() {
+            assert!(p.grad().is_some());
+        }
+    }
+
+    #[test]
+    fn param_count_with_and_without_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Linear::new(3, 4, &mut rng).param_count(), 16);
+        assert_eq!(Linear::new_no_bias(3, 4, &mut rng).param_count(), 12);
+    }
+}

@@ -1,0 +1,65 @@
+//! Transformer feed-forward block (Linear → GELU → Linear).
+
+use cem_tensor::Tensor;
+use rand::Rng;
+
+use crate::linear::Linear;
+use crate::module::{with_prefix, Module};
+
+/// Position-wise feed-forward network with a GELU nonlinearity.
+pub struct FeedForward {
+    fc1: Linear,
+    fc2: Linear,
+}
+
+impl FeedForward {
+    pub fn new<R: Rng>(dim: usize, hidden: usize, rng: &mut R) -> Self {
+        FeedForward { fc1: Linear::new(dim, hidden, rng), fc2: Linear::new(hidden, dim, rng) }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.fc2.forward(&self.fc1.forward(x).gelu())
+    }
+}
+
+impl Module for FeedForward {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        let mut v = with_prefix("fc1", self.fc1.named_params());
+        v.extend(with_prefix("fc2", self.fc2.named_params()));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ff = FeedForward::new(8, 32, &mut rng);
+        let x = cem_tensor::init::randn(&[4, 8], 1.0, &mut rng);
+        assert_eq!(ff.forward(&x).dims(), &[4, 8]);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ff = FeedForward::new(4, 16, &mut rng);
+        // 4*16 + 16 + 16*4 + 4
+        assert_eq!(ff.param_count(), 148);
+    }
+
+    #[test]
+    fn gradients_flow() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let ff = FeedForward::new(4, 8, &mut rng);
+        let x = cem_tensor::init::randn(&[2, 4], 1.0, &mut rng);
+        ff.forward(&x).sum().backward();
+        for (name, p) in ff.named_params() {
+            assert!(p.grad().is_some(), "no grad for {name}");
+        }
+    }
+}

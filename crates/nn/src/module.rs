@@ -1,0 +1,102 @@
+//! The [`Module`] trait: a named collection of trainable parameters.
+
+use cem_tensor::io::StateDict;
+use cem_tensor::Tensor;
+
+/// A neural-network component owning zero or more parameter tensors.
+pub trait Module {
+    /// All parameters with hierarchical dot-separated names
+    /// (`"block0.attn.wq.weight"`, …). Names must be unique within one
+    /// module tree; [`Module::state_dict`] asserts this.
+    fn named_params(&self) -> Vec<(String, Tensor)>;
+
+    /// Just the tensors, in `named_params` order (what optimisers consume).
+    fn params(&self) -> Vec<Tensor> {
+        self.named_params().into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        self.named_params().iter().map(|(_, t)| t.numel()).sum()
+    }
+
+    /// Snapshot all parameters into a [`StateDict`].
+    fn state_dict(&self) -> StateDict {
+        let mut dict = StateDict::new();
+        for (name, t) in self.named_params() {
+            dict.insert(name, t.detach());
+        }
+        dict
+    }
+
+    /// Restore parameters from a [`StateDict`] by name. Panics if the dict
+    /// contains entries this module does not know (a wiring bug).
+    fn load_state_dict(&self, dict: &StateDict) {
+        let unused = dict.restore_into(&self.named_params());
+        assert!(unused.is_empty(), "checkpoint has unknown parameters: {unused:?}");
+    }
+
+    /// Mark every parameter as requiring gradients (training mode for this
+    /// subtree) or freeze it.
+    fn set_trainable(&self, trainable: bool) {
+        for (_, p) in self.named_params() {
+            p.set_requires_grad(trainable);
+        }
+    }
+}
+
+/// Prefix each name of `params` with `prefix.`, a helper for composite
+/// modules.
+pub fn with_prefix(prefix: &str, params: Vec<(String, Tensor)>) -> Vec<(String, Tensor)> {
+    params.into_iter().map(|(name, t)| (format!("{prefix}.{name}"), t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair {
+        a: Tensor,
+        b: Tensor,
+    }
+
+    impl Module for Pair {
+        fn named_params(&self) -> Vec<(String, Tensor)> {
+            vec![("a".into(), self.a.clone()), ("b".into(), self.b.clone())]
+        }
+    }
+
+    #[test]
+    fn param_count_sums() {
+        let m = Pair { a: Tensor::zeros(&[2, 3]), b: Tensor::zeros(&[4]) };
+        assert_eq!(m.param_count(), 10);
+    }
+
+    #[test]
+    fn state_dict_roundtrip() {
+        let m = Pair {
+            a: Tensor::from_vec(vec![1.0; 6], &[2, 3]),
+            b: Tensor::from_vec(vec![2.0; 4], &[4]),
+        };
+        let dict = m.state_dict();
+        let fresh = Pair { a: Tensor::zeros(&[2, 3]), b: Tensor::zeros(&[4]) };
+        fresh.load_state_dict(&dict);
+        assert_eq!(fresh.a.to_vec(), vec![1.0; 6]);
+        assert_eq!(fresh.b.to_vec(), vec![2.0; 4]);
+    }
+
+    #[test]
+    fn set_trainable_toggles() {
+        let m = Pair { a: Tensor::zeros(&[1]), b: Tensor::zeros(&[1]) };
+        m.set_trainable(true);
+        assert!(m.a.requires_grad_enabled());
+        m.set_trainable(false);
+        assert!(!m.a.requires_grad_enabled());
+    }
+
+    #[test]
+    fn with_prefix_nests_names() {
+        let v = with_prefix("layer", vec![("w".into(), Tensor::zeros(&[1]))]);
+        assert_eq!(v[0].0, "layer.w");
+    }
+}

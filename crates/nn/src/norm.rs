@@ -1,0 +1,56 @@
+//! Layer normalisation module (owns gamma/beta).
+
+use cem_tensor::Tensor;
+
+use crate::module::Module;
+
+/// LayerNorm over the last axis with learned affine parameters.
+pub struct LayerNorm {
+    gamma: Tensor,
+    beta: Tensor,
+    eps: f32,
+}
+
+impl LayerNorm {
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Tensor::ones(&[dim]).requires_grad(),
+            beta: Tensor::zeros(&[dim]).requires_grad(),
+            eps: 1e-5,
+        }
+    }
+
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.layer_norm(&self.gamma, &self.beta, self.eps)
+    }
+}
+
+impl Module for LayerNorm {
+    fn named_params(&self) -> Vec<(String, Tensor)> {
+        vec![("gamma".to_string(), self.gamma.clone()), ("beta".to_string(), self.beta.clone())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_rows() {
+        let ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], &[1, 4]);
+        let y = ln.forward(&x).to_vec();
+        let mean: f32 = y.iter().sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+    }
+
+    #[test]
+    fn params_receive_gradients() {
+        let ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        ln.forward(&x).sum().backward();
+        for (_, p) in ln.named_params() {
+            assert!(p.grad().is_some());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests over the layer library: shape contracts, gradient
+//! flow, and attention invariances.
+
+use cem_nn::{
+    CrossAttention, Embedding, GnnLayer, LayerNorm, Linear, Module, MultiHeadAttention,
+    TransformerEncoder,
+};
+use cem_tensor::{init, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn linear_shapes_hold(rows in 1usize..8, in_dim in 1usize..12, out_dim in 1usize..12, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = Linear::new(in_dim, out_dim, &mut rng);
+        let x = init::randn(&[rows, in_dim], 1.0, &mut rng);
+        let y = layer.forward(&x);
+        prop_assert_eq!(y.dims(), &[rows, out_dim]);
+    }
+
+    #[test]
+    fn layer_norm_output_is_standardised(rows in 1usize..6, dim in 2usize..16, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ln = LayerNorm::new(dim);
+        let x = init::randn(&[rows, dim], 3.0, &mut rng);
+        let y = ln.forward(&x);
+        for r in 0..rows {
+            let row: Vec<f32> = (0..dim).map(|c| y.at2(r, c)).collect();
+            let mean: f32 = row.iter().sum::<f32>() / dim as f32;
+            prop_assert!(mean.abs() < 1e-3, "row {r} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn embedding_gather_is_consistent(vocab in 2usize..20, dim in 1usize..8, seed in 0u64..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let emb = Embedding::new(vocab, dim, &mut rng);
+        let id = seed as usize % vocab;
+        let single = emb.lookup(id).to_vec();
+        let batch = emb.forward(&[id, id]);
+        for (c, &v) in single.iter().enumerate() {
+            prop_assert_eq!(batch.at2(0, c), v);
+            prop_assert_eq!(batch.at2(1, c), v);
+        }
+    }
+
+    #[test]
+    fn self_attention_is_permutation_sensitive_but_shape_stable(t in 2usize..8, seed in 0u64..30) {
+        // No positional information inside MHA itself: permuting the rows
+        // permutes the outputs (equivariance), so row 0's output must equal
+        // the permuted row's output after the same permutation.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mha = MultiHeadAttention::new(8, 2, &mut rng);
+        let x = init::randn(&[t, 8], 1.0, &mut rng);
+        let y = mha.forward(&x, None);
+        prop_assert_eq!(y.dims(), &[t, 8]);
+
+        // Swap rows 0 and t-1 in the input.
+        let mut data = x.to_vec();
+        for c in 0..8 {
+            data.swap(c, (t - 1) * 8 + c);
+        }
+        let x_swapped = Tensor::from_vec(data, &[t, 8]);
+        let y_swapped = mha.forward(&x_swapped, None);
+        // Equivariance: output row 0 of swapped == output row t-1 of original.
+        for c in 0..8 {
+            prop_assert!((y_swapped.at2(0, c) - y.at2(t - 1, c)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transformer_gradients_reach_every_parameter(layers in 1usize..3, seed in 0u64..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = TransformerEncoder::new(8, 2, layers, 16, &mut rng);
+        let x = init::randn(&[3, 8], 1.0, &mut rng);
+        enc.forward(&x, None).sum().backward();
+        for (name, p) in enc.named_params() {
+            prop_assert!(p.grad().is_some(), "no grad for {}", name);
+        }
+    }
+
+    #[test]
+    fn cross_attention_ignores_context_permutation_of_values_it_never_attends(seed in 0u64..30) {
+        // Softmax attention mixes all context rows, so permuting the
+        // context must leave the output unchanged only when weights are
+        // permutation-covariant — which they are: the output is invariant
+        // to reordering (set semantics of attention over keys/values).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = CrossAttention::new(8, 2, &mut rng);
+        let x = init::randn(&[2, 8], 1.0, &mut rng);
+        let ctx = init::randn(&[4, 8], 1.0, &mut rng);
+        let y = ca.forward(&x, &ctx).to_vec();
+
+        // Reverse the context rows.
+        let mut data = ctx.to_vec();
+        let mut reversed = Vec::with_capacity(data.len());
+        for r in (0..4).rev() {
+            reversed.extend_from_slice(&data[r * 8..(r + 1) * 8]);
+        }
+        data = reversed;
+        let y2 = ca.forward(&x, &Tensor::from_vec(data, &[4, 8])).to_vec();
+        for (a, b) in y.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-4, "attention not set-invariant over context");
+        }
+    }
+
+    #[test]
+    fn gnn_output_bounded_by_relu(n in 2usize..6, seed in 0u64..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = GnnLayer::new(4, 4, &mut rng);
+        let f = init::randn(&[n, 4], 1.0, &mut rng);
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+        let out = layer.forward(&f, &adj);
+        prop_assert!(out.to_vec().iter().all(|&x| x >= 0.0), "relu output must be non-negative");
+    }
+}

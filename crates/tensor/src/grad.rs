@@ -1,0 +1,168 @@
+//! Reverse-mode automatic differentiation.
+//!
+//! Every differentiable op records a [`Node`] on its output: the list of
+//! parent tensors plus a closure that, given the output tensor (whose
+//! gradient is already populated), accumulates gradients into the parents.
+//! [`run_backward`] topologically sorts the reachable subgraph and invokes
+//! the closures in reverse order.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+
+use crate::tensor::Tensor;
+
+/// The autograd record attached to a non-leaf tensor.
+pub(crate) struct Node {
+    /// Parent tensors, in op-argument order.
+    pub parents: Vec<Tensor>,
+    /// Accumulates gradients into the parents. Receives the *output* tensor
+    /// so the closure can read `out.grad()`.
+    pub backward: Box<dyn Fn(&Tensor)>,
+    /// Op name, for diagnostics.
+    pub name: &'static str,
+}
+
+thread_local! {
+    static GRAD_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Run `f` with gradient recording disabled (like `torch.no_grad()`).
+///
+/// Ops executed inside the closure produce plain tensors with no autograd
+/// nodes, which keeps evaluation cheap and memory-flat.
+pub fn no_grad<T>(f: impl FnOnce() -> T) -> T {
+    GRAD_ENABLED.with(|flag| {
+        let prev = flag.get();
+        flag.set(false);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
+/// Whether ops should currently record autograd nodes.
+pub fn grad_enabled() -> bool {
+    GRAD_ENABLED.with(|flag| flag.get())
+}
+
+/// Attach a node to `out` if grad mode is on and any parent tracks grad.
+pub(crate) fn record(
+    out: &Tensor,
+    parents: Vec<Tensor>,
+    name: &'static str,
+    backward: impl Fn(&Tensor) + 'static,
+) {
+    if !grad_enabled() {
+        return;
+    }
+    if parents.iter().any(Tensor::tracks_grad) {
+        out.set_node(Node { parents, backward: Box::new(backward), name });
+    }
+}
+
+/// Topologically sort the graph reachable from `root` (post-order, so
+/// reversing yields a valid execution order for backprop).
+fn topo_sort(root: &Tensor) -> Vec<Tensor> {
+    let mut order: Vec<Tensor> = Vec::new();
+    let mut visited: HashSet<u64> = HashSet::new();
+    // Iterative DFS: (tensor, child_cursor) pairs to avoid recursion limits
+    // on deep transformer graphs.
+    let mut stack: Vec<(Tensor, usize)> = vec![(root.clone(), 0)];
+    visited.insert(root.id());
+    while let Some((tensor, cursor)) = stack.pop() {
+        let next_parent = {
+            let node = tensor.inner.node.borrow();
+            node.as_ref().and_then(|n| n.parents.get(cursor).cloned())
+        };
+        match next_parent {
+            Some(parent) => {
+                stack.push((tensor, cursor + 1));
+                if parent.tracks_grad() && visited.insert(parent.id()) {
+                    stack.push((parent, 0));
+                }
+            }
+            None => order.push(tensor),
+        }
+    }
+    order
+}
+
+/// Execute backprop from `root` seeded with `seed` (same length as root).
+pub(crate) fn run_backward(root: &Tensor, seed: &[f32]) {
+    assert_eq!(seed.len(), root.numel(), "backward seed length mismatch");
+    root.accumulate_grad(seed);
+    let order = topo_sort(root);
+    for tensor in order.iter().rev() {
+        let node = tensor.inner.node.borrow();
+        if let Some(node) = node.as_ref() {
+            debug_assert!(!node.name.is_empty());
+            (node.backward)(tensor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_grad_suppresses_nodes() {
+        let a = Tensor::ones(&[2]).requires_grad();
+        let b = no_grad(|| a.mul_scalar(2.0));
+        assert!(!b.has_grad_fn());
+        let c = a.mul_scalar(2.0);
+        assert!(c.has_grad_fn());
+    }
+
+    #[test]
+    fn no_grad_restores_flag_on_nesting() {
+        assert!(grad_enabled());
+        no_grad(|| {
+            assert!(!grad_enabled());
+            no_grad(|| assert!(!grad_enabled()));
+            assert!(!grad_enabled());
+        });
+        assert!(grad_enabled());
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // y = a*2 + a*3  =>  dy/da = 5 per element
+        let a = Tensor::ones(&[3]).requires_grad();
+        let left = a.mul_scalar(2.0);
+        let right = a.mul_scalar(3.0);
+        let y = left.add(&right).sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap(), vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn reused_tensor_in_single_op() {
+        // y = sum(a ⊙ a) => dy/da = 2a
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad();
+        let y = a.mul(&a).sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn constants_do_not_receive_grads() {
+        let a = Tensor::ones(&[2]).requires_grad();
+        let c = Tensor::full(&[2], 4.0); // no requires_grad
+        let y = a.mul(&c).sum();
+        y.backward();
+        assert_eq!(a.grad().unwrap(), vec![4.0, 4.0]);
+        assert!(c.grad().is_none());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        let mut x = Tensor::ones(&[1]).requires_grad();
+        let leaf = x.clone();
+        for _ in 0..5_000 {
+            x = x.add_scalar(0.0);
+        }
+        x.sum().backward();
+        assert_eq!(leaf.grad().unwrap(), vec![1.0]);
+    }
+}

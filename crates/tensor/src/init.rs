@@ -1,0 +1,86 @@
+//! Weight initialisers. All take a caller-provided RNG so experiments are
+//! reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Sample one value from a unit normal via Box–Muller (keeps us independent
+/// of `rand_distr`, which is not on the offline allowlist).
+pub fn randn_value<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f32 = rng.gen::<f32>();
+        let u2: f32 = rng.gen::<f32>();
+        if u1 > f32::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// Tensor of i.i.d. normal samples with the given std deviation.
+pub fn randn<R: Rng>(dims: &[usize], std: f32, rng: &mut R) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| randn_value(rng) * std).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Tensor of i.i.d. uniform samples in `[lo, hi)`.
+pub fn uniform<R: Rng>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    let n: usize = dims.iter().product();
+    let data: Vec<f32> = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Xavier/Glorot uniform initialisation for a `[fan_in, fan_out]` weight.
+pub fn xavier_uniform<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(&[fan_in, fan_out], -bound, bound, rng)
+}
+
+/// Kaiming/He normal initialisation for ReLU-family layers.
+pub fn kaiming_normal<R: Rng>(fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in as f32).sqrt();
+    randn(&[fan_in, fan_out], std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = randn(&[10_000], 1.0, &mut rng);
+        let v = t.to_vec();
+        let mean: f32 = v.iter().sum::<f32>() / v.len() as f32;
+        let var: f32 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / v.len() as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.to_vec().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = xavier_uniform(4, 4, &mut rng);
+        let large = xavier_uniform(1024, 1024, &mut rng);
+        let max_small = small.to_vec().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let max_large = large.to_vec().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        assert!(max_large < max_small);
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
+        let b = randn(&[16], 1.0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+}

@@ -1,0 +1,210 @@
+//! Checkpoint (de)serialisation for named tensor collections.
+//!
+//! Format: a simple little-endian binary container —
+//! `magic "CEMT" | u32 version | u32 entry_count` then per entry
+//! `u32 name_len | name bytes | u32 rank | u32 dims.. | f32 data..`.
+//! Hand-rolled (rather than serde) so checkpoints stay compact and the
+//! format is trivially auditable.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::tensor::Tensor;
+
+const MAGIC: &[u8; 4] = b"CEMT";
+const VERSION: u32 = 1;
+
+/// An ordered map of parameter name → tensor, used for save/load.
+#[derive(Debug, Default)]
+pub struct StateDict {
+    entries: BTreeMap<String, Tensor>,
+}
+
+impl StateDict {
+    pub fn new() -> Self {
+        StateDict::default()
+    }
+
+    /// Insert a tensor; panics on duplicate names to surface wiring bugs.
+    pub fn insert(&mut self, name: impl Into<String>, tensor: Tensor) {
+        let name = name.into();
+        assert!(
+            self.entries.insert(name.clone(), tensor).is_none(),
+            "duplicate parameter name {name:?}"
+        );
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.get(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Serialise to any writer.
+    pub fn write_to(&self, mut w: impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for (name, tensor) in &self.entries {
+            let bytes = name.as_bytes();
+            w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+            w.write_all(bytes)?;
+            let dims = tensor.dims();
+            w.write_all(&(dims.len() as u32).to_le_bytes())?;
+            for &d in dims {
+                w.write_all(&(d as u32).to_le_bytes())?;
+            }
+            for v in tensor.to_vec() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialise from any reader.
+    pub fn read_from(mut r: impl Read) -> io::Result<Self> {
+        fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf)?;
+            Ok(u32::from_le_bytes(buf))
+        }
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported checkpoint version {version}"),
+            ));
+        }
+        let count = read_u32(&mut r)? as usize;
+        let mut dict = StateDict::new();
+        for _ in 0..count {
+            let name_len = read_u32(&mut r)? as usize;
+            let mut name_bytes = vec![0u8; name_len];
+            r.read_exact(&mut name_bytes)?;
+            let name = String::from_utf8(name_bytes)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let rank = read_u32(&mut r)? as usize;
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                dims.push(read_u32(&mut r)? as usize);
+            }
+            let numel: usize = dims.iter().product();
+            let mut data = vec![0.0f32; numel];
+            for v in data.iter_mut() {
+                let mut buf = [0u8; 4];
+                r.read_exact(&mut buf)?;
+                *v = f32::from_le_bytes(buf);
+            }
+            dict.insert(name, Tensor::from_vec(data, &dims));
+        }
+        Ok(dict)
+    }
+
+    /// Save to a file path.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(io::BufWriter::new(file))
+    }
+
+    /// Load from a file path.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::open(path)?;
+        StateDict::read_from(io::BufReader::new(file))
+    }
+
+    /// Copy stored values into live parameter tensors by name. Returns the
+    /// list of names that were present in the dict but not in `targets`.
+    pub fn restore_into(&self, targets: &[(String, Tensor)]) -> Vec<String> {
+        let mut used = std::collections::HashSet::new();
+        for (name, param) in targets {
+            if let Some(saved) = self.entries.get(name) {
+                assert_eq!(
+                    saved.numel(),
+                    param.numel(),
+                    "checkpoint shape mismatch for {name}: {} vs {}",
+                    saved.shape(),
+                    param.shape()
+                );
+                param.copy_from_slice(&saved.to_vec());
+                used.insert(name.clone());
+            }
+        }
+        self.entries.keys().filter(|k| !used.contains(*k)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let mut dict = StateDict::new();
+        dict.insert("layer.weight", Tensor::from_vec(vec![1.5, -2.0, 0.25, 8.0], &[2, 2]));
+        dict.insert("layer.bias", Tensor::from_vec(vec![0.1, 0.2], &[2]));
+
+        let mut buf = Vec::new();
+        dict.write_to(&mut buf).unwrap();
+        let restored = StateDict::read_from(buf.as_slice()).unwrap();
+
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get("layer.weight").unwrap().to_vec(), vec![1.5, -2.0, 0.25, 8.0]);
+        assert_eq!(restored.get("layer.weight").unwrap().dims(), &[2, 2]);
+        assert_eq!(restored.get("layer.bias").unwrap().to_vec(), vec![0.1, 0.2]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = StateDict::read_from(&b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn restore_into_copies_and_reports_unused() {
+        let mut dict = StateDict::new();
+        dict.insert("a", Tensor::from_vec(vec![9.0], &[1]));
+        dict.insert("orphan", Tensor::from_vec(vec![1.0], &[1]));
+
+        let live = Tensor::zeros(&[1]);
+        let unused = dict.restore_into(&[("a".to_string(), live.clone())]);
+        assert_eq!(live.item(), 9.0);
+        assert_eq!(unused, vec!["orphan".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_names_panic() {
+        let mut dict = StateDict::new();
+        dict.insert("w", Tensor::zeros(&[1]));
+        dict.insert("w", Tensor::zeros(&[1]));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("cem_tensor_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.cemt");
+        let mut dict = StateDict::new();
+        dict.insert("w", Tensor::from_vec(vec![3.25; 6], &[3, 2]));
+        dict.save(&path).unwrap();
+        let back = StateDict::load(&path).unwrap();
+        assert_eq!(back.get("w").unwrap().to_vec(), vec![3.25; 6]);
+        std::fs::remove_file(&path).ok();
+    }
+}

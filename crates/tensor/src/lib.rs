@@ -1,0 +1,55 @@
+//! # cem-tensor
+//!
+//! A small, dependency-light dense tensor library with reverse-mode automatic
+//! differentiation, written for the CrossEM reproduction. It plays the role
+//! PyTorch plays in the paper: every model in the workspace (the CLIP-style
+//! dual encoder, the soft-prompt generator, every baseline) expresses its
+//! forward pass in these ops and trains through [`Tensor::backward`].
+//!
+//! Design notes:
+//!
+//! * Tensors are immutable-by-default, reference-counted views over a flat
+//!   `Vec<f32>` buffer plus a [`Shape`]. Cloning a [`Tensor`] is cheap (an
+//!   `Rc` bump) and shares storage.
+//! * Autograd is a dynamic graph: each op that participates in
+//!   differentiation records a grad closure and its parent tensors. Calling
+//!   [`Tensor::backward`] topologically sorts the reachable graph and
+//!   accumulates gradients into each leaf created with `requires_grad`.
+//! * All buffer allocations are tracked by the global [`memory`] counters.
+//!   The "GPU memory" columns of the paper's Table III / Figure 8 are
+//!   reproduced as *peak live tensor bytes* during a training epoch — see
+//!   `DESIGN.md` for the substitution argument.
+//! * Randomness always flows through caller-provided [`rand::Rng`] values so
+//!   every experiment in the workspace is reproducible from a seed.
+//!
+//! ```
+//! use cem_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+//! let b = Tensor::from_vec(vec![0.5, 0.5, 0.5, 0.5], &[2, 2]);
+//! let loss = a.matmul(&b).sum();
+//! loss.backward();
+//! assert_eq!(a.grad().unwrap(), vec![1.0, 1.0, 1.0, 1.0]);
+//! ```
+
+pub mod grad;
+pub mod init;
+pub mod io;
+pub mod memory;
+pub mod ops;
+pub mod optim;
+pub mod shape;
+pub mod tensor;
+
+pub use grad::no_grad;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenient glob import for downstream crates.
+pub mod prelude {
+    pub use crate::grad::no_grad;
+    pub use crate::init;
+    pub use crate::optim::{Adam, AdamW, Optimizer, Sgd};
+    pub use crate::shape::Shape;
+    pub use crate::tensor::Tensor;
+}

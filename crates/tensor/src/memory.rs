@@ -1,0 +1,151 @@
+//! Global live-bytes accounting for tensor buffers.
+//!
+//! The CrossEM paper reports maximum GPU memory per training epoch (measured
+//! with NVIDIA Nsight). This reproduction runs on CPU, so the equivalent
+//! signal is the peak number of bytes held live by tensor buffers: every
+//! activation, weight, and gradient a training step keeps alive counts, and
+//! pruning candidate pairs (the CrossEM+ optimisations) lowers the peak for
+//! exactly the same reason it lowers GPU residency.
+//!
+//! Counters are process-global atomics so they work across crates without
+//! threading a context through every API. [`reset_peak`] is called by the
+//! bench harnesses at epoch boundaries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static LIVE_BYTES: AtomicUsize = AtomicUsize::new(0);
+static PEAK_BYTES: AtomicUsize = AtomicUsize::new(0);
+static TOTAL_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// Record an allocation of `bytes` and update the peak if necessary.
+pub(crate) fn record_alloc(bytes: usize) {
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    TOTAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    // Lock-free peak update; races only ever under-estimate transiently and
+    // converge because each loser retries with the latest peak.
+    let mut peak = PEAK_BYTES.load(Ordering::Relaxed);
+    while live > peak {
+        match PEAK_BYTES.compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(observed) => peak = observed,
+        }
+    }
+}
+
+/// Record the release of `bytes` (called from buffer `Drop`).
+pub(crate) fn record_free(bytes: usize) {
+    LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// Bytes currently held by live tensor buffers.
+pub fn live_bytes() -> usize {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Highest value of [`live_bytes`] observed since the last [`reset_peak`].
+pub fn peak_bytes() -> usize {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Number of buffer allocations since process start (diagnostic only).
+pub fn total_allocations() -> usize {
+    TOTAL_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Reset the peak to the current live level. Call at an epoch boundary to
+/// measure the peak of the next epoch in isolation.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// A tracked, heap-allocated `f32` buffer. All tensor storage goes through
+/// this type so the accounting above sees every allocation.
+#[derive(Debug)]
+pub struct Buffer {
+    data: Vec<f32>,
+}
+
+impl Buffer {
+    /// Allocate a zero-filled buffer of `len` elements.
+    pub fn zeros(len: usize) -> Self {
+        record_alloc(len * std::mem::size_of::<f32>());
+        Buffer { data: vec![0.0; len] }
+    }
+
+    /// Take ownership of an existing vector.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        record_alloc(data.len() * std::mem::size_of::<f32>());
+        Buffer { data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl Drop for Buffer {
+    fn drop(&mut self) {
+        record_free(self.data.len() * std::mem::size_of::<f32>());
+    }
+}
+
+impl std::ops::Deref for Buffer {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for Buffer {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_balance() {
+        let before = live_bytes();
+        {
+            let b = Buffer::zeros(1024);
+            assert_eq!(b.len(), 1024);
+            assert!(live_bytes() >= before + 4096);
+        }
+        assert_eq!(live_bytes(), before);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        reset_peak();
+        let base = peak_bytes();
+        let b1 = Buffer::zeros(2048);
+        let observed = peak_bytes();
+        assert!(observed >= base + 8192);
+        drop(b1);
+        // Peak must not decrease on free.
+        assert_eq!(peak_bytes(), observed);
+    }
+
+    #[test]
+    fn from_vec_counts_bytes() {
+        let before = live_bytes();
+        let b = Buffer::from_vec(vec![1.0; 10]);
+        assert_eq!(live_bytes(), before + 40);
+        assert_eq!(b.as_slice(), &[1.0; 10]);
+    }
+}

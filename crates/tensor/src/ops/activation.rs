@@ -1,0 +1,319 @@
+//! Activations, row-wise softmax family, and cross-entropy.
+
+use super::{out_grad, result};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|x| x.max(0.0)).collect();
+        let a = self.clone();
+        result(data, *self.shape(), vec![self.clone()], "relu", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> = out_grad(out)
+                    .iter()
+                    .zip(a.data().iter())
+                    .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                    .collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Tanh-approximated GELU (as in GPT-2 / the CLIP text transformer).
+    pub fn gelu(&self) -> Tensor {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        let fwd = |x: f32| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh());
+        let data: Vec<f32> = self.data().iter().map(|&x| fwd(x)).collect();
+        let a = self.clone();
+        result(data, *self.shape(), vec![self.clone()], "gelu", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> = out_grad(out)
+                    .iter()
+                    .zip(a.data().iter())
+                    .map(|(g, &x)| {
+                        let u = C * (x + 0.044715 * x * x * x);
+                        let t = u.tanh();
+                        let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+                        let d = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du;
+                        g * d
+                    })
+                    .collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+        let a = self.clone();
+        let saved = data.clone();
+        result(data, *self.shape(), vec![self.clone()], "sigmoid", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> =
+                    out_grad(out).iter().zip(&saved).map(|(g, y)| g * y * (1.0 - y)).collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|x| x.tanh()).collect();
+        let a = self.clone();
+        let saved = data.clone();
+        result(data, *self.shape(), vec![self.clone()], "tanh", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> =
+                    out_grad(out).iter().zip(&saved).map(|(g, y)| g * (1.0 - y * y)).collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Numerically-stable softmax over the last axis.
+    pub fn softmax_rows(&self) -> Tensor {
+        let d = self.shape().last_dim();
+        let rows = self.shape().leading();
+        let src = self.data();
+        let mut data = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            let row = &src[r * d..(r + 1) * d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &x) in data[r * d..(r + 1) * d].iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in data[r * d..(r + 1) * d].iter_mut() {
+                *o /= denom;
+            }
+        }
+        drop(src);
+        let a = self.clone();
+        let saved = data.clone();
+        result(data, *self.shape(), vec![self.clone()], "softmax_rows", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out);
+                let mut da = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let y = &saved[r * d..(r + 1) * d];
+                    let gr = &g[r * d..(r + 1) * d];
+                    let dot: f32 = y.iter().zip(gr).map(|(y, g)| y * g).sum();
+                    for ((o, &yv), &gv) in
+                        da[r * d..(r + 1) * d].iter_mut().zip(y).zip(gr)
+                    {
+                        *o = yv * (gv - dot);
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+        })
+    }
+
+    /// Numerically-stable log-softmax over the last axis.
+    pub fn log_softmax_rows(&self) -> Tensor {
+        let d = self.shape().last_dim();
+        let rows = self.shape().leading();
+        let src = self.data();
+        let mut data = vec![0.0f32; rows * d];
+        for r in 0..rows {
+            let row = &src[r * d..(r + 1) * d];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            for (o, &x) in data[r * d..(r + 1) * d].iter_mut().zip(row) {
+                *o = x - lse;
+            }
+        }
+        drop(src);
+        let a = self.clone();
+        let saved = data.clone();
+        result(data, *self.shape(), vec![self.clone()], "log_softmax_rows", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out);
+                let mut da = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let logp = &saved[r * d..(r + 1) * d];
+                    let gr = &g[r * d..(r + 1) * d];
+                    let gsum: f32 = gr.iter().sum();
+                    for ((o, &lp), &gv) in
+                        da[r * d..(r + 1) * d].iter_mut().zip(logp).zip(gr)
+                    {
+                        *o = gv - lp.exp() * gsum;
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+        })
+    }
+
+    /// Mean cross-entropy of row-wise logits against integer `targets`
+    /// (one target class per row). Used for both directions of the CLIP
+    /// contrastive loss and for the supervised baselines.
+    pub fn cross_entropy_rows(&self, targets: &[usize]) -> Tensor {
+        let (rows, classes) = self.shape().as_matrix();
+        assert_eq!(targets.len(), rows, "cross_entropy_rows: {} targets for {rows} rows", targets.len());
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < classes, "target {t} out of range {classes} at row {r}");
+        }
+        let src = self.data();
+        // Forward: mean over rows of (logsumexp(row) - row[target]).
+        let mut softmaxes = vec![0.0f32; rows * classes];
+        let mut loss = 0.0f32;
+        for r in 0..rows {
+            let row = &src[r * classes..(r + 1) * classes];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for (o, &x) in softmaxes[r * classes..(r + 1) * classes].iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *o = e;
+                denom += e;
+            }
+            for o in softmaxes[r * classes..(r + 1) * classes].iter_mut() {
+                *o /= denom;
+            }
+            let lse = m + denom.ln();
+            loss += lse - row[targets[r]];
+        }
+        loss /= rows as f32;
+        drop(src);
+        let a = self.clone();
+        let targets = targets.to_vec();
+        result(vec![loss], Shape::scalar(), vec![self.clone()], "cross_entropy_rows", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out)[0] / rows as f32;
+                let mut da = softmaxes.clone();
+                for (r, &t) in targets.iter().enumerate() {
+                    da[r * classes + t] -= 1.0;
+                }
+                for v in da.iter_mut() {
+                    *v *= g;
+                }
+                a.accumulate_grad(&da);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    fn finite_diff(f: impl Fn(&Tensor) -> f32, x: &Tensor, eps: f32) -> Vec<f32> {
+        let base = x.to_vec();
+        (0..base.len())
+            .map(|i| {
+                let mut plus = base.clone();
+                plus[i] += eps;
+                let mut minus = base.clone();
+                minus[i] -= eps;
+                (f(&Tensor::from_vec(plus, x.dims())) - f(&Tensor::from_vec(minus, x.dims())))
+                    / (2.0 * eps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn relu_values_and_grad() {
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).requires_grad();
+        let y = x.relu();
+        assert_eq!(y.to_vec(), vec![0.0, 0.0, 2.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gelu_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![-2.0, -0.5, 0.0, 0.5, 2.0], &[5]).requires_grad();
+        x.gelu().sum().backward();
+        let fd = finite_diff(|t| t.gelu().sum().item(), &x, 1e-3);
+        assert_close(&x.grad().unwrap(), &fd, 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_tanh_grads() {
+        let x = Tensor::from_vec(vec![0.0], &[1]).requires_grad();
+        x.sigmoid().sum().backward();
+        assert!((x.grad().unwrap()[0] - 0.25).abs() < 1e-6);
+
+        let z = Tensor::from_vec(vec![0.0], &[1]).requires_grad();
+        z.tanh().sum().backward();
+        assert!((z.grad().unwrap()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_shift_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1000.0, 1001.0, 1002.0], &[2, 3]);
+        let y = x.softmax_rows();
+        let v = y.to_vec();
+        assert!((v[0..3].iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!((v[3..6].iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        // Shift invariance: both rows have the same relative logits.
+        assert_close(&v[0..3], &v[3..6], 1e-5);
+    }
+
+    #[test]
+    fn softmax_grad_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.1, -0.4, 0.7, 0.2], &[2, 2]).requires_grad();
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        x.softmax_rows().mul(&w).sum().backward();
+        let fd = finite_diff(|t| t.softmax_rows().mul(&w).sum().item(), &x, 1e-3);
+        assert_close(&x.grad().unwrap(), &fd, 1e-2);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.0], &[1, 3]);
+        let ls = x.log_softmax_rows().to_vec();
+        let s = x.softmax_rows().to_vec();
+        for (l, p) in ls.iter().zip(&s) {
+            assert!((l.exp() - p).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_grad_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.0], &[2, 2]).requires_grad();
+        let w = Tensor::from_vec(vec![1.0, -1.0, 0.5, 2.0], &[2, 2]);
+        x.log_softmax_rows().mul(&w).sum().backward();
+        let fd = finite_diff(|t| t.log_softmax_rows().mul(&w).sum().item(), &x, 1e-3);
+        assert_close(&x.grad().unwrap(), &fd, 1e-2);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual_form() {
+        let logits = Tensor::from_vec(vec![2.0, 1.0, 0.5, 0.0, 3.0, -1.0], &[2, 3]);
+        let ce = logits.cross_entropy_rows(&[0, 1]).item();
+        let manual = {
+            let lp = logits.log_softmax_rows().to_vec();
+            -(lp[0] + lp[4]) / 2.0
+        };
+        assert!((ce - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits =
+            Tensor::from_vec(vec![0.2, -0.1, 0.4, 1.0, 0.0, -0.5], &[2, 3]).requires_grad();
+        logits.cross_entropy_rows(&[2, 0]).backward();
+        let fd = finite_diff(|t| t.cross_entropy_rows(&[2, 0]).item(), &logits, 1e-3);
+        assert_close(&logits.grad().unwrap(), &fd, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_bad_target_panics() {
+        let logits = Tensor::zeros(&[1, 2]);
+        let _ = logits.cross_entropy_rows(&[5]);
+    }
+}

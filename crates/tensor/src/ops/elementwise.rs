@@ -1,0 +1,478 @@
+//! Elementwise arithmetic (same-shape binary ops, scalar ops, pointwise maps).
+
+use super::{out_grad, result};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    fn assert_same_shape(&self, other: &Tensor, op: &str) {
+        assert!(
+            self.shape().same_as(other.shape()),
+            "{op}: shape mismatch {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise `self + other` (same shape).
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "add");
+        let data: Vec<f32> =
+            self.data().iter().zip(other.data().iter()).map(|(a, b)| a + b).collect();
+        let (a, b) = (self.clone(), other.clone());
+        result(data, *self.shape(), vec![self.clone(), other.clone()], "add", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                a.accumulate_grad(&g);
+            }
+            if b.tracks_grad() {
+                b.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Elementwise `self - other` (same shape).
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "sub");
+        let data: Vec<f32> =
+            self.data().iter().zip(other.data().iter()).map(|(a, b)| a - b).collect();
+        let (a, b) = (self.clone(), other.clone());
+        result(data, *self.shape(), vec![self.clone(), other.clone()], "sub", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                a.accumulate_grad(&g);
+            }
+            if b.tracks_grad() {
+                let neg: Vec<f32> = g.iter().map(|x| -x).collect();
+                b.accumulate_grad(&neg);
+            }
+        })
+    }
+
+    /// Elementwise `self ⊙ other` (same shape).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "mul");
+        let data: Vec<f32> =
+            self.data().iter().zip(other.data().iter()).map(|(a, b)| a * b).collect();
+        let (a, b) = (self.clone(), other.clone());
+        result(data, *self.shape(), vec![self.clone(), other.clone()], "mul", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                let da: Vec<f32> = g.iter().zip(b.data().iter()).map(|(g, b)| g * b).collect();
+                a.accumulate_grad(&da);
+            }
+            if b.tracks_grad() {
+                let db: Vec<f32> = g.iter().zip(a.data().iter()).map(|(g, a)| g * a).collect();
+                b.accumulate_grad(&db);
+            }
+        })
+    }
+
+    /// Elementwise `self / other` (same shape).
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.assert_same_shape(other, "div");
+        let data: Vec<f32> =
+            self.data().iter().zip(other.data().iter()).map(|(a, b)| a / b).collect();
+        let (a, b) = (self.clone(), other.clone());
+        result(data, *self.shape(), vec![self.clone(), other.clone()], "div", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                let da: Vec<f32> = g.iter().zip(b.data().iter()).map(|(g, b)| g / b).collect();
+                a.accumulate_grad(&da);
+            }
+            if b.tracks_grad() {
+                let db: Vec<f32> = g
+                    .iter()
+                    .zip(a.data().iter().zip(b.data().iter()))
+                    .map(|(g, (a, b))| -g * a / (b * b))
+                    .collect();
+                b.accumulate_grad(&db);
+            }
+        })
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Tensor {
+        self.mul_scalar(-1.0)
+    }
+
+    /// `self + c` for scalar `c`.
+    pub fn add_scalar(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a + c).collect();
+        let a = self.clone();
+        result(data, *self.shape(), vec![self.clone()], "add_scalar", move |out| {
+            if a.tracks_grad() {
+                a.accumulate_grad(&out_grad(out));
+            }
+        })
+    }
+
+    /// `self * c` for scalar `c`.
+    pub fn mul_scalar(&self, c: f32) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a * c).collect();
+        let a = self.clone();
+        result(data, *self.shape(), vec![self.clone()], "mul_scalar", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> = out_grad(out).iter().map(|g| g * c).collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Elementwise `exp`.
+    pub fn exp(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.exp()).collect();
+        let a = self.clone();
+        let saved = data.clone();
+        result(data, *self.shape(), vec![self.clone()], "exp", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> = out_grad(out).iter().zip(&saved).map(|(g, y)| g * y).collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Elementwise natural log (inputs must be positive).
+    pub fn ln(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.ln()).collect();
+        let a = self.clone();
+        result(data, *self.shape(), vec![self.clone()], "ln", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> =
+                    out_grad(out).iter().zip(a.data().iter()).map(|(g, x)| g / x).collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.sqrt()).collect();
+        let a = self.clone();
+        let saved = data.clone();
+        result(data, *self.shape(), vec![self.clone()], "sqrt", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> = out_grad(out)
+                    .iter()
+                    .zip(&saved)
+                    .map(|(g, y)| if *y > 0.0 { g / (2.0 * y) } else { 0.0 })
+                    .collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Elementwise square.
+    pub fn square(&self) -> Tensor {
+        self.mul(self)
+    }
+
+    /// Elementwise absolute value (subgradient 0 at the kink).
+    pub fn abs(&self) -> Tensor {
+        let data: Vec<f32> = self.data().iter().map(|a| a.abs()).collect();
+        let a = self.clone();
+        result(data, *self.shape(), vec![self.clone()], "abs", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> = out_grad(out)
+                    .iter()
+                    .zip(a.data().iter())
+                    .map(|(g, x)| {
+                        if *x > 0.0 {
+                            *g
+                        } else if *x < 0.0 {
+                            -*g
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Elementwise clamp into `[lo, hi]` (zero gradient outside the range).
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp: lo > hi");
+        let data: Vec<f32> = self.data().iter().map(|a| a.clamp(lo, hi)).collect();
+        let a = self.clone();
+        result(data, *self.shape(), vec![self.clone()], "clamp", move |out| {
+            if a.tracks_grad() {
+                let g: Vec<f32> = out_grad(out)
+                    .iter()
+                    .zip(a.data().iter())
+                    .map(|(g, x)| if *x >= lo && *x <= hi { *g } else { 0.0 })
+                    .collect();
+                a.accumulate_grad(&g);
+            }
+        })
+    }
+
+    /// Multiply every element by a one-element tensor (differentiable in
+    /// both operands) — used for learnable temperature scaling.
+    pub fn mul_scalar_tensor(&self, s: &Tensor) -> Tensor {
+        assert_eq!(s.numel(), 1, "mul_scalar_tensor: scale must be a single element");
+        let sv = s.at(0);
+        let data: Vec<f32> = self.data().iter().map(|a| a * sv).collect();
+        let (a, sc) = (self.clone(), s.clone());
+        result(
+            data,
+            *self.shape(),
+            vec![self.clone(), s.clone()],
+            "mul_scalar_tensor",
+            move |out| {
+                let g = out_grad(out);
+                if a.tracks_grad() {
+                    let da: Vec<f32> = g.iter().map(|g| g * sv).collect();
+                    a.accumulate_grad(&da);
+                }
+                if sc.tracks_grad() {
+                    let ds: f32 = g.iter().zip(a.data().iter()).map(|(g, x)| g * x).sum();
+                    sc.accumulate_grad(&[ds]);
+                }
+            },
+        )
+    }
+
+    /// Broadcast-add a rank-1 `bias` of length `last_dim` to every row of a
+    /// rank-≥1 tensor (the standard linear-layer bias).
+    pub fn add_row(&self, bias: &Tensor) -> Tensor {
+        let d = self.shape().last_dim();
+        assert_eq!(bias.numel(), d, "add_row: bias length {} != last dim {}", bias.numel(), d);
+        let rows = self.shape().leading();
+        let mut data = self.to_vec();
+        {
+            let b = bias.data();
+            for r in 0..rows {
+                for (dst, src) in data[r * d..(r + 1) * d].iter_mut().zip(b.iter()) {
+                    *dst += *src;
+                }
+            }
+        }
+        let (a, b) = (self.clone(), bias.clone());
+        result(data, *self.shape(), vec![self.clone(), bias.clone()], "add_row", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                a.accumulate_grad(&g);
+            }
+            if b.tracks_grad() {
+                let mut db = vec![0.0f32; d];
+                for r in 0..rows {
+                    for (dst, src) in db.iter_mut().zip(&g[r * d..(r + 1) * d]) {
+                        *dst += *src;
+                    }
+                }
+                b.accumulate_grad(&db);
+            }
+        })
+    }
+
+    /// Broadcast-multiply every row of a rank-≥1 tensor elementwise by a
+    /// rank-1 `scale` of length `last_dim` (the multiplicative sibling of
+    /// [`Tensor::add_row`], e.g. gated fusion).
+    pub fn mul_row(&self, scale: &Tensor) -> Tensor {
+        let d = self.shape().last_dim();
+        assert_eq!(scale.numel(), d, "mul_row: scale length {} != last dim {}", scale.numel(), d);
+        let rows = self.shape().leading();
+        let mut data = self.to_vec();
+        {
+            let s = scale.data();
+            for r in 0..rows {
+                for (dst, sv) in data[r * d..(r + 1) * d].iter_mut().zip(s.iter()) {
+                    *dst *= *sv;
+                }
+            }
+        }
+        let (a, s) = (self.clone(), scale.clone());
+        result(data, *self.shape(), vec![self.clone(), scale.clone()], "mul_row", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                let sv = s.data();
+                let mut da = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    for j in 0..d {
+                        da[r * d + j] = g[r * d + j] * sv[j];
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+            if s.tracks_grad() {
+                let av = a.data();
+                let mut ds = vec![0.0f32; d];
+                for r in 0..rows {
+                    for j in 0..d {
+                        ds[j] += g[r * d + j] * av[r * d + j];
+                    }
+                }
+                s.accumulate_grad(&ds);
+            }
+        })
+    }
+
+    /// Broadcast-multiply each row `r` of a rank-2 tensor by `scale[r]`
+    /// (rank-1, length = number of rows).
+    pub fn mul_col(&self, scale: &Tensor) -> Tensor {
+        let (rows, cols) = self.shape().as_matrix();
+        assert_eq!(scale.numel(), rows, "mul_col: scale length {} != rows {}", scale.numel(), rows);
+        let mut data = self.to_vec();
+        {
+            let s = scale.data();
+            for r in 0..rows {
+                for v in data[r * cols..(r + 1) * cols].iter_mut() {
+                    *v *= s[r];
+                }
+            }
+        }
+        let (a, s) = (self.clone(), scale.clone());
+        result(data, *self.shape(), vec![self.clone(), scale.clone()], "mul_col", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                let sv = s.data();
+                let mut da = vec![0.0f32; rows * cols];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        da[r * cols + c] = g[r * cols + c] * sv[r];
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+            if s.tracks_grad() {
+                let av = a.data();
+                let mut ds = vec![0.0f32; rows];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        ds[r] += g[r * cols + c] * av[r * cols + c];
+                    }
+                }
+                s.accumulate_grad(&ds);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    fn finite_diff(f: impl Fn(&Tensor) -> f32, x: &Tensor, eps: f32) -> Vec<f32> {
+        let base = x.to_vec();
+        let mut grads = Vec::with_capacity(base.len());
+        for i in 0..base.len() {
+            let mut plus = base.clone();
+            plus[i] += eps;
+            let mut minus = base.clone();
+            minus[i] -= eps;
+            let fp = f(&Tensor::from_vec(plus, x.dims()));
+            let fm = f(&Tensor::from_vec(minus, x.dims()));
+            grads.push((fp - fm) / (2.0 * eps));
+        }
+        grads
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn add_sub_mul_div_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).to_vec(), vec![5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).to_vec(), vec![3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).to_vec(), vec![4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).to_vec(), vec![4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn mul_gradients_match_finite_difference() {
+        let a = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[3]).requires_grad();
+        let b = Tensor::from_vec(vec![1.5, 0.3, -0.7], &[3]).requires_grad();
+        let y = a.mul(&b).sum();
+        y.backward();
+        let fd_a = finite_diff(|t| t.mul(&b).sum().item(), &a, 1e-3);
+        let fd_b = finite_diff(|t| a.mul(t).sum().item(), &b, 1e-3);
+        assert_close(&a.grad().unwrap(), &fd_a, 1e-2);
+        assert_close(&b.grad().unwrap(), &fd_b, 1e-2);
+    }
+
+    #[test]
+    fn div_gradients_match_finite_difference() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        let b = Tensor::from_vec(vec![2.0, 4.0], &[2]).requires_grad();
+        a.div(&b).sum().backward();
+        assert_close(&a.grad().unwrap(), &[0.5, 0.25], 1e-5);
+        assert_close(&b.grad().unwrap(), &[-0.25, -0.125], 1e-5);
+    }
+
+    #[test]
+    fn exp_ln_sqrt_roundtrip_and_grads() {
+        let x = Tensor::from_vec(vec![0.5, 1.0, 2.0], &[3]).requires_grad();
+        let y = x.exp().ln(); // identity
+        assert_close(&y.to_vec(), &x.to_vec(), 1e-5);
+        y.sum().backward();
+        assert_close(&x.grad().unwrap(), &[1.0, 1.0, 1.0], 1e-4);
+
+        let z = Tensor::from_vec(vec![4.0, 9.0], &[2]).requires_grad();
+        z.sqrt().sum().backward();
+        assert_close(&z.grad().unwrap(), &[0.25, 1.0 / 6.0], 1e-5);
+    }
+
+    #[test]
+    fn clamp_masks_gradient() {
+        let x = Tensor::from_vec(vec![-2.0, 0.5, 3.0], &[3]).requires_grad();
+        let y = x.clamp(0.0, 1.0);
+        assert_eq!(y.to_vec(), vec![0.0, 0.5, 1.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn abs_gradient_signs() {
+        let x = Tensor::from_vec(vec![-1.5, 0.0, 2.0], &[3]).requires_grad();
+        x.abs().sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn add_row_broadcasts_bias() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]).requires_grad();
+        let y = x.add_row(&b);
+        assert_eq!(y.to_vec(), vec![11.0, 22.0, 13.0, 24.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![1.0; 4]);
+        assert_eq!(b.grad().unwrap(), vec![2.0, 2.0]); // summed over 2 rows
+    }
+
+    #[test]
+    fn mul_col_scales_rows() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let s = Tensor::from_vec(vec![2.0, 3.0], &[2]).requires_grad();
+        let y = x.mul_col(&s);
+        assert_eq!(y.to_vec(), vec![2.0, 4.0, 9.0, 12.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![2.0, 2.0, 3.0, 3.0]);
+        assert_eq!(s.grad().unwrap(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn mul_scalar_tensor_grads_both_ways() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad();
+        let s = Tensor::scalar(2.0).requires_grad();
+        let y = x.mul_scalar_tensor(&s);
+        assert_eq!(y.to_vec(), vec![2.0, 4.0, 6.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![2.0; 3]);
+        assert_eq!(s.grad().unwrap(), vec![6.0]); // sum of x
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+}

@@ -1,0 +1,242 @@
+//! Matrix multiplication and transposition.
+//!
+//! Kernels are naive but cache-aware (ikj loop order so the inner loop
+//! streams contiguous rows of the right operand). The workspace's models are
+//! small (d_model ≤ 128), so these kernels dominate neither correctness nor
+//! the paper's relative-efficiency claims.
+
+use super::{out_grad, result};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// `c[m,n] += a[m,k] @ b[k,n]` with ikj ordering.
+fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * *bv;
+            }
+        }
+    }
+}
+
+/// `c[m,n] += a[m,k] @ b[n,k]^T` (right operand stored row-major by rows of
+/// its *transpose*), i.e. `c[i,j] = Σ_k a[i,k]·b[j,k]`.
+fn gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row) {
+                acc += x * y;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// `c[k,n] += a[m,k]^T @ b[m,n]`, i.e. `c[p,q] = Σ_i a[i,p]·b[i,q]`.
+fn gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (p, &aip) in a_row.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[p * n..(p + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * *bv;
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product `self[m,k] @ other[k,n] -> [m,n]`. Rank-1 left
+    /// operands are treated as `[1,k]` row vectors (output stays rank 2).
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_matrix();
+        let (k2, n) = other.shape().as_matrix();
+        assert_eq!(k, k2, "matmul: inner dims {k} vs {k2} (shapes {} x {})", self.shape(), other.shape());
+        let mut data = vec![0.0f32; m * n];
+        gemm_acc(&self.data(), &other.data(), &mut data, m, k, n);
+        let (a, b) = (self.clone(), other.clone());
+        result(data, Shape::new(&[m, n]), vec![self.clone(), other.clone()], "matmul", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                // dA = dY @ B^T : [m,n] x [k,n]^T -> [m,k]
+                let mut da = vec![0.0f32; m * k];
+                gemm_nt_acc(&g, &b.data(), &mut da, m, n, k);
+                a.accumulate_grad(&da);
+            }
+            if b.tracks_grad() {
+                // dB = A^T @ dY : [m,k]^T x [m,n] -> [k,n]
+                let mut db = vec![0.0f32; k * n];
+                gemm_tn_acc(&a.data(), &g, &mut db, m, k, n);
+                b.accumulate_grad(&db);
+            }
+        })
+    }
+
+    /// Matrix product against a transposed right operand:
+    /// `self[m,k] @ other[n,k]^T -> [m,n]`. This is the similarity-matrix
+    /// workhorse (`queries @ keys^T`).
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        let (m, k) = self.shape().as_matrix();
+        let (n, k2) = other.shape().as_matrix();
+        assert_eq!(k, k2, "matmul_nt: inner dims {k} vs {k2}");
+        let mut data = vec![0.0f32; m * n];
+        gemm_nt_acc(&self.data(), &other.data(), &mut data, m, k, n);
+        let (a, b) = (self.clone(), other.clone());
+        result(
+            data,
+            Shape::new(&[m, n]),
+            vec![self.clone(), other.clone()],
+            "matmul_nt",
+            move |out| {
+                let g = out_grad(out);
+                if a.tracks_grad() {
+                    // dA = dY @ B : [m,n] x [n,k] -> [m,k]
+                    let mut da = vec![0.0f32; m * k];
+                    gemm_acc(&g, &b.data(), &mut da, m, n, k);
+                    a.accumulate_grad(&da);
+                }
+                if b.tracks_grad() {
+                    // dB = dY^T @ A : [m,n]^T x [m,k] -> [n,k]
+                    let mut db = vec![0.0f32; n * k];
+                    gemm_tn_acc(&g, &a.data(), &mut db, m, n, k);
+                    b.accumulate_grad(&db);
+                }
+            },
+        )
+    }
+
+    /// Transpose a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        let (m, n) = self.shape().as_matrix();
+        let src = self.data();
+        let mut data = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = src[i * n + j];
+            }
+        }
+        drop(src);
+        let a = self.clone();
+        result(data, Shape::new(&[n, m]), vec![self.clone()], "transpose", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out);
+                let mut da = vec![0.0f32; m * n];
+                for j in 0..n {
+                    for i in 0..m {
+                        da[i * n + j] = g[j * m + i];
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.to_vec(), vec![58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32) * 0.5).collect(), &[4, 3]);
+        let via_nt = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.transpose());
+        assert_close(&via_nt.to_vec(), &via_t.to_vec(), 1e-6);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        // y = sum(A@B); dA = 1 @ B^T (row sums of B), dB = A^T @ 1 (col... )
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).requires_grad();
+        a.matmul(&b).sum().backward();
+        // dA[i,k] = sum_j B[k,j]
+        assert_eq!(a.grad().unwrap(), vec![11.0, 15.0, 11.0, 15.0]);
+        // dB[k,j] = sum_i A[i,k]
+        assert_eq!(b.grad().unwrap(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn matmul_nt_gradients_match_composed_form() {
+        let a_data: Vec<f32> = (0..6).map(|i| (i as f32) - 2.0).collect();
+        let b_data: Vec<f32> = (0..9).map(|i| (i as f32) * 0.3).collect();
+
+        let a1 = Tensor::from_vec(a_data.clone(), &[2, 3]).requires_grad();
+        let b1 = Tensor::from_vec(b_data.clone(), &[3, 3]).requires_grad();
+        a1.matmul_nt(&b1).sum().backward();
+
+        let a2 = Tensor::from_vec(a_data, &[2, 3]).requires_grad();
+        let b2 = Tensor::from_vec(b_data, &[3, 3]).requires_grad();
+        a2.matmul(&b2.transpose()).sum().backward();
+
+        assert_close(&a1.grad().unwrap(), &a2.grad().unwrap(), 1e-5);
+        assert_close(&b1.grad().unwrap(), &b2.grad().unwrap(), 1e-5);
+    }
+
+    #[test]
+    fn transpose_roundtrip_and_grad() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).requires_grad();
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at2(0, 1), a.at2(1, 0));
+        let back = t.transpose();
+        assert_eq!(back.to_vec(), a.to_vec());
+        t.mul_scalar(2.0).sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![2.0; 6]);
+    }
+
+    #[test]
+    fn rank1_left_operand_is_row_vector() {
+        let v = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let m = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let y = v.matmul(&m);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[4, 2]));
+    }
+}

@@ -1,0 +1,36 @@
+//! Differentiable tensor operations.
+//!
+//! Each op computes its forward result eagerly, then (if grad mode is on and
+//! an input tracks gradients) records a backward closure via
+//! [`crate::grad::record`]. Ops are exposed as methods on [`Tensor`].
+
+pub mod activation;
+pub mod elementwise;
+pub mod matmul;
+pub mod norm;
+pub mod reduce;
+pub mod structure;
+
+use crate::grad;
+use crate::memory::Buffer;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// Build an op result and record its backward closure.
+pub(crate) fn result(
+    data: Vec<f32>,
+    shape: Shape,
+    parents: Vec<Tensor>,
+    name: &'static str,
+    backward: impl Fn(&Tensor) + 'static,
+) -> Tensor {
+    let out = Tensor::from_buffer(Buffer::from_vec(data), shape);
+    grad::record(&out, parents, name, backward);
+    out
+}
+
+/// Read the output gradient of `out` (panics if backward reached an op whose
+/// output gradient was never populated — a bug in the engine, not the user).
+pub(crate) fn out_grad(out: &Tensor) -> Vec<f32> {
+    out.grad().expect("autograd invariant: output gradient missing during backward")
+}

@@ -1,0 +1,214 @@
+//! Normalisation ops: layer norm and row-wise L2 normalisation.
+
+use super::{out_grad, result};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Layer normalisation over the last axis with affine parameters
+    /// `gamma`/`beta` of length `last_dim`.
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Tensor {
+        let d = self.shape().last_dim();
+        assert_eq!(gamma.numel(), d, "layer_norm: gamma length mismatch");
+        assert_eq!(beta.numel(), d, "layer_norm: beta length mismatch");
+        let rows = self.shape().leading();
+        let src = self.data();
+        let gm = gamma.data();
+        let bt = beta.data();
+        let mut data = vec![0.0f32; rows * d];
+        // Save per-row mean and inverse stddev plus normalised values for backward.
+        let mut xhat = vec![0.0f32; rows * d];
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &src[r * d..(r + 1) * d];
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            for j in 0..d {
+                let xh = (row[j] - mean) * istd;
+                xhat[r * d + j] = xh;
+                data[r * d + j] = xh * gm[j] + bt[j];
+            }
+        }
+        drop((src, gm, bt));
+        let (x, g, b) = (self.clone(), gamma.clone(), beta.clone());
+        result(
+            data,
+            *self.shape(),
+            vec![self.clone(), gamma.clone(), beta.clone()],
+            "layer_norm",
+            move |out| {
+                let gr = out_grad(out);
+                if b.tracks_grad() {
+                    let mut db = vec![0.0f32; d];
+                    for r in 0..rows {
+                        for j in 0..d {
+                            db[j] += gr[r * d + j];
+                        }
+                    }
+                    b.accumulate_grad(&db);
+                }
+                if g.tracks_grad() {
+                    let mut dg = vec![0.0f32; d];
+                    for r in 0..rows {
+                        for j in 0..d {
+                            dg[j] += gr[r * d + j] * xhat[r * d + j];
+                        }
+                    }
+                    g.accumulate_grad(&dg);
+                }
+                if x.tracks_grad() {
+                    let gm = g.data();
+                    let mut dx = vec![0.0f32; rows * d];
+                    for r in 0..rows {
+                        // dxhat = dy * gamma
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for j in 0..d {
+                            let dxh = gr[r * d + j] * gm[j];
+                            sum_dxhat += dxh;
+                            sum_dxhat_xhat += dxh * xhat[r * d + j];
+                        }
+                        let istd = inv_std[r];
+                        let dn = d as f32;
+                        for j in 0..d {
+                            let dxh = gr[r * d + j] * gm[j];
+                            dx[r * d + j] = istd
+                                * (dxh - sum_dxhat / dn - xhat[r * d + j] * sum_dxhat_xhat / dn);
+                        }
+                    }
+                    x.accumulate_grad(&dx);
+                }
+            },
+        )
+    }
+
+    /// L2-normalise every row of a rank-2 tensor (rank-1 treated as a single
+    /// row). This is the projection step before cosine similarity in CLIP.
+    pub fn l2_normalize_rows(&self) -> Tensor {
+        let d = self.shape().last_dim();
+        let rows = self.shape().leading();
+        let src = self.data();
+        let mut data = vec![0.0f32; rows * d];
+        let mut norms = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &src[r * d..(r + 1) * d];
+            let n = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+            norms[r] = n;
+            for j in 0..d {
+                data[r * d + j] = row[j] / n;
+            }
+        }
+        drop(src);
+        let a = self.clone();
+        let saved = data.clone();
+        result(data, *self.shape(), vec![self.clone()], "l2_normalize_rows", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out);
+                let mut da = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let y = &saved[r * d..(r + 1) * d];
+                    let gr = &g[r * d..(r + 1) * d];
+                    let dot: f32 = y.iter().zip(gr).map(|(y, g)| y * g).sum();
+                    let n = norms[r];
+                    for j in 0..d {
+                        da[r * d + j] = (gr[j] - y[j] * dot) / n;
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    fn finite_diff(f: impl Fn(&Tensor) -> f32, x: &Tensor, eps: f32) -> Vec<f32> {
+        let base = x.to_vec();
+        (0..base.len())
+            .map(|i| {
+                let mut plus = base.clone();
+                plus[i] += eps;
+                let mut minus = base.clone();
+                minus[i] -= eps;
+                (f(&Tensor::from_vec(plus, x.dims())) - f(&Tensor::from_vec(minus, x.dims())))
+                    / (2.0 * eps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[2, 4]);
+        let gamma = Tensor::ones(&[4]);
+        let beta = Tensor::zeros(&[4]);
+        let y = x.layer_norm(&gamma, &beta, 1e-5).to_vec();
+        for r in 0..2 {
+            let row = &y[r * 4..(r + 1) * 4];
+            let mean: f32 = row.iter().sum::<f32>() / 4.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layer_norm_affine_applied() {
+        let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]);
+        let gamma = Tensor::from_vec(vec![2.0, 2.0], &[2]);
+        let beta = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let y = x.layer_norm(&gamma, &beta, 1e-5).to_vec();
+        assert!((y[0] - 3.0).abs() < 1e-3);
+        assert!((y[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_grads_match_finite_difference() {
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.3, 0.9, -0.4], &[2, 3]).requires_grad();
+        let gamma = Tensor::from_vec(vec![1.2, 0.8, 1.0], &[3]).requires_grad();
+        let beta = Tensor::from_vec(vec![0.1, -0.1, 0.0], &[3]).requires_grad();
+        let w = Tensor::from_vec(vec![1.0, 2.0, -1.0, 0.5, 1.5, -0.5], &[2, 3]);
+        x.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum().backward();
+
+        let fd_x = finite_diff(|t| t.layer_norm(&gamma, &beta, 1e-5).mul(&w).sum().item(), &x, 1e-3);
+        assert_close(&x.grad().unwrap(), &fd_x, 2e-2);
+        let fd_g =
+            finite_diff(|t| x.layer_norm(t, &beta, 1e-5).mul(&w).sum().item(), &gamma, 1e-3);
+        assert_close(&gamma.grad().unwrap(), &fd_g, 2e-2);
+        let fd_b = finite_diff(|t| x.layer_norm(&gamma, t, 1e-5).mul(&w).sum().item(), &beta, 1e-3);
+        assert_close(&beta.grad().unwrap(), &fd_b, 2e-2);
+    }
+
+    #[test]
+    fn l2_normalize_unit_rows() {
+        let x = Tensor::from_vec(vec![3.0, 4.0, 0.0, 5.0], &[2, 2]);
+        let y = x.l2_normalize_rows();
+        assert_close(&y.to_vec(), &[0.6, 0.8, 0.0, 1.0], 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_grad_matches_finite_difference() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, -0.5, 0.7], &[2, 2]).requires_grad();
+        let w = Tensor::from_vec(vec![0.3, -0.9, 1.1, 0.2], &[2, 2]);
+        x.l2_normalize_rows().mul(&w).sum().backward();
+        let fd = finite_diff(|t| t.l2_normalize_rows().mul(&w).sum().item(), &x, 1e-3);
+        assert_close(&x.grad().unwrap(), &fd, 1e-2);
+    }
+
+    #[test]
+    fn l2_normalize_is_scale_invariant() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let y1 = x.l2_normalize_rows().to_vec();
+        let y2 = x.mul_scalar(7.5).l2_normalize_rows().to_vec();
+        assert_close(&y1, &y2, 1e-6);
+    }
+}

@@ -1,0 +1,182 @@
+//! Reductions: sums, means, row/column reductions, max.
+
+use super::{out_grad, result};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements (scalar output).
+    pub fn sum(&self) -> Tensor {
+        let total: f32 = self.data().iter().sum();
+        let a = self.clone();
+        let n = self.numel();
+        result(vec![total], Shape::scalar(), vec![self.clone()], "sum", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out)[0];
+                a.accumulate_grad(&vec![g; n]);
+            }
+        })
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean(&self) -> Tensor {
+        let n = self.numel() as f32;
+        self.sum().mul_scalar(1.0 / n)
+    }
+
+    /// Sum along the last axis: `[.., D] -> [..]` flattened to `[rows]`.
+    pub fn sum_rows(&self) -> Tensor {
+        let d = self.shape().last_dim();
+        let rows = self.shape().leading();
+        let src = self.data();
+        let data: Vec<f32> =
+            (0..rows).map(|r| src[r * d..(r + 1) * d].iter().sum()).collect();
+        drop(src);
+        let a = self.clone();
+        result(data, Shape::new(&[rows]), vec![self.clone()], "sum_rows", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out);
+                let mut da = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    for v in da[r * d..(r + 1) * d].iter_mut() {
+                        *v = g[r];
+                    }
+                }
+                a.accumulate_grad(&da);
+            }
+        })
+    }
+
+    /// Mean along the last axis: `[rows, D] -> [rows]`.
+    pub fn mean_rows(&self) -> Tensor {
+        let d = self.shape().last_dim() as f32;
+        self.sum_rows().mul_scalar(1.0 / d)
+    }
+
+    /// Sum along axis 0 of a rank-2 tensor: `[N, D] -> [D]`.
+    pub fn sum_axis0(&self) -> Tensor {
+        let (n, d) = self.shape().as_matrix();
+        let src = self.data();
+        let mut data = vec![0.0f32; d];
+        for r in 0..n {
+            for (dst, v) in data.iter_mut().zip(&src[r * d..(r + 1) * d]) {
+                *dst += *v;
+            }
+        }
+        drop(src);
+        let a = self.clone();
+        result(data, Shape::new(&[d]), vec![self.clone()], "sum_axis0", move |out| {
+            if a.tracks_grad() {
+                let g = out_grad(out);
+                let mut da = vec![0.0f32; n * d];
+                for r in 0..n {
+                    da[r * d..(r + 1) * d].copy_from_slice(&g);
+                }
+                a.accumulate_grad(&da);
+            }
+        })
+    }
+
+    /// Mean along axis 0 of a rank-2 tensor: `[N, D] -> [D]`.
+    pub fn mean_axis0(&self) -> Tensor {
+        let (n, _) = self.shape().as_matrix();
+        self.sum_axis0().mul_scalar(1.0 / n as f32)
+    }
+
+    /// Row-wise maximum values of a rank-2 tensor (no gradient: used only in
+    /// data-preprocessing paths such as PCP's Eq. 8).
+    pub fn max_rows(&self) -> Vec<f32> {
+        let (rows, d) = self.shape().as_matrix();
+        let src = self.data();
+        (0..rows)
+            .map(|r| src[r * d..(r + 1) * d].iter().copied().fold(f32::NEG_INFINITY, f32::max))
+            .collect()
+    }
+
+    /// Index of the maximum element of each row of a rank-2 tensor.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        let (rows, d) = self.shape().as_matrix();
+        let src = self.data();
+        (0..rows)
+            .map(|r| {
+                let row = &src[r * d..(r + 1) * d];
+                let mut best = 0;
+                for (i, v) in row.iter().enumerate() {
+                    if *v > row[best] {
+                        best = i;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Frobenius / L2 norm of all elements (scalar tensor, differentiable).
+    pub fn l2_norm(&self) -> Tensor {
+        self.square().sum().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn sum_and_mean() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(t.sum().item(), 10.0);
+        assert_eq!(t.mean().item(), 2.5);
+    }
+
+    #[test]
+    fn sum_grad_is_ones_scaled() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad();
+        t.sum().mul_scalar(2.0).backward();
+        assert_eq!(t.grad().unwrap(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn sum_rows_values_and_grads() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).requires_grad();
+        let s = t.sum_rows();
+        assert_eq!(s.to_vec(), vec![6.0, 15.0]);
+        // weight rows differently to check routing
+        let w = Tensor::from_vec(vec![1.0, 10.0], &[2]);
+        s.mul(&w).sum().backward();
+        assert_eq!(t.grad().unwrap(), vec![1.0, 1.0, 1.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn sum_axis0_values_and_grads() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let s = t.sum_axis0();
+        assert_eq!(s.to_vec(), vec![4.0, 6.0]);
+        let w = Tensor::from_vec(vec![1.0, -1.0], &[2]);
+        s.mul(&w).sum().backward();
+        assert_eq!(t.grad().unwrap(), vec![1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn mean_axis0_scales() {
+        let t = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 2]);
+        assert_eq!(t.mean_axis0().to_vec(), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn max_and_argmax_rows() {
+        let t = Tensor::from_vec(vec![1.0, 9.0, 3.0, 7.0, 2.0, 5.0], &[2, 3]);
+        assert_eq!(t.max_rows(), vec![9.0, 7.0]);
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn l2_norm_of_3_4_is_5() {
+        let t = Tensor::from_vec(vec![3.0, 4.0], &[2]).requires_grad();
+        let n = t.l2_norm();
+        assert!((n.item() - 5.0).abs() < 1e-6);
+        n.backward();
+        let g = t.grad().unwrap();
+        assert!((g[0] - 0.6).abs() < 1e-5);
+        assert!((g[1] - 0.8).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,77 @@
+//! Case study (paper Sec. V-D): multi-modal knowledge-graph integration.
+//! Match images to KG entities with CrossEM⁺, attach the confident matches
+//! to the graph as `has image` edges, and compare against a supervised KG
+//! baseline (RSME-style gated fusion).
+//!
+//! ```text
+//! cargo run --release --example mkg_integration
+//! ```
+
+use cem_data::{BundleConfig, DatasetBundle, DatasetKind};
+use crossem::plus::CrossEmPlus;
+use crossem::{MatchingSet, PromptKind, TrainConfig};
+
+fn main() {
+    println!("preparing FB-IMG bundle (≈30 s) …");
+    let bundle = DatasetBundle::prepare(BundleConfig::bench(DatasetKind::Fb2k));
+    let dataset = &bundle.dataset;
+
+    // --- CrossEM⁺: unsupervised ------------------------------------
+    let mut rng = bundle.stage_rng(5);
+    let config = TrainConfig {
+        prompt: PromptKind::Soft,
+        soft_backend: crossem::config::SoftBackend::GraphSage,
+        hops: 1,
+        epochs: 4,
+        mining_prior_weight: 1.0,
+        ..TrainConfig::default()
+    };
+    let trainer = CrossEmPlus::new(
+        &bundle.clip,
+        &bundle.tokenizer,
+        dataset,
+        config,
+        crossem::config::PlusConfig::default(),
+        &mut rng,
+    );
+    let report = trainer.train(&mut rng);
+    println!(
+        "CrossEM+ trained: {} partitions, {} pairs/epoch (full cross product would be {})",
+        report.partitions,
+        report.pairs_per_epoch,
+        dataset.candidate_pair_count()
+    );
+    let metrics = trainer.evaluate();
+    println!("CrossEM+ ranking quality: {}", metrics.row());
+
+    // --- KG baseline: supervised RSME analogue ----------------------
+    let mut rng2 = bundle.stage_rng(6);
+    let rsme = cem_baselines::kg::rsme::run(&bundle.clip, dataset, 8, 8, &mut rng2);
+    println!("RSME (seed-supervised) ranking quality: {}", rsme.metrics.row());
+
+    // --- Integrate: attach confident matches to the KG --------------
+    let probabilities = trainer.matching_matrix();
+    let confident = MatchingSet::thresholded(&probabilities, 0.5);
+    let mut enriched = dataset.graph.clone();
+    let before_edges = enriched.edge_count();
+    let mut correct = 0usize;
+    for &(entity, image, _) in &confident.pairs {
+        let image_vertex = enriched.add_vertex(format!("image #{image}"));
+        enriched.add_edge(dataset.entities[entity], image_vertex, "has image");
+        if dataset.is_match(entity, image) {
+            correct += 1;
+        }
+    }
+    println!(
+        "\nintegration: added {} `has image` edges ({} -> {} edges), {:.0}% correct",
+        confident.len(),
+        before_edges,
+        enriched.edge_count(),
+        if confident.is_empty() { 0.0 } else { 100.0 * correct as f32 / confident.len() as f32 }
+    );
+    println!(
+        "paper's takeaway: the unsupervised cross-modal matcher integrates images\n\
+         more accurately than structure-first KG methods — compare the two ranking\n\
+         rows above."
+    );
+}

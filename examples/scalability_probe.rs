@@ -1,0 +1,64 @@
+//! Scalability probe (Figure 8 in miniature): CrossEM vs CrossEM⁺ as the
+//! candidate-pair count grows. Shows the pair pruning and the time/memory
+//! effect of mini-batch generation.
+//!
+//! ```text
+//! cargo run --release --example scalability_probe
+//! ```
+
+use cem_data::{BundleConfig, DatasetBundle, DatasetKind, DatasetScale};
+use crossem::plus::CrossEmPlus;
+use crossem::{CrossEm, PromptKind, TrainConfig};
+
+fn main() {
+    for classes in [20usize, 40, 80] {
+        let mut bc = BundleConfig::bench(DatasetKind::Fb2k);
+        bc.scale = DatasetScale { classes, images_per_class: 4 };
+        bc.pretrain_pairs = 800; // keep the probe quick
+        println!("\n--- {classes} entities ({} candidate pairs) ---", classes * classes * 4);
+        let bundle = DatasetBundle::prepare(bc);
+        let dataset = &bundle.dataset;
+        println!("actual candidate pairs: {}", dataset.candidate_pair_count());
+
+        let config = TrainConfig {
+            prompt: PromptKind::Soft,
+            soft_backend: crossem::config::SoftBackend::GraphSage,
+            hops: 1,
+            epochs: 2,
+            mining_prior_weight: 1.0,
+            ..TrainConfig::default()
+        };
+
+        // Plain CrossEM — trains on every pair.
+        let mut rng = bundle.stage_rng(1);
+        let plain = CrossEm::new(&bundle.clip, &bundle.tokenizer, dataset, config, &mut rng);
+        let plain_report = plain.train(&mut rng);
+        println!(
+            "CrossEM   : {:>7} pairs/epoch, {:.2}s/epoch, peak {:5.1} MB, MRR {:.2}",
+            dataset.candidate_pair_count(),
+            plain_report.avg_epoch_seconds(),
+            plain_report.peak_bytes() as f64 / 1048576.0,
+            plain.evaluate().mrr,
+        );
+
+        // CrossEM⁺ — PCP prunes and localises pairs.
+        let mut rng = bundle.stage_rng(2);
+        let plus = CrossEmPlus::new(
+            &bundle.clip,
+            &bundle.tokenizer,
+            dataset,
+            config,
+            crossem::config::PlusConfig::default(),
+            &mut rng,
+        );
+        let plus_report = plus.train(&mut rng);
+        println!(
+            "CrossEM+  : {:>7} pairs/epoch, {:.2}s/epoch, peak {:5.1} MB, MRR {:.2} (prep {:.1}s)",
+            plus_report.pairs_per_epoch,
+            plus_report.train.avg_epoch_seconds(),
+            plus_report.train.peak_bytes() as f64 / 1048576.0,
+            plus.evaluate().mrr,
+            plus_report.prep_seconds,
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! `crossem-suite` — workspace-level façade re-exporting the CrossEM crates.
+//!
+//! The real public API lives in the member crates; this crate exists so the
+//! repository root can host runnable `examples/` and cross-crate integration
+//! `tests/`.
+
+pub use cem_baselines as baselines;
+pub use cem_clip as clip;
+pub use cem_data as data;
+pub use cem_graph as graph;
+pub use cem_nn as nn;
+pub use cem_tensor as tensor;
+pub use crossem as core;

@@ -1,0 +1,177 @@
+//! Property-based tests over the workspace's core invariants (proptest).
+
+use cem_graph::{d_hop_subgraph, Graph, JsonValue, VertexId};
+use cem_tensor::Tensor;
+use crossem::kmeans::{clusters_of, kmeans};
+use crossem::metrics::evaluate_rankings;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    // ---------------- tensor algebra ----------------
+
+    #[test]
+    fn add_commutes(a in vec_f32(12), b in vec_f32(12)) {
+        let ta = Tensor::from_vec(a, &[3, 4]);
+        let tb = Tensor::from_vec(b, &[3, 4]);
+        let x = ta.add(&tb).to_vec();
+        let y = tb.add(&ta).to_vec();
+        for (u, v) in x.iter().zip(&y) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(data in vec_f32(20)) {
+        let t = Tensor::from_vec(data, &[4, 5]);
+        let s = t.softmax_rows();
+        for r in 0..4 {
+            let sum: f32 = (0..5).map(|c| s.at2(r, c)).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            for c in 0..5 {
+                prop_assert!(s.at2(r, c) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn l2_normalized_rows_are_unit_or_zero(data in vec_f32(18)) {
+        let t = Tensor::from_vec(data, &[3, 6]);
+        let n = t.l2_normalize_rows();
+        for r in 0..3 {
+            let norm: f32 = (0..6).map(|c| n.at2(r, c).powi(2)).sum::<f32>().sqrt();
+            prop_assert!(norm < 1.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in vec_f32(6), b in vec_f32(6), c in vec_f32(6)) {
+        // A(B + C) == AB + AC
+        let ta = Tensor::from_vec(a, &[2, 3]);
+        let tb = Tensor::from_vec(b, &[3, 2]);
+        let tc = Tensor::from_vec(c, &[3, 2]);
+        let lhs = ta.matmul(&tb.add(&tc)).to_vec();
+        let rhs = ta.matmul(&tb).add(&ta.matmul(&tc)).to_vec();
+        for (u, v) in lhs.iter().zip(&rhs) {
+            prop_assert!((u - v).abs() < 1e-3, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn sum_gradient_is_all_ones(data in vec_f32(10)) {
+        let t = Tensor::from_vec(data, &[10]).requires_grad();
+        t.sum().backward();
+        prop_assert_eq!(t.grad().unwrap(), vec![1.0; 10]);
+    }
+
+    #[test]
+    fn transpose_is_involutive(data in vec_f32(12)) {
+        let t = Tensor::from_vec(data.clone(), &[3, 4]);
+        prop_assert_eq!(t.transpose().transpose().to_vec(), data);
+    }
+
+    // ---------------- graph invariants ----------------
+
+    #[test]
+    fn subgraph_edges_stay_inside(edges in prop::collection::vec((0usize..8, 0usize..8), 1..20), d in 0usize..4) {
+        let mut g = Graph::new();
+        for i in 0..8 {
+            g.add_vertex(format!("v{i}"));
+        }
+        for (s, t) in &edges {
+            g.add_edge(VertexId(*s), VertexId(*t), "e");
+        }
+        let sub = d_hop_subgraph(&g, VertexId(0), d);
+        for &e in &sub.edges {
+            let (s, t) = g.edge_endpoints(e);
+            prop_assert!(sub.contains(s) && sub.contains(t));
+        }
+        // Depths are bounded by d and the center comes first.
+        prop_assert_eq!(sub.vertices[0], VertexId(0));
+        prop_assert!(sub.depths.iter().all(|&x| x <= d));
+    }
+
+    #[test]
+    fn bigger_radius_never_shrinks_subgraph(edges in prop::collection::vec((0usize..6, 0usize..6), 1..15)) {
+        let mut g = Graph::new();
+        for i in 0..6 {
+            g.add_vertex(format!("v{i}"));
+        }
+        for (s, t) in &edges {
+            g.add_edge(VertexId(*s), VertexId(*t), "e");
+        }
+        let mut last = 0usize;
+        for d in 0..4 {
+            let n = d_hop_subgraph(&g, VertexId(0), d).vertex_count();
+            prop_assert!(n >= last);
+            last = n;
+        }
+    }
+
+    #[test]
+    fn json_display_parse_roundtrip(keys in prop::collection::vec("[a-z]{1,6}", 1..5), n in -1000i32..1000) {
+        let mut map = std::collections::BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            map.insert(k.clone(), if i % 2 == 0 {
+                JsonValue::Number(n as f64)
+            } else {
+                JsonValue::String(format!("s{i}"))
+            });
+        }
+        let v = JsonValue::Object(map);
+        let reparsed = JsonValue::parse(&v.to_string()).unwrap();
+        prop_assert_eq!(v, reparsed);
+    }
+
+    // ---------------- metrics invariants ----------------
+
+    #[test]
+    fn hits_are_monotone_in_k(golds in prop::collection::vec(0usize..10, 1..8)) {
+        let rankings: Vec<Vec<usize>> = golds.iter().map(|_| (0..10).collect()).collect();
+        let m = evaluate_rankings(&rankings, |q, img| img == golds[q]);
+        prop_assert!(m.hits_at_1 <= m.hits_at_3 + 1e-6);
+        prop_assert!(m.hits_at_3 <= m.hits_at_5 + 1e-6);
+        prop_assert!(m.mrr > 0.0 && m.mrr <= 1.0);
+        prop_assert!(m.mrr + 1e-6 >= m.hits_at_1); // MRR lower-bounded by H@1
+    }
+
+    // ---------------- kmeans invariants ----------------
+
+    #[test]
+    fn kmeans_assigns_every_point(points in prop::collection::vec(vec_f32(3), 1..30), k in 1usize..6, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let result = kmeans(&points, k, 20, &mut rng);
+        prop_assert_eq!(result.assignments.len(), points.len());
+        let kk = k.min(points.len());
+        prop_assert!(result.assignments.iter().all(|&a| a < kk));
+        let groups = clusters_of(&result, kk);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, points.len());
+    }
+
+    // ---------------- tokenizer invariants ----------------
+
+    #[test]
+    fn tokenizer_encode_respects_budget(text in "[a-z ]{0,200}", max_len in 2usize..40) {
+        let tok = cem_clip::Tokenizer::build([text.as_str()]);
+        let (ids, len) = tok.encode(&text, max_len);
+        prop_assert_eq!(ids.len(), len);
+        prop_assert!(len <= max_len);
+        prop_assert_eq!(ids[0], cem_clip::tokenizer::CLS);
+        prop_assert_eq!(*ids.last().unwrap(), cem_clip::tokenizer::SEP);
+    }
+
+    #[test]
+    fn tokenizer_roundtrips_known_words(words in prop::collection::vec("[a-z]{1,8}", 1..10)) {
+        let text = words.join(" ");
+        let tok = cem_clip::Tokenizer::build([text.as_str()]);
+        let ids = tok.tokenize(&text);
+        let decoded = tok.decode(&ids);
+        prop_assert_eq!(decoded, text.split_whitespace().collect::<Vec<_>>().join(" "));
+    }
+}
