@@ -1,0 +1,239 @@
+//! Resilience drills for the training loop (see DESIGN.md, "Failure
+//! handling & resume"). Three drills, each with a hard pass/fail verdict:
+//!
+//! 1. **Crash/resume equivalence** — a run killed after epoch `k` and
+//!    resumed from its durable checkpoint must reach *bit-identical*
+//!    parameters (and therefore identical metrics) to an uninterrupted
+//!    run.
+//! 2. **NaN-injection rollback** — poisoning one batch's gradients with
+//!    NaN must trip the divergence guard, roll back, and leave a run that
+//!    still finishes with finite loss and sane metrics.
+//! 3. **Corruption rejection** — every truncated or bit-flipped checkpoint
+//!    must be rejected with a typed error; none may panic or load.
+//!
+//! Timings (checkpoint write/read latency, resume overhead) are written to
+//! `BENCH_robustness.json`. Honours `--quick`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cem_bench::faults::{corrupt_byte, truncate_file, CrashAfterEpoch, NanPoisoner};
+use cem_bench::{prepare, HarnessConfig, PreparedBundle};
+use cem_data::DatasetKind;
+use cem_tensor::io::StateDict;
+use crossem::guard::FaultInjector;
+use crossem::trainer::{TrainOptions, TrainReport};
+use crossem::{CheckpointManager, CrossEm, PromptKind};
+
+/// Stage index for the drill RNG (distinct from the table harness stages).
+const DRILL_STAGE: u64 = 77;
+
+struct RunOutcome {
+    report: TrainReport,
+    params: Vec<Vec<f32>>,
+    mrr: f64,
+}
+
+/// One checkpointed training run over a pristine world. `reset_clip`
+/// restores the pre-trained weights, so every call starts from the
+/// identical state a fresh process would rebuild from the seed.
+fn run<'h>(
+    prepared: &PreparedBundle,
+    epochs: usize,
+    manager: Option<&'h CheckpointManager>,
+    injector: Option<&'h mut (dyn FaultInjector + 'h)>,
+) -> RunOutcome {
+    prepared.reset_clip();
+    let bundle = &prepared.bundle;
+    let mut rng = bundle.stage_rng(DRILL_STAGE);
+    let config = prepared.train_config(PromptKind::Hard, epochs);
+    let matcher = CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, config, &mut rng);
+    let report = matcher
+        .train_with_options(&mut rng, TrainOptions { checkpoints: manager, injector })
+        .expect("drill checkpoints must load");
+    let params = matcher.trainable_params().iter().map(|p| p.to_vec()).collect();
+    let mrr = matcher.evaluate().mrr as f64;
+    RunOutcome { report, params, mrr }
+}
+
+fn max_abs_diff(a: &[Vec<f32>], b: &[Vec<f32>]) -> f32 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q).abs()))
+        .fold(0.0f32, f32::max)
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cem_fault_drill_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let epochs = config.em_epochs.max(3);
+    let crash_epoch = (epochs - 1) / 2;
+    let prepared = prepare(DatasetKind::Cub, &config);
+
+    // ---------------------------------------------------------------
+    // Drill 1: kill after epoch `crash_epoch`, resume, compare with an
+    // uninterrupted run.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 1] crash after epoch {crash_epoch}, resume, compare ({epochs} epochs) …");
+    let dir_full = scratch_dir("full");
+    let dir_crash = scratch_dir("crash");
+    let manager_full = CheckpointManager::new(&dir_full).expect("scratch dir");
+    let manager_crash = CheckpointManager::new(&dir_crash).expect("scratch dir");
+
+    let full = run(&prepared, epochs, Some(&manager_full), None);
+    assert_eq!(full.report.epochs.len(), epochs);
+
+    let mut crasher = CrashAfterEpoch::at(crash_epoch);
+    let partial = run(&prepared, epochs, Some(&manager_crash), Some(&mut crasher));
+    assert!(crasher.crashed, "crash injector never fired");
+    assert_eq!(partial.report.epochs.len(), crash_epoch + 1);
+
+    // "New process": pristine weights, same checkpoint directory.
+    let resume_load_start = Instant::now();
+    let loaded = manager_crash.load().expect("crash checkpoint readable");
+    let resume_load_ms = resume_load_start.elapsed().as_secs_f64() * 1e3;
+    assert!(loaded.is_some(), "crash run left no checkpoint");
+
+    let resumed = run(&prepared, epochs, Some(&manager_crash), None);
+    assert_eq!(resumed.report.resumed_from, Some(crash_epoch + 1));
+    assert_eq!(resumed.report.epochs.len(), epochs - crash_epoch - 1);
+
+    let diff = max_abs_diff(&full.params, &resumed.params);
+    let drill1_pass = diff == 0.0 && (full.mrr - resumed.mrr).abs() < 1e-12;
+    println!(
+        "[drill 1] max |Δparam| = {diff:.3e}, mrr full {:.4} vs resumed {:.4} → {}",
+        full.mrr,
+        resumed.mrr,
+        if drill1_pass { "PASS" } else { "FAIL" }
+    );
+
+    // Checkpoint write/read latency on the real final training state.
+    let (final_state, _) = manager_full.load().expect("full checkpoint readable").unwrap();
+    let timing_dir = scratch_dir("timing");
+    let timing_manager = CheckpointManager::new(&timing_dir).expect("scratch dir");
+    let reps = 5;
+    let write_start = Instant::now();
+    for _ in 0..reps {
+        timing_manager.save(&final_state).expect("timing save");
+    }
+    let checkpoint_write_ms = write_start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let read_start = Instant::now();
+    for _ in 0..reps {
+        timing_manager.load().expect("timing load").unwrap();
+    }
+    let checkpoint_read_ms = read_start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let checkpoint_bytes = std::fs::metadata(manager_full.latest_path())
+        .map(|m| m.len())
+        .unwrap_or(0);
+
+    // ---------------------------------------------------------------
+    // Drill 2: poison one batch's gradients; the guard must contain it.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 2] NaN-poisoning one batch's gradients …");
+    let mut poisoner = NanPoisoner::at(3);
+    let poisoned = run(&prepared, epochs, None, Some(&mut poisoner));
+    let final_loss = poisoned.report.final_loss().unwrap_or(f32::NAN);
+    let drill2_pass = poisoner.poisoned == 1
+        && poisoned.report.nan_batches() >= 1
+        && poisoned.report.rollbacks() >= 1
+        && !poisoned.report.diverged
+        && final_loss.is_finite()
+        && poisoned.params.iter().flatten().all(|x| x.is_finite())
+        && poisoned.mrr > 0.0;
+    println!(
+        "[drill 2] nan_batches {}, rollbacks {}, diverged {}, final loss {:.4}, mrr {:.4} → {}",
+        poisoned.report.nan_batches(),
+        poisoned.report.rollbacks(),
+        poisoned.report.diverged,
+        final_loss,
+        poisoned.mrr,
+        if drill2_pass { "PASS" } else { "FAIL" }
+    );
+
+    // ---------------------------------------------------------------
+    // Drill 3: every damaged checkpoint is rejected with a typed error.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 3] corrupting checkpoint files …");
+    let pristine = std::fs::read(manager_full.latest_path()).expect("checkpoint bytes");
+    let victim = std::env::temp_dir()
+        .join(format!("cem_fault_drill_victim_{}.cemt", std::process::id()));
+    let mut cases = 0usize;
+    let mut rejected = 0usize;
+
+    // Torn writes: truncate at a spread of lengths.
+    for keep in [0, 4, 12, pristine.len() / 4, pristine.len() / 2, pristine.len() - 1] {
+        std::fs::write(&victim, &pristine).unwrap();
+        truncate_file(&victim, keep as u64).unwrap();
+        cases += 1;
+        if StateDict::load(&victim).is_err() {
+            rejected += 1;
+        }
+    }
+    // Bit rot: flip a byte at offsets spread through the whole file,
+    // including the magic, the footer, and the payload in between.
+    let stride = (pristine.len() / 32).max(1);
+    for offset in (0..pristine.len()).step_by(stride) {
+        std::fs::write(&victim, &pristine).unwrap();
+        corrupt_byte(&victim, offset as u64, 0xFF).unwrap();
+        cases += 1;
+        if StateDict::load(&victim).is_err() {
+            rejected += 1;
+        }
+    }
+    let drill3_pass = rejected == cases;
+    println!(
+        "[drill 3] {rejected}/{cases} damaged checkpoints rejected → {}",
+        if drill3_pass { "PASS" } else { "FAIL" }
+    );
+
+    // ---------------------------------------------------------------
+    // Summary + BENCH_robustness.json
+    // ---------------------------------------------------------------
+    let all_pass = drill1_pass && drill2_pass && drill3_pass;
+    println!(
+        "\ncheckpoint: {checkpoint_bytes} bytes, write {checkpoint_write_ms:.2} ms, \
+         read {checkpoint_read_ms:.2} ms, resume load {resume_load_ms:.2} ms"
+    );
+    println!("fault drill: {}", if all_pass { "ALL PASS" } else { "FAILURES" });
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"harness\": \"fault_drill\",");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        if std::env::args().any(|a| a == "--quick") { "quick" } else { "standard" }
+    );
+    let _ = writeln!(json, "  \"epochs\": {epochs},");
+    let _ = writeln!(json, "  \"crash_epoch\": {crash_epoch},");
+    let _ = writeln!(json, "  \"drill1_crash_resume_pass\": {drill1_pass},");
+    let _ = writeln!(json, "  \"drill1_max_param_diff\": {diff},");
+    let _ = writeln!(json, "  \"drill1_mrr_full\": {},", full.mrr);
+    let _ = writeln!(json, "  \"drill1_mrr_resumed\": {},", resumed.mrr);
+    let _ = writeln!(json, "  \"drill2_nan_rollback_pass\": {drill2_pass},");
+    let _ = writeln!(json, "  \"drill2_nan_batches\": {},", poisoned.report.nan_batches());
+    let _ = writeln!(json, "  \"drill2_rollbacks\": {},", poisoned.report.rollbacks());
+    let _ = writeln!(json, "  \"drill3_corruption_pass\": {drill3_pass},");
+    let _ = writeln!(json, "  \"drill3_cases\": {cases},");
+    let _ = writeln!(json, "  \"drill3_rejected\": {rejected},");
+    let _ = writeln!(json, "  \"checkpoint_bytes\": {checkpoint_bytes},");
+    let _ = writeln!(json, "  \"checkpoint_write_ms\": {checkpoint_write_ms:.3},");
+    let _ = writeln!(json, "  \"checkpoint_read_ms\": {checkpoint_read_ms:.3},");
+    let _ = writeln!(json, "  \"resume_load_ms\": {resume_load_ms:.3}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
+    println!("wrote BENCH_robustness.json");
+
+    for dir in [dir_full, dir_crash, timing_dir] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+    std::fs::remove_file(&victim).ok();
+
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Deterministic fault injectors for resilience drills.
+//!
+//! These implement the [`FaultInjector`] seam exposed by the trainers so
+//! drills and integration tests can poison a precise batch's gradients,
+//! kill a run at a precise epoch boundary, or damage checkpoint files on
+//! disk — all reproducibly, with no randomness and no test-only branches
+//! in production code.
+
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use cem_tensor::Tensor;
+use crossem::guard::{EpochAction, FaultInjector};
+
+/// Overwrites every trainable parameter's gradient with NaN on one chosen
+/// global batch — the classic "one bad batch poisons the AdamW moments"
+/// failure the divergence guard exists to contain.
+#[derive(Debug, Clone)]
+pub struct NanPoisoner {
+    pub target_batch: usize,
+    /// How many batches were actually poisoned (0 or 1).
+    pub poisoned: usize,
+}
+
+impl NanPoisoner {
+    pub fn at(target_batch: usize) -> Self {
+        NanPoisoner { target_batch, poisoned: 0 }
+    }
+}
+
+impl FaultInjector for NanPoisoner {
+    fn after_backward(&mut self, global_batch: usize, params: &[Tensor]) {
+        if global_batch == self.target_batch {
+            for p in params {
+                p.set_grad(&vec![f32::NAN; p.numel()]);
+            }
+            self.poisoned += 1;
+        }
+    }
+}
+
+/// Aborts the run right after epoch `epoch`'s checkpoint is written,
+/// simulating a process killed between epochs. "Restarting the process"
+/// is then simulated by rebuilding the world from the same seed and
+/// training again with the same checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct CrashAfterEpoch {
+    pub epoch: usize,
+    pub crashed: bool,
+}
+
+impl CrashAfterEpoch {
+    pub fn at(epoch: usize) -> Self {
+        CrashAfterEpoch { epoch, crashed: false }
+    }
+}
+
+impl FaultInjector for CrashAfterEpoch {
+    fn after_epoch(&mut self, epoch: usize) -> EpochAction {
+        if epoch == self.epoch {
+            self.crashed = true;
+            EpochAction::Abort
+        } else {
+            EpochAction::Continue
+        }
+    }
+}
+
+/// Truncate a file to `keep` bytes (a torn write).
+pub fn truncate_file(path: impl AsRef<Path>, keep: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    Ok(())
+}
+
+/// XOR one byte of a file with `mask` (bit rot / disk corruption).
+/// `mask` must be non-zero or the file would be unchanged.
+pub fn corrupt_byte(path: impl AsRef<Path>, offset: u64, mask: u8) -> io::Result<()> {
+    assert!(mask != 0, "a zero mask would leave the file intact");
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= mask;
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(&byte)?;
+    Ok(())
+}
+
+/// Flip a single bit of a file.
+pub fn flip_bit(path: impl AsRef<Path>, offset: u64, bit: u8) -> io::Result<()> {
+    corrupt_byte(path, offset, 1 << (bit & 7))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("cem_faults_{tag}_{}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn truncate_shrinks_file() {
+        let path = tmp_file("trunc", &[1, 2, 3, 4, 5]);
+        truncate_file(&path, 2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_flips_in_place() {
+        let path = tmp_file("byte", &[0xAA, 0xBB, 0xCC]);
+        corrupt_byte(&path, 1, 0xFF).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0xAA, 0x44, 0xCC]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let path = tmp_file("bit", &[0b0000_0000]);
+        flip_bit(&path, 0, 3).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0b0000_1000]);
+        std::fs::remove_file(&path).ok();
+    }
+}

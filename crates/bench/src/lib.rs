@@ -15,6 +15,7 @@
 //! | `table4_ablation` | Table IV — ablation study |
 //! | `table5_casestudy` | Table V — MKG integration case study |
 //! | `run_all` | everything above in sequence |
+//! | `fault_drill` | resilience drills: crash/resume equivalence, NaN-injection rollback, checkpoint corruption rejection (writes `BENCH_robustness.json`) |
 //!
 //! All harnesses honour `--quick` (smaller data/epochs) and print both
 //! measured numbers and the paper's reference values so shape comparisons
@@ -265,4 +266,5 @@ pub fn metric_cells(m: &Metrics) -> Vec<String> {
         format!("{:.2}", m.mrr),
     ]
 }
+pub mod faults;
 pub mod tables;

@@ -2,6 +2,7 @@
 //! temperature, with the symmetric contrastive objective.
 
 use cem_nn::Module;
+use cem_tensor::io::CheckpointError;
 use cem_tensor::Tensor;
 use rand::Rng;
 
@@ -162,17 +163,18 @@ impl Clip {
         self.config.embed_dim
     }
 
-    /// Save all parameters to a checkpoint file.
-    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// Save all parameters to a checkpoint file (CEMT v2: CRC-protected,
+    /// written atomically via temp file + fsync + rename).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
         self.state_dict().save(path)
     }
 
     /// Load parameters from a checkpoint produced by [`Clip::save`] into an
     /// architecture-compatible model (shapes must match; names are checked).
-    pub fn load(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    /// Corrupted or mismatched files surface as typed errors, never panics.
+    pub fn load(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
         let dict = cem_tensor::io::StateDict::load(path)?;
-        self.load_state_dict(&dict);
-        Ok(())
+        self.try_load_state_dict(&dict)
     }
 }
 

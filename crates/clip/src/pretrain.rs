@@ -41,8 +41,10 @@ pub struct PretrainReport {
 }
 
 impl PretrainReport {
-    pub fn final_loss(&self) -> f32 {
-        *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    /// Mean loss of the last epoch, or `None` for an empty run — so an
+    /// empty report is distinguishable from a diverged (NaN-loss) one.
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epoch_losses.last().copied()
     }
 }
 
@@ -147,7 +149,11 @@ mod tests {
         let config = PretrainConfig { epochs: 6, batch_size: 8, lr: 1e-3, clip_norm: 5.0 };
         let report = pretrain(&clip, &corpus, &config, &mut rng);
         assert_eq!(report.epoch_losses.len(), 6);
-        assert!(report.final_loss() < report.epoch_losses[0], "{:?}", report.epoch_losses);
+        assert!(
+            report.final_loss().expect("non-empty run") < report.epoch_losses[0],
+            "{:?}",
+            report.epoch_losses
+        );
         assert!(report.steps > 0);
     }
 

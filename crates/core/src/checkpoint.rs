@@ -1,0 +1,395 @@
+//! Durable training state: rotating atomic checkpoints and bit-faithful
+//! resume.
+//!
+//! A checkpoint captures everything Algorithm 1/2/3 need to continue as if
+//! the process had never died: the trainable parameter values, the AdamW
+//! first/second moments and step count, the number of completed epochs,
+//! the run seed that derives each epoch's shuffling RNG, and a fingerprint
+//! of the training configuration (so a checkpoint is never silently
+//! applied to a different run shape).
+//!
+//! [`CheckpointManager`] keeps a rotating `latest`/`prev` pair in one
+//! directory. Saves go through the CEMT v2 atomic write path (temp file +
+//! fsync + rename), and the previous checkpoint is only displaced *after*
+//! the new one is durable — a crash at any instant leaves at least one
+//! loadable checkpoint on disk. Loads verify CRCs and fall back from a
+//! damaged `latest` to `prev` automatically.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use cem_tensor::io::{CheckpointError, StateDict};
+use cem_tensor::optim::AdamW;
+use cem_tensor::Tensor;
+
+use crate::config::{PlusConfig, TrainConfig};
+
+/// Schema version of the training-state layout inside the CEMT container.
+pub const TRAIN_STATE_SCHEMA: u64 = 1;
+
+/// Why a checkpoint could not be applied to a live trainer.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The container itself failed to read or write.
+    Checkpoint(CheckpointError),
+    /// The checkpoint was produced by a different training configuration.
+    FingerprintMismatch { expected: u64, found: u64 },
+    /// The checkpoint lacks a required entry or metadata key.
+    MissingEntry(String),
+    /// The checkpoint stores a different number of trainable parameters.
+    ParamCount { expected: usize, found: usize },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Checkpoint(e) => write!(f, "{e}"),
+            ResumeError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "checkpoint config fingerprint {found:#018x} does not match this run ({expected:#018x})"
+            ),
+            ResumeError::MissingEntry(name) => {
+                write!(f, "checkpoint is missing required entry {name:?}")
+            }
+            ResumeError::ParamCount { expected, found } => write!(
+                f,
+                "checkpoint stores {found} trainable parameters, this run has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResumeError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ResumeError {
+    fn from(e: CheckpointError) -> Self {
+        ResumeError::Checkpoint(e)
+    }
+}
+
+/// FNV-1a over the debug rendering of the training configuration. Stable
+/// within a build, cheap, and sensitive to every field — good enough to
+/// stop a checkpoint from one run shape being applied to another.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Fingerprint for a plain CrossEM run.
+pub fn config_fingerprint(config: &TrainConfig) -> u64 {
+    fingerprint_bytes(format!("{config:?}").as_bytes())
+}
+
+/// Fingerprint for a CrossEM⁺ run (covers both config halves).
+pub fn plus_fingerprint(config: &TrainConfig, plus: &PlusConfig) -> u64 {
+    fingerprint_bytes(format!("{config:?}|{plus:?}").as_bytes())
+}
+
+/// Which of the rotating pair a resume came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeSource {
+    Latest,
+    Previous,
+}
+
+/// Rotating `latest`/`prev` checkpoint pair in one directory.
+#[derive(Debug, Clone)]
+pub struct CheckpointManager {
+    dir: PathBuf,
+}
+
+impl CheckpointManager {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<Self, CheckpointError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointManager { dir })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn latest_path(&self) -> PathBuf {
+        self.dir.join("ckpt-latest.cemt")
+    }
+
+    pub fn prev_path(&self) -> PathBuf {
+        self.dir.join("ckpt-prev.cemt")
+    }
+
+    /// Durably store `dict` as the new `latest`, demoting the current
+    /// `latest` to `prev`. Ordering guarantees a crash anywhere in this
+    /// sequence leaves at least one complete, loadable checkpoint:
+    /// the incoming file becomes durable (fsync) before any rename, and
+    /// the old `latest` is preserved as `prev` before being displaced.
+    pub fn save(&self, dict: &StateDict) -> Result<(), CheckpointError> {
+        let incoming = self.dir.join("ckpt-incoming.cemt");
+        dict.save(&incoming)?; // temp file + fsync + atomic rename inside
+        let latest = self.latest_path();
+        if latest.exists() {
+            std::fs::rename(&latest, self.prev_path())?;
+        }
+        std::fs::rename(&incoming, &latest)?;
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Load the freshest intact checkpoint. Returns `Ok(None)` when the
+    /// directory holds no checkpoint at all (fresh start); falls back from
+    /// a corrupt/truncated `latest` to `prev`; only errors when every
+    /// candidate on disk is damaged — never panics on bad bytes.
+    pub fn load(&self) -> Result<Option<(StateDict, ResumeSource)>, CheckpointError> {
+        let mut first_error: Option<CheckpointError> = None;
+        for (path, source) in
+            [(self.latest_path(), ResumeSource::Latest), (self.prev_path(), ResumeSource::Previous)]
+        {
+            if !path.exists() {
+                continue;
+            }
+            match StateDict::load(&path) {
+                Ok(dict) => return Ok(Some((dict, source))),
+                Err(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Resume cursor decoded from a checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeState {
+    /// Epochs fully completed before the snapshot (training continues at
+    /// this epoch index).
+    pub epochs_done: usize,
+    /// The run seed that derives every epoch's shuffling RNG.
+    pub seed: u64,
+}
+
+/// Encode the full training state into one [`StateDict`]: parameters as
+/// `param.{i}`, optimiser state under `optim.`, bookkeeping in metadata.
+pub fn encode_train_state(
+    params: &[Tensor],
+    opt: &AdamW,
+    epochs_done: usize,
+    seed: u64,
+    fingerprint: u64,
+) -> StateDict {
+    let mut dict = StateDict::new();
+    for (i, p) in params.iter().enumerate() {
+        dict.insert(format!("param.{i}"), p.detach());
+    }
+    let opt_state = opt.state_dict();
+    for (name, tensor) in opt_state.iter() {
+        dict.insert(format!("optim.{name}"), tensor.clone());
+    }
+    for (name, value) in opt_state.meta_iter() {
+        dict.insert_meta(format!("optim.{name}"), value);
+    }
+    dict.insert_meta("schema", TRAIN_STATE_SCHEMA);
+    dict.insert_meta("param_count", params.len() as u64);
+    dict.insert_meta("epochs_done", epochs_done as u64);
+    dict.insert_meta("seed", seed);
+    dict.insert_meta("fingerprint", fingerprint);
+    dict
+}
+
+/// Apply a checkpoint produced by [`encode_train_state`] onto live
+/// parameters and optimiser, verifying the config fingerprint and every
+/// shape. Returns the resume cursor.
+pub fn apply_train_state(
+    dict: &StateDict,
+    params: &[Tensor],
+    opt: &mut AdamW,
+    fingerprint: u64,
+) -> Result<ResumeState, ResumeError> {
+    let meta = |name: &str| dict.meta(name).ok_or_else(|| ResumeError::MissingEntry(name.into()));
+    let found_fp = meta("fingerprint")?;
+    if found_fp != fingerprint {
+        return Err(ResumeError::FingerprintMismatch { expected: fingerprint, found: found_fp });
+    }
+    let stored_params = meta("param_count")? as usize;
+    if stored_params != params.len() {
+        return Err(ResumeError::ParamCount { expected: params.len(), found: stored_params });
+    }
+    for (i, p) in params.iter().enumerate() {
+        let key = format!("param.{i}");
+        let saved = dict.get(&key).ok_or_else(|| ResumeError::MissingEntry(key.clone()))?;
+        if saved.numel() != p.numel() {
+            return Err(ResumeError::Checkpoint(CheckpointError::ShapeMismatch {
+                name: key,
+                expected: p.dims().to_vec(),
+                found: saved.dims().to_vec(),
+            }));
+        }
+        p.copy_from_slice(&saved.to_vec());
+    }
+    let mut opt_state = StateDict::new();
+    for (name, tensor) in dict.iter() {
+        if let Some(stripped) = name.strip_prefix("optim.") {
+            opt_state.insert(stripped, tensor.clone());
+        }
+    }
+    for (name, value) in dict.meta_iter() {
+        if let Some(stripped) = name.strip_prefix("optim.") {
+            opt_state.insert_meta(stripped, value);
+        }
+    }
+    opt.load_state_dict(&opt_state)?;
+    Ok(ResumeState { epochs_done: meta("epochs_done")? as usize, seed: meta("seed")? })
+}
+
+/// SplitMix64 — derives statistically independent per-epoch seeds from one
+/// run seed so a resumed run replays exactly the shuffles the uninterrupted
+/// run would have used, without serialising RNG internals.
+pub fn derive_seed(run_seed: u64, stream: u64) -> u64 {
+    let mut z = run_seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cem_tensor::optim::Optimizer;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cem_ckpt_test_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn step_once(opt: &mut AdamW, params: &[Tensor]) {
+        opt.zero_grad();
+        let loss = params[0].add_scalar(-1.0).square().sum();
+        loss.backward();
+        opt.step();
+    }
+
+    #[test]
+    fn rotation_keeps_latest_and_prev() {
+        let dir = tmp_dir("rotate");
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        assert!(mgr.load().unwrap().is_none());
+
+        let mut a = StateDict::new();
+        a.insert_meta("gen", 1);
+        mgr.save(&a).unwrap();
+        let mut b = StateDict::new();
+        b.insert_meta("gen", 2);
+        mgr.save(&b).unwrap();
+
+        let (latest, source) = mgr.load().unwrap().unwrap();
+        assert_eq!(source, ResumeSource::Latest);
+        assert_eq!(latest.meta("gen"), Some(2));
+        let prev = StateDict::load(mgr.prev_path()).unwrap();
+        assert_eq!(prev.meta("gen"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_prev() {
+        let dir = tmp_dir("fallback");
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let mut a = StateDict::new();
+        a.insert_meta("gen", 1);
+        mgr.save(&a).unwrap();
+        let mut b = StateDict::new();
+        b.insert_meta("gen", 2);
+        mgr.save(&b).unwrap();
+
+        // Simulate a torn write: truncate the latest checkpoint.
+        let bytes = std::fs::read(mgr.latest_path()).unwrap();
+        std::fs::write(mgr.latest_path(), &bytes[..bytes.len() / 2]).unwrap();
+
+        let (dict, source) = mgr.load().unwrap().unwrap();
+        assert_eq!(source, ResumeSource::Previous);
+        assert_eq!(dict.meta("gen"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn both_damaged_is_a_typed_error() {
+        let dir = tmp_dir("bothbad");
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let mut a = StateDict::new();
+        a.insert_meta("gen", 1);
+        mgr.save(&a).unwrap();
+        mgr.save(&a).unwrap();
+        std::fs::write(mgr.latest_path(), b"CEMTgarbage").unwrap();
+        std::fs::write(mgr.prev_path(), b"not even magic").unwrap();
+        assert!(mgr.load().is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_state_roundtrip_restores_everything() {
+        let p = Tensor::from_vec(vec![0.0, 0.0], &[2]).requires_grad();
+        let params = vec![p.clone()];
+        let mut opt = AdamW::new(params.clone(), 0.05);
+        for _ in 0..7 {
+            step_once(&mut opt, &params);
+        }
+        let fp = config_fingerprint(&TrainConfig::default());
+        let dict = encode_train_state(&params, &opt, 3, 42, fp);
+
+        let q = Tensor::from_vec(vec![9.0, 9.0], &[2]).requires_grad();
+        let params2 = vec![q.clone()];
+        let mut opt2 = AdamW::new(params2.clone(), 0.05);
+        let resume = apply_train_state(&dict, &params2, &mut opt2, fp).unwrap();
+        assert_eq!(resume.epochs_done, 3);
+        assert_eq!(resume.seed, 42);
+        assert_eq!(q.to_vec(), p.to_vec());
+
+        // Continuing both optimisers stays in lockstep (moments restored).
+        step_once(&mut opt, &params);
+        step_once(&mut opt2, &params2);
+        assert_eq!(p.to_vec(), q.to_vec());
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_rejected() {
+        let p = Tensor::zeros(&[1]).requires_grad();
+        let params = vec![p.clone()];
+        let mut opt = AdamW::new(params.clone(), 0.05);
+        let dict = encode_train_state(&params, &opt, 0, 0, 1);
+        let err = apply_train_state(&dict, &params, &mut opt, 2).unwrap_err();
+        assert!(matches!(err, ResumeError::FingerprintMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_differ_across_configs() {
+        let a = TrainConfig::default();
+        let b = TrainConfig { lr: 1e-3, ..TrainConfig::default() };
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+    }
+
+    #[test]
+    fn derive_seed_streams_are_distinct() {
+        let s = 0xDEADBEEF;
+        let seeds: Vec<u64> = (0..32).map(|e| derive_seed(s, e)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+}

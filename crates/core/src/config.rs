@@ -41,6 +41,71 @@ pub enum TuneScope {
     Head,
 }
 
+/// Divergence-guard policy: after every optimisation step the trainer
+/// checks loss/gradient finiteness (and optionally a loss-spike EWMA);
+/// a tripped guard skips the poisoned step, rolls parameters and optimiser
+/// state back to the last good snapshot, and halves the learning rate,
+/// with a bounded retry budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Master switch. When off, batches are applied unconditionally
+    /// (pre-guard behaviour).
+    pub enabled: bool,
+    /// Trip when `loss > spike_factor × EWMA(loss)`. Values ≤ 1.0 disable
+    /// spike detection; non-finite checks stay active. Off by default so
+    /// noisy-but-healthy runs reproduce the recorded seed results.
+    pub spike_factor: f32,
+    /// EWMA smoothing weight for the running loss (weight of the newest
+    /// observation).
+    pub ewma_alpha: f32,
+    /// Healthy batches to observe before spike detection arms.
+    pub warmup_batches: usize,
+    /// Rollbacks allowed per run before the trainer gives up and reports
+    /// the run as diverged.
+    pub max_retries: usize,
+    /// Multiplier applied to the learning rate on each rollback.
+    pub lr_backoff: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            enabled: true,
+            spike_factor: 0.0,
+            ewma_alpha: 0.2,
+            warmup_batches: 8,
+            max_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// Guard tuned for fault drills: spike detection armed.
+    pub fn strict() -> Self {
+        GuardConfig { spike_factor: 8.0, ..GuardConfig::default() }
+    }
+
+    pub fn disabled() -> Self {
+        GuardConfig { enabled: false, ..GuardConfig::default() }
+    }
+
+    pub fn validate(&self) {
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "guard ewma_alpha must be in (0,1]"
+        );
+        assert!(
+            self.lr_backoff > 0.0 && self.lr_backoff <= 1.0,
+            "guard lr_backoff must be in (0,1]"
+        );
+        assert!(
+            !self.spike_factor.is_nan(),
+            "guard spike_factor must not be NaN"
+        );
+    }
+}
+
 /// Training hyper-parameters shared by CrossEM and CrossEM⁺.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
@@ -81,6 +146,8 @@ pub struct TrainConfig {
     /// low values let structure-aware prompts override it (right when
     /// names are opaque, e.g. SUN).
     pub mining_prior_weight: f32,
+    /// Divergence detection + rollback policy.
+    pub guard: GuardConfig,
 }
 
 impl Default for TrainConfig {
@@ -101,6 +168,7 @@ impl Default for TrainConfig {
             max_prompt_len: 77,
             tune_scope: TuneScope::Head,
             mining_prior_weight: 0.5,
+            guard: GuardConfig::default(),
         }
     }
 }
@@ -122,6 +190,7 @@ impl TrainConfig {
         assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0,1]");
         assert!((0.0..=1.0).contains(&self.beta), "beta must be in [0,1]");
         assert!(self.max_prompt_len >= 4, "prompt budget too small");
+        self.guard.validate();
     }
 }
 

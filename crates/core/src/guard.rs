@@ -1,0 +1,176 @@
+//! Divergence detection for the training loops.
+//!
+//! A single NaN batch (bad gradients from a degenerate similarity matrix,
+//! an overflowing loss, a poisoned input) silently corrupts every later
+//! optimisation step: AdamW moments absorb the NaN and the run never
+//! recovers. The [`DivergenceGuard`] watches each batch's loss and
+//! pre-clip gradient norm and trips on non-finite values or — when armed —
+//! on a loss spike relative to a running EWMA. The trainers respond by
+//! skipping the poisoned step, rolling back to the last good snapshot, and
+//! halving the learning rate (see `TrainEngine` in [`crate::trainer`]).
+//!
+//! The [`FaultInjector`] trait is the deterministic testing seam the
+//! `cem-bench` fault-drill harness uses to poison gradients and simulate
+//! crashes at precise points without touching production code paths.
+
+use cem_tensor::Tensor;
+
+use crate::config::GuardConfig;
+
+/// The guard's judgement on one observed batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardVerdict {
+    Healthy,
+    /// The loss itself is NaN/∞.
+    NonFiniteLoss,
+    /// The global gradient norm is NaN/∞ (loss may still print finite).
+    NonFiniteGrad,
+    /// The loss jumped more than `spike_factor` × the running EWMA.
+    LossSpike { loss: f32, ewma: f32 },
+}
+
+impl GuardVerdict {
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, GuardVerdict::Healthy)
+    }
+
+    /// Whether this verdict indicates a non-finite (NaN/∞) batch.
+    pub fn is_non_finite(&self) -> bool {
+        matches!(self, GuardVerdict::NonFiniteLoss | GuardVerdict::NonFiniteGrad)
+    }
+}
+
+/// Running loss statistics + trip logic. One guard instance lives for one
+/// training run; it only updates its EWMA on healthy batches so a poisoned
+/// batch cannot drag the baseline with it.
+#[derive(Debug, Clone)]
+pub struct DivergenceGuard {
+    config: GuardConfig,
+    ewma: Option<f32>,
+    healthy_batches: usize,
+}
+
+impl DivergenceGuard {
+    pub fn new(config: GuardConfig) -> Self {
+        DivergenceGuard { config, ewma: None, healthy_batches: 0 }
+    }
+
+    /// The current loss EWMA, if any healthy batch has been observed.
+    pub fn ewma(&self) -> Option<f32> {
+        self.ewma
+    }
+
+    /// Judge one batch. Healthy observations update the EWMA.
+    pub fn observe(&mut self, loss: f32, grad_norm: f32) -> GuardVerdict {
+        if !self.config.enabled {
+            return GuardVerdict::Healthy;
+        }
+        if !loss.is_finite() {
+            return GuardVerdict::NonFiniteLoss;
+        }
+        if !grad_norm.is_finite() {
+            return GuardVerdict::NonFiniteGrad;
+        }
+        if self.config.spike_factor > 1.0 && self.healthy_batches >= self.config.warmup_batches {
+            if let Some(ewma) = self.ewma {
+                // Floor the baseline so a near-zero EWMA doesn't turn
+                // ordinary noise into a trip.
+                let baseline = ewma.abs().max(1e-3);
+                if loss > self.config.spike_factor * baseline {
+                    return GuardVerdict::LossSpike { loss, ewma };
+                }
+            }
+        }
+        let alpha = self.config.ewma_alpha;
+        self.ewma = Some(match self.ewma {
+            None => loss,
+            Some(prev) => alpha * loss + (1.0 - alpha) * prev,
+        });
+        self.healthy_batches += 1;
+        GuardVerdict::Healthy
+    }
+}
+
+/// What a fault injector tells the trainer to do at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochAction {
+    Continue,
+    /// Stop training now, as if the process died right after the epoch's
+    /// checkpoint was written. Used to exercise crash/resume paths.
+    Abort,
+}
+
+/// Deterministic fault-injection hooks, called from inside the training
+/// loop. Production runs pass no injector; the `cem-bench` fault drills
+/// implement this to poison a chosen batch's gradients or kill a run after
+/// epoch `k`.
+pub trait FaultInjector {
+    /// Called after backpropagation and before gradient clipping for every
+    /// batch, with a monotonically increasing global batch index.
+    fn after_backward(&mut self, _global_batch: usize, _params: &[Tensor]) {}
+
+    /// Called after each epoch completes (and after its checkpoint, if
+    /// any, has been written).
+    fn after_epoch(&mut self, _epoch: usize) -> EpochAction {
+        EpochAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn armed() -> GuardConfig {
+        GuardConfig { spike_factor: 4.0, warmup_batches: 3, ..GuardConfig::default() }
+    }
+
+    #[test]
+    fn finite_batches_are_healthy() {
+        let mut g = DivergenceGuard::new(GuardConfig::default());
+        for i in 0..20 {
+            assert!(g.observe(1.0 + (i as f32) * 0.01, 0.5).is_healthy());
+        }
+        assert!(g.ewma().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn non_finite_loss_and_grad_trip() {
+        let mut g = DivergenceGuard::new(GuardConfig::default());
+        assert_eq!(g.observe(f32::NAN, 1.0), GuardVerdict::NonFiniteLoss);
+        assert_eq!(g.observe(f32::INFINITY, 1.0), GuardVerdict::NonFiniteLoss);
+        assert_eq!(g.observe(1.0, f32::NAN), GuardVerdict::NonFiniteGrad);
+        assert!(g.observe(1.0, 1.0).is_healthy());
+    }
+
+    #[test]
+    fn spike_requires_warmup_and_factor() {
+        let mut g = DivergenceGuard::new(armed());
+        // During warmup even a huge loss passes.
+        assert!(g.observe(1.0, 1.0).is_healthy());
+        assert!(g.observe(100.0, 1.0).is_healthy());
+        assert!(g.observe(1.0, 1.0).is_healthy());
+        // Armed now: settle the EWMA, then spike.
+        for _ in 0..5 {
+            assert!(g.observe(1.0, 1.0).is_healthy());
+        }
+        let verdict = g.observe(1_000.0, 1.0);
+        assert!(matches!(verdict, GuardVerdict::LossSpike { .. }), "{verdict:?}");
+        // The spike did not poison the EWMA.
+        assert!(g.ewma().unwrap() < 50.0);
+    }
+
+    #[test]
+    fn disabled_guard_accepts_nan() {
+        let mut g = DivergenceGuard::new(GuardConfig::disabled());
+        assert!(g.observe(f32::NAN, f32::NAN).is_healthy());
+    }
+
+    #[test]
+    fn default_guard_has_spike_detection_off() {
+        let mut g = DivergenceGuard::new(GuardConfig::default());
+        for _ in 0..20 {
+            g.observe(1.0, 1.0);
+        }
+        assert!(g.observe(1e9, 1.0).is_healthy(), "spike detection should be off by default");
+    }
+}

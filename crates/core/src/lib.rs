@@ -27,7 +27,9 @@
 //!   constraint wired into training.
 //! * [`metrics`] — Hits@k and MRR evaluation.
 
+pub mod checkpoint;
 pub mod config;
+pub mod guard;
 pub mod kmeans;
 pub mod loss;
 pub mod matcher;
@@ -36,7 +38,9 @@ pub mod plus;
 pub mod prompt;
 pub mod trainer;
 
-pub use config::{PromptKind, TrainConfig};
+pub use checkpoint::{CheckpointManager, ResumeError, ResumeSource};
+pub use config::{GuardConfig, PromptKind, TrainConfig};
+pub use guard::{DivergenceGuard, EpochAction, FaultInjector, GuardVerdict};
 pub use matcher::{rank_images, MatchingSet};
 pub use metrics::{evaluate_rankings, Metrics};
-pub use trainer::{CrossEm, EpochStats, TrainReport};
+pub use trainer::{CrossEm, EpochStats, TrainOptions, TrainReport};

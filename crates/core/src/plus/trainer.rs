@@ -6,18 +6,24 @@ use std::time::Instant;
 use cem_clip::{Clip, Tokenizer};
 use cem_data::EmDataset;
 use cem_tensor::memory;
-use cem_tensor::optim::AdamW;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::{derive_seed, encode_train_state, plus_fingerprint, ResumeError};
 use crate::config::{PlusConfig, TrainConfig};
+use crate::guard::EpochAction;
 use crate::metrics::Metrics;
 use crate::plus::minibatch::{
     pairwise_proximity, partition_by_proximity, random_partitions,
     Partition,
 };
 use crate::plus::negsample::negative_sampling;
-use crate::trainer::{CrossEm, EpochStats, TrainReport};
+use crate::trainer::{reset_identity, CrossEm, EpochStats, TrainEngine, TrainOptions, TrainReport};
+
+/// RNG stream index reserved for partition preparation; epoch shuffles use
+/// the epoch number, which never reaches `u64::MAX`.
+const PREP_STREAM: u64 = u64::MAX;
 
 /// Training outcome including the one-time preprocessing cost.
 #[derive(Debug, Clone)]
@@ -97,29 +103,96 @@ impl<'a> CrossEmPlus<'a> {
 
     /// Run the CrossEM⁺ training loop.
     pub fn train<R: Rng>(&self, rng: &mut R) -> PlusReport {
+        self.train_with_options(rng, TrainOptions::default())
+            .expect("training without checkpoints has no resume path to fail")
+    }
+
+    /// Algorithm 2/3 training with the resilience layer (see
+    /// [`CrossEm::train_with_options`]). When checkpointing is on, both the
+    /// one-time partition preparation and the per-epoch partition order are
+    /// derived from the stored run seed, so a resumed run sees exactly the
+    /// mini-batches the uninterrupted run would have.
+    pub fn train_with_options<R: Rng>(
+        &self,
+        rng: &mut R,
+        mut options: TrainOptions<'_>,
+    ) -> Result<PlusReport, ResumeError> {
+        let config = *self.base.config();
+        let mut engine = TrainEngine::new(self.base.trainable_params(), &config);
+        let fingerprint = plus_fingerprint(&config, &self.plus);
+        let mut train = TrainReport::default();
+        let mut start_epoch = 0usize;
+
+        // Partition preparation computes proximity from the *pristine*
+        // pre-trained weights, so it must run before the checkpoint's
+        // trained parameters are applied — otherwise a resumed run would
+        // build different partitions than the uninterrupted run did. Only
+        // the run seed is read from the checkpoint up front.
+        let loaded = match options.checkpoints {
+            None => None,
+            Some(manager) => manager.load()?,
+        };
+        let run_seed: Option<u64> = match (options.checkpoints, &loaded) {
+            (None, _) => None,
+            (Some(_), Some((dict, _source))) => Some(
+                dict.meta("seed")
+                    .ok_or_else(|| ResumeError::MissingEntry("seed".into()))?,
+            ),
+            (Some(_), None) => Some(rng.gen::<u64>()),
+        };
+
         let prep_start = Instant::now();
-        let mut partitions = self.prepare_partitions(rng);
+        let partitions = match run_seed {
+            None => self.prepare_partitions(rng),
+            Some(seed) => {
+                let mut prep_rng = StdRng::seed_from_u64(derive_seed(seed, PREP_STREAM));
+                self.prepare_partitions(&mut prep_rng)
+            }
+        };
         let prep_seconds = prep_start.elapsed().as_secs_f64();
+
+        if let Some((dict, _source)) = &loaded {
+            let state = engine.resume_from(dict, fingerprint)?;
+            start_epoch = state.epochs_done.min(config.epochs);
+            train.resumed_from = Some(state.epochs_done);
+        }
         let pairs_per_epoch: usize = partitions.iter().map(Partition::pair_count).sum();
 
-        let config = *self.base.config();
-        let mut opt = AdamW::new(self.base.trainable_params(), config.lr);
-        let mut train = TrainReport::default();
+        let mut order: Vec<usize> = (0..partitions.len()).collect();
 
-        for _epoch in 0..config.epochs {
+        'epochs: for epoch in start_epoch..config.epochs {
             memory::reset_peak();
             let start = Instant::now();
-            partitions.shuffle(rng);
+            match run_seed {
+                // Legacy stream: cumulative shuffles (shuffling the index
+                // vector draws the same random numbers as shuffling the
+                // partitions themselves used to).
+                None => order.shuffle(rng),
+                // Resumable stream: order depends only on (run_seed, epoch).
+                Some(seed) => {
+                    let mut epoch_rng = StdRng::seed_from_u64(derive_seed(seed, epoch as u64));
+                    reset_identity(&mut order);
+                    order.shuffle(&mut epoch_rng);
+                }
+            }
+            engine.begin_epoch();
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
-            for partition in &partitions {
+            'batches: for &pi in &order {
+                let partition = &partitions[pi];
                 for vertex_chunk in partition.vertices.chunks(config.batch_vertices) {
                     for image_chunk in partition.images.chunks(config.batch_images) {
                         if image_chunk.len() < 2 {
                             continue;
                         }
-                        loss_sum += self.base.train_step(&mut opt, vertex_chunk, image_chunk);
-                        batches += 1;
+                        let loss = self.base.batch_loss(vertex_chunk, image_chunk);
+                        if let Some(value) = engine.apply(loss, options.injector.as_deref_mut()) {
+                            loss_sum += value;
+                            batches += 1;
+                        }
+                        if engine.diverged() {
+                            break 'batches;
+                        }
                     }
                 }
             }
@@ -128,10 +201,27 @@ impl<'a> CrossEmPlus<'a> {
                 peak_bytes: memory::peak_bytes(),
                 mean_loss: if batches > 0 { loss_sum / batches as f32 } else { f32::NAN },
                 batches,
+                nan_batches: engine.nan_batches(),
+                rollbacks: engine.rollbacks(),
             });
+            if engine.diverged() {
+                train.diverged = true;
+                break 'epochs;
+            }
+            engine.take_snapshot();
+            if let (Some(manager), Some(seed)) = (options.checkpoints, run_seed) {
+                let dict =
+                    encode_train_state(engine.params(), &engine.opt, epoch + 1, seed, fingerprint);
+                manager.save(&dict)?;
+            }
+            if let Some(inj) = options.injector.as_deref_mut() {
+                if inj.after_epoch(epoch) == EpochAction::Abort {
+                    break 'epochs;
+                }
+            }
         }
 
-        PlusReport { train, prep_seconds, pairs_per_epoch, partitions: partitions.len() }
+        Ok(PlusReport { train, prep_seconds, pairs_per_epoch, partitions: partitions.len() })
     }
 
     /// Evaluate with the tuned prompts (same protocol as CrossEM).
@@ -262,7 +352,7 @@ mod tests {
             let trainer =
                 CrossEmPlus::new(&clip, &tokenizer, &dataset, train_config(), plus, &mut rng);
             let report = trainer.train(&mut rng);
-            assert!(report.train.final_loss().is_finite());
+            assert!(report.train.final_loss().expect("epochs ran").is_finite());
         }
     }
 

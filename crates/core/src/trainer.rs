@@ -6,18 +6,41 @@
 //! unsupervised contrastive loss. The image tower and temperature are
 //! frozen (Sec. II-C), so image embeddings are computed once up front —
 //! exactly the optimisation the frozen tower licenses.
+//!
+//! The loop is wrapped in a resilience layer (see DESIGN.md, "Failure
+//! handling & resume"):
+//!
+//! * a [`DivergenceGuard`] inspects every batch's loss and pre-clip
+//!   gradient norm; a tripped guard skips the poisoned step, rolls the
+//!   parameters and optimiser back to the last good in-memory snapshot,
+//!   and backs off the learning rate, with a bounded retry budget;
+//! * [`TrainOptions::checkpoints`] turns on durable end-of-epoch
+//!   checkpoints (CEMT v2, atomic rename, rotating `latest`/`prev`) that
+//!   capture parameters, AdamW moments, and the run seed — a killed run
+//!   resumed via [`CrossEm::train_with_options`] replays the exact epoch
+//!   shuffles the uninterrupted run would have used and reaches the same
+//!   parameters;
+//! * [`TrainOptions::injector`] is the deterministic fault-injection seam
+//!   the `cem-bench` fault drills use.
 
 use std::time::Instant;
 
 use cem_clip::{Clip, Tokenizer};
 use cem_data::EmDataset;
 use cem_nn::Module;
+use cem_tensor::io::StateDict;
 use cem_tensor::optim::{AdamW, Optimizer};
 use cem_tensor::{memory, no_grad, Tensor};
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::{
+    apply_train_state, config_fingerprint, derive_seed, encode_train_state, CheckpointManager,
+    ResumeError,
+};
 use crate::config::{PromptKind, TrainConfig};
+use crate::guard::{DivergenceGuard, EpochAction, FaultInjector};
 use crate::loss::{combined_loss, orthogonal_loss, unsupervised_contrastive_loss};
 use crate::matcher::rank_images;
 use crate::metrics::{evaluate_rankings, Metrics};
@@ -29,14 +52,26 @@ pub struct EpochStats {
     pub seconds: f64,
     /// Peak live tensor bytes during the epoch (the GPU-memory proxy).
     pub peak_bytes: usize,
+    /// Mean loss over the *healthy* batches of the epoch.
     pub mean_loss: f32,
+    /// Batches whose optimisation step was applied.
     pub batches: usize,
+    /// Batches skipped because loss or gradients were non-finite.
+    pub nan_batches: usize,
+    /// Guard-triggered rollbacks to the last good snapshot.
+    pub rollbacks: usize,
 }
 
 /// Outcome of a training run.
 #[derive(Debug, Clone, Default)]
 pub struct TrainReport {
     pub epochs: Vec<EpochStats>,
+    /// When the run resumed from a checkpoint: the number of epochs that
+    /// had already completed before this process started.
+    pub resumed_from: Option<usize>,
+    /// The divergence guard exhausted its retry budget and stopped the run
+    /// early; parameters are rolled back to the last good snapshot.
+    pub diverged: bool,
 }
 
 impl TrainReport {
@@ -53,8 +88,166 @@ impl TrainReport {
         self.epochs.iter().map(|e| e.peak_bytes).max().unwrap_or(0)
     }
 
-    pub fn final_loss(&self) -> f32 {
-        self.epochs.last().map(|e| e.mean_loss).unwrap_or(f32::NAN)
+    /// Mean loss of the last epoch, or `None` for a run that recorded no
+    /// epochs (distinguishable from a diverged run's NaN).
+    pub fn final_loss(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.mean_loss)
+    }
+
+    /// Total batches skipped for non-finite loss/gradients.
+    pub fn nan_batches(&self) -> usize {
+        self.epochs.iter().map(|e| e.nan_batches).sum()
+    }
+
+    /// Total guard-triggered rollbacks.
+    pub fn rollbacks(&self) -> usize {
+        self.epochs.iter().map(|e| e.rollbacks).sum()
+    }
+}
+
+/// Run-time knobs that don't change *what* is learned, only how the run
+/// survives faults. The default (no checkpoints, no injector) trains
+/// exactly like the pre-resilience loop.
+#[derive(Default)]
+pub struct TrainOptions<'h> {
+    /// Write a rotating durable checkpoint after every epoch, and resume
+    /// from the freshest intact one when the directory already holds
+    /// training state for this configuration.
+    pub checkpoints: Option<&'h CheckpointManager>,
+    /// Deterministic fault-injection hooks (testing only).
+    pub injector: Option<&'h mut dyn FaultInjector>,
+}
+
+/// The optimisation engine shared by CrossEM (Alg. 1) and CrossEM⁺: owns
+/// the optimiser, the divergence guard, and the in-memory good-state
+/// snapshot used for rollback.
+pub(crate) struct TrainEngine {
+    pub(crate) opt: AdamW,
+    params: Vec<Tensor>,
+    guard: DivergenceGuard,
+    base_lr: f32,
+    lr_scale: f32,
+    lr_backoff: f32,
+    retries_left: usize,
+    clip_norm: f32,
+    global_batch: usize,
+    diverged: bool,
+    nan_batches: usize,
+    rollbacks: usize,
+    snapshot_params: Vec<Vec<f32>>,
+    snapshot_opt: StateDict,
+}
+
+impl TrainEngine {
+    pub(crate) fn new(params: Vec<Tensor>, config: &TrainConfig) -> Self {
+        let opt = AdamW::new(params.clone(), config.lr);
+        let mut engine = TrainEngine {
+            opt,
+            params,
+            guard: DivergenceGuard::new(config.guard),
+            base_lr: config.lr,
+            lr_scale: 1.0,
+            lr_backoff: config.guard.lr_backoff,
+            retries_left: config.guard.max_retries,
+            clip_norm: config.clip_norm,
+            global_batch: 0,
+            diverged: false,
+            nan_batches: 0,
+            rollbacks: 0,
+            snapshot_params: Vec::new(),
+            snapshot_opt: StateDict::new(),
+        };
+        engine.take_snapshot();
+        engine
+    }
+
+    pub(crate) fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
+    pub(crate) fn diverged(&self) -> bool {
+        self.diverged
+    }
+
+    pub(crate) fn nan_batches(&self) -> usize {
+        self.nan_batches
+    }
+
+    pub(crate) fn rollbacks(&self) -> usize {
+        self.rollbacks
+    }
+
+    /// Restore parameters + optimiser state from a checkpoint and make the
+    /// restored state the rollback target. Returns the resume cursor.
+    pub(crate) fn resume_from(
+        &mut self,
+        dict: &StateDict,
+        fingerprint: u64,
+    ) -> Result<crate::checkpoint::ResumeState, ResumeError> {
+        let state = apply_train_state(dict, &self.params, &mut self.opt, fingerprint)?;
+        self.take_snapshot();
+        Ok(state)
+    }
+
+    /// Record the current parameters + optimiser state as the rollback
+    /// target. Called at run start, after a resume, and at the end of
+    /// every healthy epoch.
+    pub(crate) fn take_snapshot(&mut self) {
+        self.snapshot_params = self.params.iter().map(|p| p.to_vec()).collect();
+        self.snapshot_opt = self.opt.state_dict();
+    }
+
+    /// Reset the per-epoch fault counters.
+    pub(crate) fn begin_epoch(&mut self) {
+        self.nan_batches = 0;
+        self.rollbacks = 0;
+    }
+
+    fn rollback(&mut self) {
+        for (p, saved) in self.params.iter().zip(&self.snapshot_params) {
+            p.copy_from_slice(saved);
+        }
+        self.opt
+            .load_state_dict(&self.snapshot_opt)
+            .expect("in-memory snapshot always matches its own optimiser");
+        self.lr_scale *= self.lr_backoff;
+        self.opt.set_lr(self.base_lr * self.lr_scale);
+    }
+
+    /// Backprop `loss`, let the injector tamper, clip, and — if the guard
+    /// approves — apply the optimisation step. Returns the loss value for
+    /// healthy batches, `None` for skipped ones. A tripped guard restores
+    /// the last good snapshot and backs off the learning rate; once the
+    /// retry budget is spent it marks the run diverged instead.
+    pub(crate) fn apply(
+        &mut self,
+        loss: Tensor,
+        injector: Option<&mut (dyn FaultInjector + '_)>,
+    ) -> Option<f32> {
+        let value = loss.item();
+        self.opt.zero_grad();
+        loss.backward();
+        if let Some(inj) = injector {
+            inj.after_backward(self.global_batch, &self.params);
+        }
+        self.global_batch += 1;
+        let grad_norm = self.opt.clip_grad_norm(self.clip_norm);
+        let verdict = self.guard.observe(value, grad_norm);
+        if verdict.is_healthy() {
+            self.opt.step();
+            return Some(value);
+        }
+        if verdict.is_non_finite() {
+            self.nan_batches += 1;
+        }
+        self.rollbacks += 1;
+        self.rollback();
+        if self.retries_left == 0 {
+            self.diverged = true;
+        } else {
+            self.retries_left -= 1;
+        }
+        None
     }
 }
 
@@ -273,9 +466,9 @@ impl<'a> CrossEm<'a> {
         params
     }
 
-    /// One optimisation step over an explicit `(vertices, images)`
-    /// mini-batch; returns the loss value. Shared by Algorithm 1 and the
-    /// CrossEM⁺ trainer.
+    /// The loss of one explicit `(vertices, images)` mini-batch; shared by
+    /// Algorithm 1 and the CrossEM⁺ trainer. The caller backprops and
+    /// steps through [`TrainEngine::apply`].
     ///
     /// The positive set `X_p` is "collected from the pairs with top
     /// similarity" (Sec. II-B): each vertex's best-matching image over the
@@ -284,12 +477,7 @@ impl<'a> CrossEm<'a> {
     /// remaining batch images act as `X_n`. Mining globally rather than
     /// within the random batch keeps self-training from reinforcing
     /// arbitrary in-batch matches.
-    pub(crate) fn train_step(
-        &self,
-        opt: &mut AdamW,
-        vertex_batch: &[usize],
-        image_batch: &[usize],
-    ) -> f32 {
+    pub(crate) fn batch_loss(&self, vertex_batch: &[usize], image_batch: &[usize]) -> Tensor {
         let (text_emb, prompts) = self.encode_entities(vertex_batch);
 
         // Mine global pseudo-positives with the current prompts, anchored
@@ -319,40 +507,88 @@ impl<'a> CrossEm<'a> {
         let image_emb = self.image_embeddings.gather_rows(&images);
         let logits = self.clip.similarity_logits(&text_emb, &image_emb);
         let l_con = unsupervised_contrastive_loss(&logits, &targets);
-        let loss = if self.orthogonal {
+        if self.orthogonal {
             combined_loss(l_con, prompts.as_ref().map(orthogonal_loss), self.config.beta)
         } else {
             l_con
-        };
-        let value = loss.item();
-        opt.zero_grad();
-        loss.backward();
-        opt.clip_grad_norm(self.config.clip_norm);
-        opt.step();
-        value
+        }
     }
 
     /// Algorithm 1: random mini-batch prompt tuning.
     pub fn train<R: Rng>(&self, rng: &mut R) -> TrainReport {
-        let mut opt = AdamW::new(self.trainable_params(), self.config.lr);
+        self.train_with_options(rng, TrainOptions::default())
+            .expect("training without checkpoints has no resume path to fail")
+    }
+
+    /// Algorithm 1 with the resilience layer: optional durable end-of-epoch
+    /// checkpoints (with automatic resume) and fault injection.
+    ///
+    /// When checkpointing is on, epoch shuffles are derived from a run seed
+    /// stored in the checkpoint rather than from `rng`'s evolving stream, so
+    /// a killed-and-resumed run replays exactly the batches the
+    /// uninterrupted run would have seen. Without checkpoints the RNG usage
+    /// is byte-identical to the original loop.
+    pub fn train_with_options<R: Rng>(
+        &self,
+        rng: &mut R,
+        mut options: TrainOptions<'_>,
+    ) -> Result<TrainReport, ResumeError> {
+        let mut engine = TrainEngine::new(self.trainable_params(), &self.config);
+        let fingerprint = config_fingerprint(&self.config);
+        let mut report = TrainReport::default();
+        let mut start_epoch = 0usize;
+
+        let run_seed: Option<u64> = match options.checkpoints {
+            None => None,
+            Some(manager) => Some(match manager.load()? {
+                Some((dict, _source)) => {
+                    let state = engine.resume_from(&dict, fingerprint)?;
+                    start_epoch = state.epochs_done.min(self.config.epochs);
+                    report.resumed_from = Some(state.epochs_done);
+                    state.seed
+                }
+                None => rng.gen::<u64>(),
+            }),
+        };
+
         let mut entity_order: Vec<usize> = (0..self.dataset.entity_count()).collect();
         let mut image_order: Vec<usize> = (0..self.dataset.image_count()).collect();
-        let mut report = TrainReport::default();
 
-        for _epoch in 0..self.config.epochs {
+        'epochs: for epoch in start_epoch..self.config.epochs {
             memory::reset_peak();
             let start = Instant::now();
-            entity_order.shuffle(rng);
-            image_order.shuffle(rng);
+            match run_seed {
+                // Legacy stream: persistent orders, cumulative shuffles.
+                None => {
+                    entity_order.shuffle(rng);
+                    image_order.shuffle(rng);
+                }
+                // Resumable stream: the epoch's shuffle depends only on
+                // (run_seed, epoch), never on how we got here.
+                Some(seed) => {
+                    let mut epoch_rng = StdRng::seed_from_u64(derive_seed(seed, epoch as u64));
+                    reset_identity(&mut entity_order);
+                    reset_identity(&mut image_order);
+                    entity_order.shuffle(&mut epoch_rng);
+                    image_order.shuffle(&mut epoch_rng);
+                }
+            }
+            engine.begin_epoch();
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
-            for vertex_chunk in entity_order.chunks(self.config.batch_vertices) {
+            'batches: for vertex_chunk in entity_order.chunks(self.config.batch_vertices) {
                 for image_chunk in image_order.chunks(self.config.batch_images) {
                     if image_chunk.len() < 2 {
                         continue;
                     }
-                    loss_sum += self.train_step(&mut opt, vertex_chunk, image_chunk);
-                    batches += 1;
+                    let loss = self.batch_loss(vertex_chunk, image_chunk);
+                    if let Some(value) = engine.apply(loss, options.injector.as_deref_mut()) {
+                        loss_sum += value;
+                        batches += 1;
+                    }
+                    if engine.diverged() {
+                        break 'batches;
+                    }
                 }
             }
             report.epochs.push(EpochStats {
@@ -360,9 +596,26 @@ impl<'a> CrossEm<'a> {
                 peak_bytes: memory::peak_bytes(),
                 mean_loss: if batches > 0 { loss_sum / batches as f32 } else { f32::NAN },
                 batches,
+                nan_batches: engine.nan_batches(),
+                rollbacks: engine.rollbacks(),
             });
+            if engine.diverged() {
+                report.diverged = true;
+                break 'epochs;
+            }
+            engine.take_snapshot();
+            if let (Some(manager), Some(seed)) = (options.checkpoints, run_seed) {
+                let dict =
+                    encode_train_state(engine.params(), &engine.opt, epoch + 1, seed, fingerprint);
+                manager.save(&dict)?;
+            }
+            if let Some(inj) = options.injector.as_deref_mut() {
+                if inj.after_epoch(epoch) == EpochAction::Abort {
+                    break 'epochs;
+                }
+            }
         }
-        report
+        Ok(report)
     }
 
     /// Matching probabilities (Eq. 4) for all entities against all images:
@@ -386,6 +639,13 @@ impl<'a> CrossEm<'a> {
         let probabilities = self.matching_matrix();
         let rankings = rank_images(&probabilities, 0);
         evaluate_rankings(&rankings, |entity, image| self.dataset.is_match(entity, image))
+    }
+}
+
+/// Reset a permutation buffer to `0..n` in place.
+pub(crate) fn reset_identity(order: &mut [usize]) {
+    for (i, slot) in order.iter_mut().enumerate() {
+        *slot = i;
     }
 }
 
@@ -442,6 +702,13 @@ mod tests {
         }
     }
 
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cem_trainer_test_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
     #[test]
     fn baseline_and_hard_prompts_tokenised() {
         let (clip, tokenizer, dataset, mut rng) = micro();
@@ -472,6 +739,10 @@ mod tests {
         assert!(stats.batches >= 1);
         assert!(stats.mean_loss.is_finite());
         assert!(stats.peak_bytes > 0);
+        assert_eq!(stats.nan_batches, 0);
+        assert_eq!(stats.rollbacks, 0);
+        assert!(!report.diverged);
+        assert_eq!(report.resumed_from, None);
         assert!(report.avg_epoch_seconds() > 0.0);
     }
 
@@ -516,5 +787,174 @@ mod tests {
         m.train(&mut rng);
         let after: Vec<f32> = clip.image.params()[0].to_vec();
         assert_eq!(before, after);
+    }
+
+    /// Poisons the gradients of one chosen batch with NaN.
+    struct NanAt(usize);
+
+    impl FaultInjector for NanAt {
+        fn after_backward(&mut self, global_batch: usize, params: &[Tensor]) {
+            if global_batch == self.0 {
+                let p = &params[0];
+                p.set_grad(&vec![f32::NAN; p.numel()]);
+            }
+        }
+    }
+
+    /// Simulates a crash right after epoch `k`'s checkpoint is written.
+    struct CrashAfterEpoch(usize);
+
+    impl FaultInjector for CrashAfterEpoch {
+        fn after_epoch(&mut self, epoch: usize) -> EpochAction {
+            if epoch == self.0 {
+                EpochAction::Abort
+            } else {
+                EpochAction::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn nan_injection_rolls_back_and_recovers() {
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        // Small batches -> 4 batches per epoch, so a healthy batch follows
+        // the poisoned one within each epoch.
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_vertices: 1,
+            batch_images: 2,
+            ..config(PromptKind::Hard)
+        };
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, cfg, &mut rng);
+        let mut injector = NanAt(1);
+        let report = m
+            .train_with_options(
+                &mut rng,
+                TrainOptions { checkpoints: None, injector: Some(&mut injector) },
+            )
+            .unwrap();
+        assert_eq!(report.nan_batches(), 1);
+        assert_eq!(report.rollbacks(), 1);
+        assert!(!report.diverged);
+        // The run survived: the last epoch's mean loss is finite, and no
+        // NaN ever reached the parameters.
+        assert!(report.final_loss().unwrap().is_finite());
+        for p in m.trainable_params() {
+            assert!(p.to_vec().iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn relentless_nans_exhaust_retries_and_mark_divergence() {
+        struct AlwaysNan;
+        impl FaultInjector for AlwaysNan {
+            fn after_backward(&mut self, _global_batch: usize, params: &[Tensor]) {
+                let p = &params[0];
+                p.set_grad(&vec![f32::NAN; p.numel()]);
+            }
+        }
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        // 4 batches per epoch: enough trips to exhaust the retry budget.
+        let cfg = TrainConfig {
+            batch_vertices: 1,
+            batch_images: 2,
+            ..config(PromptKind::Hard)
+        };
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, cfg, &mut rng);
+        let mut injector = AlwaysNan;
+        let report = m
+            .train_with_options(
+                &mut rng,
+                TrainOptions { checkpoints: None, injector: Some(&mut injector) },
+            )
+            .unwrap();
+        assert!(report.diverged);
+        // max_retries(3) rollbacks + the final trip that exhausted them.
+        assert_eq!(report.rollbacks(), m.config().guard.max_retries + 1);
+        assert_eq!(report.epochs.len(), 1, "run stops at the diverged epoch");
+        // Parameters are rolled back to the pristine snapshot, not NaN.
+        for p in m.trainable_params() {
+            assert!(p.to_vec().iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn crash_and_resume_matches_uninterrupted_run() {
+        let cfg = TrainConfig { epochs: 3, ..config(PromptKind::Hard) };
+
+        // Uninterrupted run with checkpointing on.
+        let dir_a = tmp_dir("uninterrupted");
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, cfg, &mut rng);
+        let manager = CheckpointManager::new(&dir_a).unwrap();
+        let full = m
+            .train_with_options(
+                &mut rng,
+                TrainOptions { checkpoints: Some(&manager), injector: None },
+            )
+            .unwrap();
+        assert_eq!(full.epochs.len(), 3);
+        let want: Vec<Vec<f32>> = m.trainable_params().iter().map(|p| p.to_vec()).collect();
+        drop(m);
+
+        // Same world, killed after epoch 1's checkpoint.
+        let dir_b = tmp_dir("crashed");
+        let manager_b = CheckpointManager::new(&dir_b).unwrap();
+        {
+            let (clip, tokenizer, dataset, mut rng) = micro();
+            let m = CrossEm::new(&clip, &tokenizer, &dataset, cfg, &mut rng);
+            let mut injector = CrashAfterEpoch(1);
+            let partial = m
+                .train_with_options(
+                    &mut rng,
+                    TrainOptions { checkpoints: Some(&manager_b), injector: Some(&mut injector) },
+                )
+                .unwrap();
+            assert_eq!(partial.epochs.len(), 2, "aborted after epoch index 1");
+        }
+
+        // "New process": rebuild the world from the same seed and resume.
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, cfg, &mut rng);
+        let resumed = m
+            .train_with_options(
+                &mut rng,
+                TrainOptions { checkpoints: Some(&manager_b), injector: None },
+            )
+            .unwrap();
+        assert_eq!(resumed.resumed_from, Some(2));
+        assert_eq!(resumed.epochs.len(), 1, "only the remaining epoch runs");
+
+        let got: Vec<Vec<f32>> = m.trainable_params().iter().map(|p| p.to_vec()).collect();
+        assert_eq!(want, got, "resumed run must be bit-faithful to the uninterrupted one");
+
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn resume_rejects_checkpoint_from_different_config() {
+        let dir = tmp_dir("fingerprint");
+        let manager = CheckpointManager::new(&dir).unwrap();
+        {
+            let (clip, tokenizer, dataset, mut rng) = micro();
+            let m = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Hard), &mut rng);
+            m.train_with_options(
+                &mut rng,
+                TrainOptions { checkpoints: Some(&manager), injector: None },
+            )
+            .unwrap();
+        }
+        let (clip, tokenizer, dataset, mut rng) = micro();
+        let other = TrainConfig { lr: 1e-3, ..config(PromptKind::Hard) };
+        let m = CrossEm::new(&clip, &tokenizer, &dataset, other, &mut rng);
+        let err = m
+            .train_with_options(
+                &mut rng,
+                TrainOptions { checkpoints: Some(&manager), injector: None },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ResumeError::FingerprintMismatch { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -118,7 +118,7 @@ mod tests {
             assert!((cov - 1.0).abs() < 1e-6, "label not fully tokenizable");
         }
         // Pre-training ran and produced finite losses.
-        assert!(bundle.pretrain_report.final_loss().is_finite());
+        assert!(bundle.pretrain_report.final_loss().expect("pre-training ran").is_finite());
         assert!(bundle.pretrain_report.steps > 0);
     }
 

@@ -2,10 +2,57 @@
 //! the gold matching pairs used for evaluation only (training is
 //! unsupervised).
 
+use std::fmt;
+
 use cem_clip::Image;
 use cem_graph::{Graph, VertexId};
 
 use crate::schema::{AttributePool, ClassSpec};
+
+/// A consistency violation found while validating an [`EmDataset`].
+/// Datasets arriving from external sources (generators, files, mappings)
+/// should be checked with [`EmDataset::try_validate`] so malformed input
+/// surfaces as a typed, context-carrying error instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// `entities` and `classes` must be parallel arrays.
+    ClassCountMismatch { entities: usize, classes: usize },
+    /// `images` and `image_gold` must be parallel arrays.
+    GoldCountMismatch { images: usize, gold: usize },
+    /// A gold label points at a nonexistent entity.
+    GoldOutOfRange { image: usize, gold: usize, entities: usize },
+    /// An entity references a vertex outside the graph.
+    EntityNotInGraph { entity: usize, vertex: usize, vertices: usize },
+    /// An entity vertex carries no label (prompts would be empty).
+    UnlabelledEntity { entity: usize, vertex: usize },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ClassCountMismatch { entities, classes } => write!(
+                f,
+                "entities/classes length mismatch: {entities} entities vs {classes} classes"
+            ),
+            DatasetError::GoldCountMismatch { images, gold } => {
+                write!(f, "images/gold length mismatch: {images} images vs {gold} gold labels")
+            }
+            DatasetError::GoldOutOfRange { image, gold, entities } => write!(
+                f,
+                "gold index {gold} for image {image} out of range ({entities} entities)"
+            ),
+            DatasetError::EntityNotInGraph { entity, vertex, vertices } => write!(
+                f,
+                "entity {entity} vertex {vertex} not in graph ({vertices} vertices)"
+            ),
+            DatasetError::UnlabelledEntity { entity, vertex } => {
+                write!(f, "entities must be labelled: entity {entity} (vertex {vertex}) has an empty label")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
 
 /// Table I-style statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,20 +130,54 @@ impl EmDataset {
         self.image_gold[image] == entity
     }
 
+    /// Check internal consistency, returning the first violation found.
+    /// Use this on datasets built from external input (files, mappings);
+    /// [`EmDataset::validate`] is the panicking variant for generator and
+    /// test code where an inconsistency is a programming bug.
+    pub fn try_validate(&self) -> Result<(), DatasetError> {
+        if self.entities.len() != self.classes.len() {
+            return Err(DatasetError::ClassCountMismatch {
+                entities: self.entities.len(),
+                classes: self.classes.len(),
+            });
+        }
+        if self.images.len() != self.image_gold.len() {
+            return Err(DatasetError::GoldCountMismatch {
+                images: self.images.len(),
+                gold: self.image_gold.len(),
+            });
+        }
+        for (image, &g) in self.image_gold.iter().enumerate() {
+            if g >= self.entities.len() {
+                return Err(DatasetError::GoldOutOfRange {
+                    image,
+                    gold: g,
+                    entities: self.entities.len(),
+                });
+            }
+        }
+        for (entity, &v) in self.entities.iter().enumerate() {
+            if v.0 >= self.graph.vertex_count() {
+                return Err(DatasetError::EntityNotInGraph {
+                    entity,
+                    vertex: v.0,
+                    vertices: self.graph.vertex_count(),
+                });
+            }
+            if self.graph.vertex_label(v).is_empty() {
+                return Err(DatasetError::UnlabelledEntity { entity, vertex: v.0 });
+            }
+        }
+        Ok(())
+    }
+
     /// Sanity-check internal consistency; called by generators and tests.
+    /// Panics with the violation's message; external load paths should use
+    /// [`EmDataset::try_validate`] instead.
     pub fn validate(&self) {
-        assert_eq!(self.entities.len(), self.classes.len(), "entities/classes length mismatch");
-        assert_eq!(self.images.len(), self.image_gold.len(), "images/gold length mismatch");
-        for &g in &self.image_gold {
-            assert!(g < self.entities.len(), "gold index {g} out of range");
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
-        for &v in &self.entities {
-            assert!(v.0 < self.graph.vertex_count(), "entity vertex {v:?} not in graph");
-        }
-        assert!(
-            self.entities.iter().all(|v| !self.graph.vertex_label(*v).is_empty()),
-            "entities must be labelled"
-        );
     }
 }
 
@@ -156,5 +237,36 @@ mod tests {
         let mut d = tiny();
         d.image_gold[0] = 99;
         d.validate();
+    }
+
+    #[test]
+    fn try_validate_returns_typed_errors() {
+        let mut d = tiny();
+        d.image_gold[1] = 7;
+        assert_eq!(
+            d.try_validate(),
+            Err(DatasetError::GoldOutOfRange { image: 1, gold: 7, entities: 2 })
+        );
+
+        let mut d = tiny();
+        d.classes.pop();
+        assert_eq!(
+            d.try_validate(),
+            Err(DatasetError::ClassCountMismatch { entities: 2, classes: 1 })
+        );
+
+        let mut d = tiny();
+        d.image_gold.pop();
+        assert_eq!(d.try_validate(), Err(DatasetError::GoldCountMismatch { images: 3, gold: 2 }));
+
+        let mut d = tiny();
+        d.entities.push(cem_graph::VertexId(42));
+        d.classes.push(ClassSpec { name: "ghost".into(), signature: vec![], name_reveals: 0 });
+        assert_eq!(
+            d.try_validate(),
+            Err(DatasetError::EntityNotInGraph { entity: 2, vertex: 42, vertices: 3 })
+        );
+
+        assert_eq!(tiny().try_validate(), Ok(()));
     }
 }

@@ -31,7 +31,7 @@ pub mod world;
 
 pub use bundle::{BundleConfig, DatasetBundle};
 pub use concepts::ConceptSpace;
-pub use dataset::{DatasetStats, EmDataset};
+pub use dataset::{DatasetError, DatasetStats, EmDataset};
 pub use generators::{fbimg, generate, DatasetKind, DatasetScale};
 pub use pretrain_corpus::{generate_corpus, CaptionPair};
 pub use schema::{AttributePool, ClassSpec};

@@ -210,7 +210,8 @@ impl<'a> Parser<'a> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError { message: "invalid utf-8 in number".into(), offset: start })?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| JsonError { message: format!("bad number {text:?}"), offset: start })

@@ -1,6 +1,6 @@
 //! The [`Module`] trait: a named collection of trainable parameters.
 
-use cem_tensor::io::StateDict;
+use cem_tensor::io::{CheckpointError, StateDict};
 use cem_tensor::Tensor;
 
 /// A neural-network component owning zero or more parameter tensors.
@@ -29,11 +29,25 @@ pub trait Module {
         dict
     }
 
+    /// Restore parameters from a [`StateDict`] by name, surfacing shape
+    /// mismatches and unknown entries as typed errors instead of panics.
+    fn try_load_state_dict(&self, dict: &StateDict) -> Result<(), CheckpointError> {
+        let unused = dict.restore_into(&self.named_params())?;
+        if !unused.is_empty() {
+            return Err(CheckpointError::InvalidEntry {
+                context: format!("checkpoint has unknown parameters: {unused:?}"),
+            });
+        }
+        Ok(())
+    }
+
     /// Restore parameters from a [`StateDict`] by name. Panics if the dict
-    /// contains entries this module does not know (a wiring bug).
+    /// does not fit this module (a wiring bug); load paths that consume
+    /// external files should prefer [`Module::try_load_state_dict`].
     fn load_state_dict(&self, dict: &StateDict) {
-        let unused = dict.restore_into(&self.named_params());
-        assert!(unused.is_empty(), "checkpoint has unknown parameters: {unused:?}");
+        if let Err(e) = self.try_load_state_dict(dict) {
+            panic!("load_state_dict failed: {e}");
+        }
     }
 
     /// Mark every parameter as requiring gradients (training mode for this

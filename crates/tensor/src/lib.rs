@@ -32,6 +32,7 @@
 //! assert_eq!(a.grad().unwrap(), vec![1.0, 1.0, 1.0, 1.0]);
 //! ```
 
+pub mod crc;
 pub mod grad;
 pub mod init;
 pub mod io;
@@ -42,6 +43,7 @@ pub mod shape;
 pub mod tensor;
 
 pub use grad::no_grad;
+pub use io::{CheckpointError, StateDict};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -179,6 +179,14 @@ impl Tensor {
         *self.inner.grad.borrow_mut() = None;
     }
 
+    /// Overwrite this tensor's gradient buffer with `g`. Public so fault
+    /// harnesses and tests can plant specific gradients (e.g. NaN
+    /// poisoning); the autograd engine itself accumulates instead.
+    pub fn set_grad(&self, g: &[f32]) {
+        self.zero_grad();
+        self.accumulate_grad(g);
+    }
+
     /// Accumulate `g` into this tensor's gradient buffer.
     pub(crate) fn accumulate_grad(&self, g: &[f32]) {
         assert_eq!(g.len(), self.numel(), "gradient length mismatch");

@@ -47,7 +47,7 @@ fn main() {
         "trained {} epochs, {:.2}s/epoch, final loss {:.3}",
         report.epochs.len(),
         report.avg_epoch_seconds(),
-        report.final_loss()
+        report.final_loss().unwrap_or(f32::NAN)
     );
 
     // 3. Evaluate against the gold pairs (used for evaluation only).

@@ -27,7 +27,10 @@ fn full_pipeline_runs_on_every_dataset_family() {
             &mut rng,
         );
         let report = matcher.train(&mut rng);
-        assert!(report.final_loss().is_finite(), "{kind:?} loss not finite");
+        assert!(
+            report.final_loss().expect("epochs ran").is_finite(),
+            "{kind:?} loss not finite"
+        );
         let metrics = matcher.evaluate();
         assert_eq!(metrics.queries, bundle.dataset.entity_count());
         assert!(metrics.mrr > 0.0 && metrics.mrr <= 1.0);

@@ -1,15 +1,45 @@
 //! Property-based tests over the workspace's core invariants (proptest).
 
 use cem_graph::{d_hop_subgraph, Graph, JsonValue, VertexId};
+use cem_tensor::io::StateDict;
 use cem_tensor::Tensor;
 use crossem::kmeans::{clusters_of, kmeans};
 use crossem::metrics::evaluate_rankings;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn vec_f32(len: usize) -> impl Strategy<Value = Vec<f32>> {
     prop::collection::vec(-10.0f32..10.0, len)
+}
+
+/// A deterministic checkpoint dict: `count` `[rows, cols]` tensors seeded
+/// from `seed`, with metadata when requested.
+fn build_dict(count: usize, rows: usize, cols: usize, seed: u64, with_meta: bool) -> StateDict {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dict = StateDict::new();
+    for i in 0..count {
+        let data: Vec<f32> =
+            (0..rows * cols).map(|_| rng.gen::<f32>() * 2000.0 - 1000.0).collect();
+        dict.insert(format!("entry.{i}"), Tensor::from_vec(data, &[rows, cols]));
+    }
+    if with_meta {
+        dict.insert_meta("epochs_done", seed % 97);
+        dict.insert_meta("seed", seed);
+    }
+    dict
+}
+
+fn dicts_equal(a: &StateDict, b: &StateDict) -> bool {
+    let entries_a: Vec<_> = a.iter().map(|(n, t)| (n.to_string(), t.dims().to_vec(), t.to_vec())).collect();
+    let entries_b: Vec<_> = b.iter().map(|(n, t)| (n.to_string(), t.dims().to_vec(), t.to_vec())).collect();
+    let bits = |e: &[(String, Vec<usize>, Vec<f32>)]| -> Vec<(String, Vec<usize>, Vec<u32>)> {
+        e.iter()
+            .map(|(n, d, v)| (n.clone(), d.clone(), v.iter().map(|x| x.to_bits()).collect()))
+            .collect()
+    };
+    bits(&entries_a) == bits(&entries_b)
+        && a.meta_iter().collect::<Vec<_>>() == b.meta_iter().collect::<Vec<_>>()
 }
 
 proptest! {
@@ -173,5 +203,61 @@ proptest! {
         let ids = tok.tokenize(&text);
         let decoded = tok.decode(&ids);
         prop_assert_eq!(decoded, text.split_whitespace().collect::<Vec<_>>().join(" "));
+    }
+
+    // ---------------- checkpoint container (CEMT) ----------------
+
+    #[test]
+    fn cemt_v2_roundtrips(count in 1usize..5, rows in 1usize..4, cols in 1usize..6, seed in 0u64..1000) {
+        let dict = build_dict(count, rows, cols, seed, true);
+        let restored = StateDict::from_bytes(&dict.to_bytes()).unwrap();
+        prop_assert!(dicts_equal(&dict, &restored));
+    }
+
+    #[test]
+    fn cemt_v1_files_stay_readable(count in 1usize..5, rows in 1usize..4, cols in 1usize..6, seed in 0u64..1000) {
+        let dict = build_dict(count, rows, cols, seed, false);
+        let restored = StateDict::from_bytes(&dict.to_bytes_v1()).unwrap();
+        prop_assert!(dicts_equal(&dict, &restored));
+        prop_assert_eq!(restored.meta_iter().count(), 0);
+    }
+
+    #[test]
+    fn cemt_v2_detects_any_byte_corruption(seed in 0u64..500, offset_sel in 0usize..100_000, mask in 0u8..255) {
+        let bytes = build_dict(2, 2, 3, seed, true).to_bytes();
+        let mut bad = bytes.clone();
+        let offset = offset_sel % bad.len();
+        bad[offset] ^= mask.wrapping_add(1).max(1);
+        prop_assert!(
+            StateDict::from_bytes(&bad).is_err(),
+            "corrupting byte {} went undetected", offset
+        );
+    }
+
+    #[test]
+    fn cemt_v2_detects_any_truncation(seed in 0u64..500, cut_sel in 0usize..100_000) {
+        let bytes = build_dict(2, 2, 3, seed, true).to_bytes();
+        let keep = cut_sel % bytes.len();
+        prop_assert!(
+            StateDict::from_bytes(&bytes[..keep]).is_err(),
+            "truncation to {} bytes went undetected", keep
+        );
+    }
+}
+
+/// Exhaustive, not sampled: *every* single-byte flip anywhere in a v2
+/// container — header, entry payloads, CRCs, footer — must be caught.
+#[test]
+fn cemt_v2_every_single_byte_flip_is_caught() {
+    let dict = build_dict(3, 2, 3, 42, true);
+    let bytes = dict.to_bytes();
+    for offset in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[offset] ^= 0xFF;
+        assert!(
+            StateDict::from_bytes(&bad).is_err(),
+            "flipping byte {offset}/{} went undetected",
+            bytes.len()
+        );
     }
 }

@@ -1,0 +1,243 @@
+//! Fault-injection integration tests: the resilience tier.
+//!
+//! These prove the training loop's failure-handling guarantees end to end,
+//! at smoke scale, using the deterministic injectors from
+//! `cem_bench::faults`:
+//!
+//! * a run killed between epochs and resumed from its durable checkpoint
+//!   reaches the *same* parameters and metrics as an uninterrupted run;
+//! * a NaN-poisoned batch trips the divergence guard, rolls back, and the
+//!   run still finishes healthy;
+//! * damaged checkpoint files (torn writes, bit rot) are rejected with
+//!   typed errors — never a panic, never a silent load.
+
+use cem_bench::faults::{corrupt_byte, truncate_file, CrashAfterEpoch, NanPoisoner};
+use cem_data::{BundleConfig, DatasetBundle, DatasetKind};
+use cem_tensor::io::{CheckpointError, StateDict};
+use crossem::config::PlusConfig;
+use crossem::guard::FaultInjector;
+use crossem::plus::CrossEmPlus;
+use crossem::trainer::TrainOptions;
+use crossem::{CheckpointManager, CrossEm, PromptKind, ResumeError, TrainConfig};
+
+fn smoke_bundle() -> DatasetBundle {
+    DatasetBundle::prepare(BundleConfig::smoke(DatasetKind::Cub))
+}
+
+fn train_config() -> TrainConfig {
+    TrainConfig {
+        prompt: PromptKind::Hard,
+        hops: 1,
+        epochs: 3,
+        batch_vertices: 4,
+        batch_images: 8,
+        ..TrainConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cem_resilience_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// One checkpointed CrossEM run over a freshly rebuilt world — rebuilding
+/// the bundle from its seed is how a real restarted process would come
+/// back up.
+fn crossem_run<'h>(
+    manager: &'h CheckpointManager,
+    injector: Option<&'h mut (dyn FaultInjector + 'h)>,
+) -> (crossem::TrainReport, Vec<Vec<f32>>, f32) {
+    let bundle = smoke_bundle();
+    let mut rng = bundle.stage_rng(1);
+    let matcher =
+        CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, train_config(), &mut rng);
+    let report = matcher
+        .train_with_options(&mut rng, TrainOptions { checkpoints: Some(manager), injector })
+        .expect("resume must succeed");
+    let params = matcher.trainable_params().iter().map(|p| p.to_vec()).collect();
+    let mrr = matcher.evaluate().mrr;
+    (report, params, mrr)
+}
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_run() {
+    // Uninterrupted reference run.
+    let dir_full = scratch_dir("full");
+    let manager_full = CheckpointManager::new(&dir_full).unwrap();
+    let (full_report, full_params, full_mrr) = crossem_run(&manager_full, None);
+    assert_eq!(full_report.epochs.len(), 3);
+
+    // Killed after epoch 0's checkpoint…
+    let dir_crash = scratch_dir("crash");
+    let manager_crash = CheckpointManager::new(&dir_crash).unwrap();
+    let mut crasher = CrashAfterEpoch::at(0);
+    let (partial_report, _, _) = crossem_run(&manager_crash, Some(&mut crasher));
+    assert!(crasher.crashed);
+    assert_eq!(partial_report.epochs.len(), 1);
+
+    // …then "restarted": fresh world, same checkpoint directory.
+    let (resumed_report, resumed_params, resumed_mrr) = crossem_run(&manager_crash, None);
+    assert_eq!(resumed_report.resumed_from, Some(1));
+    assert_eq!(resumed_report.epochs.len(), 2);
+
+    assert_eq!(full_params, resumed_params, "resume must be bit-faithful");
+    assert_eq!(full_mrr, resumed_mrr);
+
+    std::fs::remove_dir_all(&dir_full).ok();
+    std::fs::remove_dir_all(&dir_crash).ok();
+}
+
+#[test]
+fn plus_trainer_crash_resume_is_bit_faithful() {
+    let plus_config = PlusConfig {
+        vertex_subsets: 2,
+        image_clusters: 2,
+        ..PlusConfig::default()
+    };
+    fn run<'h>(
+        plus_config: PlusConfig,
+        manager: &'h CheckpointManager,
+        injector: Option<&'h mut (dyn FaultInjector + 'h)>,
+    ) -> (crossem::TrainReport, Vec<Vec<f32>>) {
+        let bundle = smoke_bundle();
+        let mut rng = bundle.stage_rng(2);
+        let trainer = CrossEmPlus::new(
+            &bundle.clip,
+            &bundle.tokenizer,
+            &bundle.dataset,
+            train_config(),
+            plus_config,
+            &mut rng,
+        );
+        let report = trainer
+            .train_with_options(&mut rng, TrainOptions { checkpoints: Some(manager), injector })
+            .expect("resume must succeed");
+        let params =
+            trainer.base().trainable_params().iter().map(|p| p.to_vec()).collect();
+        (report.train, params)
+    }
+
+    let dir_full = scratch_dir("plus_full");
+    let manager_full = CheckpointManager::new(&dir_full).unwrap();
+    let (full, full_params) = run(plus_config, &manager_full, None);
+    assert_eq!(full.epochs.len(), 3);
+
+    let dir_crash = scratch_dir("plus_crash");
+    let manager_crash = CheckpointManager::new(&dir_crash).unwrap();
+    let mut crasher = CrashAfterEpoch::at(1);
+    run(plus_config, &manager_crash, Some(&mut crasher));
+    assert!(crasher.crashed);
+
+    let (resumed, resumed_params) = run(plus_config, &manager_crash, None);
+    assert_eq!(resumed.resumed_from, Some(2));
+    assert_eq!(full_params, resumed_params, "plus resume must be bit-faithful");
+
+    std::fs::remove_dir_all(&dir_full).ok();
+    std::fs::remove_dir_all(&dir_crash).ok();
+}
+
+#[test]
+fn nan_injection_triggers_rollback_and_run_stays_healthy() {
+    let bundle = smoke_bundle();
+    let mut rng = bundle.stage_rng(3);
+    let matcher =
+        CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, train_config(), &mut rng);
+    let mut poisoner = NanPoisoner::at(2);
+    let report = matcher
+        .train_with_options(
+            &mut rng,
+            TrainOptions { checkpoints: None, injector: Some(&mut poisoner) },
+        )
+        .unwrap();
+    assert_eq!(poisoner.poisoned, 1);
+    assert_eq!(report.nan_batches(), 1);
+    assert_eq!(report.rollbacks(), 1);
+    assert!(!report.diverged);
+    assert!(report.final_loss().expect("epochs ran").is_finite());
+    for p in matcher.trainable_params() {
+        assert!(p.to_vec().iter().all(|x| x.is_finite()), "NaN leaked into parameters");
+    }
+    assert!(matcher.evaluate().mrr > 0.0);
+}
+
+#[test]
+fn corrupted_checkpoints_are_rejected_with_typed_errors() {
+    // A real training checkpoint, not a toy dict.
+    let dir = scratch_dir("corrupt");
+    let manager = CheckpointManager::new(&dir).unwrap();
+    crossem_run(&manager, None);
+    let pristine = std::fs::read(manager.latest_path()).unwrap();
+    let victim = dir.join("victim.cemt");
+
+    // Torn writes at a spread of lengths.
+    for keep in [0usize, 3, 8, pristine.len() / 3, pristine.len() - 1] {
+        std::fs::write(&victim, &pristine).unwrap();
+        truncate_file(&victim, keep as u64).unwrap();
+        let err = StateDict::load(&victim).expect_err("truncated checkpoint must not load");
+        assert!(
+            matches!(
+                err,
+                CheckpointError::Truncated { .. }
+                    | CheckpointError::Corrupted { .. }
+                    | CheckpointError::BadMagic(_)
+            ),
+            "unexpected error for keep={keep}: {err}"
+        );
+    }
+
+    // Bit rot throughout the file.
+    let stride = (pristine.len() / 16).max(1);
+    for offset in (0..pristine.len()).step_by(stride) {
+        std::fs::write(&victim, &pristine).unwrap();
+        corrupt_byte(&victim, offset as u64, 0x01).unwrap();
+        assert!(
+            StateDict::load(&victim).is_err(),
+            "flipped byte at {offset} went undetected"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_latest_falls_back_to_prev_and_resume_still_works() {
+    let dir = scratch_dir("fallback");
+    let manager = CheckpointManager::new(&dir).unwrap();
+    let (report, _, _) = crossem_run(&manager, None);
+    assert_eq!(report.epochs.len(), 3);
+    assert!(manager.prev_path().exists(), "three epochs leave a latest/prev pair");
+
+    // Tear the freshest checkpoint; the rotation's `prev` (epoch 2) must
+    // serve the resume, so training replays epoch 2 only.
+    let bytes = std::fs::read(manager.latest_path()).unwrap();
+    truncate_file(manager.latest_path(), (bytes.len() / 2) as u64).unwrap();
+
+    let (resumed, _, _) = crossem_run(&manager, None);
+    assert_eq!(resumed.resumed_from, Some(2), "resume must fall back to prev");
+    assert_eq!(resumed.epochs.len(), 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_with_wrong_config_is_a_typed_error() {
+    let dir = scratch_dir("wrongcfg");
+    let manager = CheckpointManager::new(&dir).unwrap();
+    crossem_run(&manager, None);
+
+    let bundle = smoke_bundle();
+    let mut rng = bundle.stage_rng(1);
+    let other = TrainConfig { lr: 1e-3, ..train_config() };
+    let matcher = CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, other, &mut rng);
+    let err = matcher
+        .train_with_options(
+            &mut rng,
+            TrainOptions { checkpoints: Some(&manager), injector: None },
+        )
+        .expect_err("mismatched config must not resume");
+    assert!(matches!(err, ResumeError::FingerprintMismatch { .. }), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,241 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! Implements `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! warmup-then-sample loop over `std::time::Instant`; results print as
+//! `<group>/<name>  time: [min mean max]` lines, so the bench bins remain
+//! runnable (and their numbers comparable run-to-run) without crates.io.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark, e.g. `forward/128`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the most recent `iter`.
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up for ~20ms to populate caches and settle the branch
+        // predictors, estimating the per-iteration cost as we go.
+        let warmup = Duration::from_millis(20);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        // Aim for ~2ms per sample so short routines are batched.
+        let iters_per_sample = ((2_000_000 / per_iter.max(1)) as u64).clamp(1, 1 << 20);
+
+        self.samples.clear();
+        self.iters_per_sample = iters_per_sample;
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Mean nanoseconds per iteration over all samples.
+    fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos()).sum();
+        total as f64 / (self.samples.len() as u64 * self.iters_per_sample) as f64
+    }
+
+    fn min_ns(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    fn max_ns(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        let sample_size = self.sample_size;
+        self.criterion.run_bench(&full, sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        let sample_size = self.sample_size;
+        self.criterion
+            .run_bench(&full, sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo-bench passes `--bench` plus an optional name filter; honour
+        // the filter, ignore the flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 15,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_bench(name, 15, f);
+        self
+    }
+
+    fn run_bench<F>(&mut self, full_name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher::new(sample_size);
+        f(&mut bencher);
+        if bencher.samples.is_empty() {
+            println!("{full_name:<48} (no measurements: closure never called iter)");
+            return;
+        }
+        println!(
+            "{full_name:<48} time: [{} {} {}]",
+            format_ns(bencher.min_ns()),
+            format_ns(bencher.mean_ns()),
+            format_ns(bencher.max_ns()),
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

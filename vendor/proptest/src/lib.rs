@@ -1,0 +1,492 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! Implements the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros, a
+//! `Strategy` trait with range / tuple / collection strategies, and
+//! `ProptestConfig::with_cases`. Each test runs `cases` deterministic random
+//! inputs (seeded from the test name, plus a `PROPTEST_SEED` env override for
+//! exploration); there is no shrinking — the failing inputs are printed
+//! verbatim instead, which the deterministic seeding makes reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Failure raised by `prop_assert!` family; carried as a `Result` so the
+/// macros can early-return out of the test-case closure.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test RNG. Seeded from the test path via FNV-1a so every
+/// test sees an independent but stable stream.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = seed.parse::<u64>() {
+                h ^= s;
+            }
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// Generates values of an output type from a RNG. `new_tree`-style
+/// intermediate trees (for shrinking) are intentionally absent.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range must be non-empty");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let off = rng.0.gen_range(0..span);
+                ((self.start as i64) + off as i64) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range must be non-empty");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64 + 1;
+                let off = rng.0.gen_range(0..span);
+                ((lo as i64) + off as i64) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(isize, i64, i32, i16, i8);
+
+/// String strategies: a `&str` pattern is interpreted as a miniature regex of
+/// literal characters and character classes with optional `{n}` / `{m,n}`
+/// repetition — enough for patterns like `"[a-z ]{0,200}"`.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = if c == '[' {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        Some(']') | None => break,
+                        Some('-') => {
+                            // Range like `a-z` (leading/trailing '-' is literal).
+                            match (prev, chars.peek().copied()) {
+                                (Some(lo), Some(hi)) if hi != ']' => {
+                                    chars.next();
+                                    for u in (lo as u32 + 1)..=(hi as u32) {
+                                        if let Some(ch) = char::from_u32(u) {
+                                            class.push(ch);
+                                        }
+                                    }
+                                    prev = None;
+                                }
+                                _ => {
+                                    class.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        Some(ch) => {
+                            class.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                Atom::Class(class)
+            } else {
+                Atom::Literal(c)
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse::<usize>().unwrap_or(0),
+                        b.trim().parse::<usize>().unwrap_or(0),
+                    ),
+                    None => {
+                        let n = spec.trim().parse::<usize>().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if lo >= hi {
+                lo
+            } else {
+                rng.0.gen_range(lo..=hi)
+            };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(ch) => out.push(*ch),
+                    Atom::Class(class) => {
+                        if !class.is_empty() {
+                            let i = rng.0.gen_range(0..class.len());
+                            out.push(class[i]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// `Just`-style constant strategy, handy for composed tests.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+/// Size specification for collection strategies: either an exact length or a
+/// half-open range of lengths.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "collection size range must be non-empty");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng;
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element_strategy, size)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.0.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` resolves via the prelude.
+pub mod prop {
+    pub use super::collection;
+}
+
+pub mod prelude {
+    pub use super::{prop, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// The test-definition macro. Each `#[test] fn name(arg in strategy, ...)`
+/// item becomes a real `#[test]` that loops `cases` times, generating every
+/// argument from its strategy and treating `prop_assert*` failures as fatal
+/// with the offending inputs attached.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $( $(#[$meta:meta])+ fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)*
+                    let inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&format!("{:?}, ", $arg));
+                        )*
+                        s
+                    };
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..9, y in 0u64..5, f in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0usize..4, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7, "len {}", v.len());
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn tuple_strategies_work(pair in prop::collection::vec((0usize..8, 0usize..8), 1..5)) {
+            for (a, b) in &pair {
+                prop_assert!(*a < 8 && *b < 8);
+            }
+            prop_assert_eq!(pair.len(), pair.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_same_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let s = 0usize..100;
+        for _ in 0..10 {
+            assert_eq!(
+                crate::Strategy::generate(&s, &mut a),
+                crate::Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Offline stand-in for the subset of `rand` 0.8 used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal implementation of the API surface it actually calls: `StdRng` +
+//! `SeedableRng::seed_from_u64`, the `Rng` extension methods `gen`,
+//! `gen_range`, `gen_bool`, and `seq::SliceRandom::{shuffle, choose}`.
+//!
+//! Unlike a generic PRNG shim, this implementation is **bit-for-bit
+//! stream-compatible with upstream `rand` 0.8**: `StdRng` is ChaCha12 seeded
+//! through `rand_core`'s PCG32-based `seed_from_u64` expansion, consumed
+//! through the same `BlockRng` word-buffer discipline (64 × u32 per refill,
+//! `next_u64` = two consecutive little-endian words), and every distribution
+//! helper replicates the upstream sampling algorithm exactly:
+//!
+//! * `gen::<f32>` / `gen::<f64>`: high 24 / 53 bits of one `u32` / `u64`,
+//!   multiply-based mapping into `[0, 1)`.
+//! * integer `gen_range`: widening-multiply with the upstream zone-rejection
+//!   constants (`u32` lanes for `u8`/`u16`/`u32`, `u64` lanes for
+//!   `u64`/`usize`).
+//! * float `gen_range`: exponent-splice into `[1, 2)` then rescale, with the
+//!   one-ULP `scale` decrease on the (astronomically rare) retry path.
+//! * `gen_bool`: Bernoulli via 64-bit integer threshold `(p * 2^64) as u64`.
+//! * `shuffle` / `choose`: upstream visitation order and draw types.
+//!
+//! Consequently every seeded recording in `EXPERIMENTS.md` (produced against
+//! crates.io `rand` 0.8 when the repo seed was created) reproduces exactly,
+//! and swapping this shim for the real crate changes no observable output.
+
+/// Low-level source of random words, mirroring `rand_core::RngCore`.
+///
+/// Both methods are required because upstream's `BlockRng` consumes its
+/// buffer differently for each: `next_u32` takes one word, `next_u64` takes
+/// two consecutive words (low word first). Callers must hit the same method
+/// upstream would, so neither may be defined in terms of the other.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from their "standard" distribution
+/// (`[0, 1)` for floats, full range for integers), matching upstream
+/// `Distribution<T> for Standard`.
+pub trait StandardSample: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits of one u32 -> [0, 1), upstream's multiply-based method.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u16 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+
+impl StandardSample for u8 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream compares the most significant bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Ranges that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer uniform sampling, transcribed from upstream `UniformInt`'s
+/// `sample_single_inclusive`: widening multiply of one full-width draw
+/// against the span, rejecting the biased low-word tail. `$large` is the
+/// lane type upstream assigns each integer (`u32` for sub-word types).
+macro_rules! uniform_int_range {
+    ($($t:ty => $large:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: low >= high");
+                sample_inclusive_int(self.start, self.end - 1, rng)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start() <= self.end(), "gen_range: low > high");
+                sample_inclusive_int(*self.start(), *self.end(), rng)
+            }
+        }
+
+        impl UniformInt for $t {
+            type Large = $large;
+
+            fn to_large(self) -> $large {
+                self as $large
+            }
+
+            fn wrapping_add_large(self, v: $large) -> $t {
+                self.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+
+trait UniformInt: StandardSample + Copy + PartialOrd {
+    type Large: UniformLarge;
+
+    fn to_large(self) -> Self::Large;
+    fn wrapping_add_large(self, v: Self::Large) -> Self;
+}
+
+trait UniformLarge: StandardSample + Copy + PartialOrd {
+    fn wrapping_sub_add_one(hi: Self, lo: Self) -> Self;
+    fn is_zero(self) -> bool;
+    /// Upstream's shift-approximation rejection zone for word-size types.
+    fn zone(self) -> Self;
+    /// Upstream's exact modulus zone `max - (max - range + 1) % range`, used
+    /// for sub-word types (u8/u16 sampled in u32 lanes).
+    fn exact_zone(self) -> Self;
+    fn wmul(self, rhs: Self) -> (Self, Self);
+}
+
+macro_rules! uniform_large_impl {
+    ($($t:ty, $wide:ty),*) => {$(
+        impl UniformLarge for $t {
+            fn wrapping_sub_add_one(hi: Self, lo: Self) -> Self {
+                hi.wrapping_sub(lo).wrapping_add(1)
+            }
+
+            fn is_zero(self) -> bool {
+                self == 0
+            }
+
+            fn zone(self) -> Self {
+                (self << self.leading_zeros()).wrapping_sub(1)
+            }
+
+            fn exact_zone(self) -> Self {
+                let ints_to_reject = (<$t>::MAX - self + 1) % self;
+                <$t>::MAX - ints_to_reject
+            }
+
+            fn wmul(self, rhs: Self) -> (Self, Self) {
+                let t = self as $wide * rhs as $wide;
+                ((t >> <$t>::BITS) as $t, t as $t)
+            }
+        }
+    )*};
+}
+
+uniform_large_impl!(u32, u64, u64, u128, usize, u128);
+
+fn sample_inclusive_int<T: UniformInt, R: RngCore + ?Sized>(low: T, high: T, rng: &mut R) -> T {
+    let range = T::Large::wrapping_sub_add_one(high.to_large(), low.to_large());
+    // Wrap-around to 0 means the range covers the whole type.
+    if range.is_zero() {
+        return T::sample_standard(rng);
+    }
+    // Upstream uses the exact modulus zone for u8/u16 (cheap at 32-bit lane
+    // width) and the shift approximation for u32 and wider.
+    let zone = if core::mem::size_of::<T>() <= 2 {
+        range.exact_zone()
+    } else {
+        range.zone()
+    };
+    loop {
+        let v = T::Large::sample_standard(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return low.wrapping_add_large(hi);
+        }
+    }
+}
+
+uniform_int_range!(u8 => u32, u16 => u32, u32 => u32, u64 => u64, usize => usize);
+
+/// Float uniform sampling, transcribed from upstream `UniformFloat`'s
+/// `sample_single`: splice random mantissa bits under exponent 0 to get a
+/// value in `[1, 2)`, rescale into `[low, high)`, and on the rare rounding
+/// collision with `high` retry with `scale` lowered by one ULP
+/// (`decrease_masked`).
+macro_rules! float_sample_range {
+    ($($t:ty, $u:ty, $bits_to_discard:expr, $exp_bits:expr);*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (low, high) = (self.start, self.end);
+                debug_assert!(low.is_finite() && high.is_finite(), "gen_range: non-finite bound");
+                assert!(low < high, "gen_range: low >= high");
+                let mut scale = high - low;
+                assert!(scale.is_finite(), "gen_range: range overflow");
+                loop {
+                    let value1_2 = <$t>::from_bits(
+                        (<$u as StandardSample>::sample_standard(rng) >> $bits_to_discard)
+                            | $exp_bits,
+                    );
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    scale = <$t>::from_bits(scale.to_bits() - 1);
+                }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, u32, 9, 127u32 << 23; f64, u64, 12, 1023u64 << 52);
+
+/// User-facing extension trait, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw, matching upstream: threshold `(p * 2^64) as u64`
+    /// against one `u64`; `p == 1.0` short-circuits without consuming
+    /// randomness.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool: p={p} is outside range [0.0, 1.0]",
+        );
+        const ALWAYS_TRUE: u64 = u64::MAX;
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = if p == 1.0 {
+            ALWAYS_TRUE
+        } else {
+            (p * SCALE) as u64
+        };
+        if p_int == ALWAYS_TRUE {
+            return true;
+        }
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    const CHACHA_DOUBLE_ROUNDS: usize = 6; // ChaCha12, upstream StdRng's cipher
+    const BUF_WORDS: usize = 64; // BlockRng refills four 16-word blocks at once
+
+    /// ChaCha12 generator, stream-compatible with `rand` 0.8's `StdRng`
+    /// (`rand_chacha::ChaCha12Rng` consumed through `rand_core::BlockRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        key: [u32; 8],
+        /// 64-bit block counter (state words 12–13); the stream id (words
+        /// 14–15) is always 0, as upstream leaves it unless `set_stream` is
+        /// called.
+        counter: u64,
+        buf: [u32; BUF_WORDS],
+        /// Next unconsumed word in `buf`; `BUF_WORDS` means "refill first".
+        index: usize,
+    }
+
+    impl StdRng {
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                *k = u32::from_le_bytes(chunk.try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; BUF_WORDS],
+                index: BUF_WORDS,
+            }
+        }
+
+        /// Refill the buffer with the next four keystream blocks and position
+        /// the read cursor at `offset`, mirroring `BlockRng::generate_and_set`.
+        fn generate_and_set(&mut self, offset: usize) {
+            for block in 0..BUF_WORDS / 16 {
+                let words = chacha_block(
+                    &self.key,
+                    self.counter.wrapping_add(block as u64),
+                    CHACHA_DOUBLE_ROUNDS,
+                );
+                self.buf[block * 16..(block + 1) * 16].copy_from_slice(&words);
+            }
+            self.counter = self.counter.wrapping_add((BUF_WORDS / 16) as u64);
+            self.index = offset;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        /// `rand_core`'s default `seed_from_u64`: a PCG32 walk expands the
+        /// u64 into the 32-byte ChaCha key.
+        fn seed_from_u64(mut state: u64) -> Self {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            let mut seed = [0u8; 32];
+            for chunk in seed.chunks_exact_mut(4) {
+                state = state.wrapping_mul(MUL).wrapping_add(INC);
+                let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+                let rot = (state >> 59) as u32;
+                chunk.copy_from_slice(&xorshifted.rotate_right(rot).to_le_bytes());
+            }
+            StdRng::from_seed(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= BUF_WORDS {
+                self.generate_and_set(0);
+            }
+            let value = self.buf[self.index];
+            self.index += 1;
+            value
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let read_u64 = |buf: &[u32; BUF_WORDS], i: usize| {
+                (u64::from(buf[i + 1]) << 32) | u64::from(buf[i])
+            };
+            let index = self.index;
+            if index < BUF_WORDS - 1 {
+                self.index += 2;
+                read_u64(&self.buf, index)
+            } else if index >= BUF_WORDS {
+                self.generate_and_set(2);
+                read_u64(&self.buf, 0)
+            } else {
+                // Straddles a refill: last word of this buffer is the low
+                // half, first word of the next is the high half.
+                let lo = u64::from(self.buf[BUF_WORDS - 1]);
+                self.generate_and_set(1);
+                let hi = u64::from(self.buf[0]);
+                (hi << 32) | lo
+            }
+        }
+    }
+
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    /// One djb-variant ChaCha block: 64-bit counter in words 12–13, 64-bit
+    /// stream id (always 0 here) in words 14–15.
+    fn chacha_block(key: &[u32; 8], counter: u64, double_rounds: usize) -> [u32; 16] {
+        let mut state = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..double_rounds {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        state
+    }
+
+    #[cfg(test)]
+    pub(crate) fn chacha_block_for_tests(
+        key: &[u32; 8],
+        counter: u64,
+        double_rounds: usize,
+    ) -> [u32; 16] {
+        chacha_block(key, counter, double_rounds)
+    }
+}
+
+pub mod seq {
+    use super::{sample_inclusive_int, RngCore};
+
+    /// Upstream's `gen_index`: uniform in `[0, ubound)`, sampled in **u32**
+    /// lanes whenever the bound fits, "primarily in order to produce the same
+    /// output on 32-bit and 64-bit platforms" — and therefore load-bearing
+    /// for stream compatibility (one buffer word per draw, u32 zone
+    /// constants).
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            sample_inclusive_int(0u32, (ubound - 1) as u32, rng) as usize
+        } else {
+            sample_inclusive_int(0usize, ubound - 1, rng)
+        }
+    }
+
+    /// Slice helpers; only `shuffle` and `choose` are used by this workspace.
+    pub trait SliceRandom {
+        type Item;
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, descending, exactly upstream's draw sequence:
+            // one `gen_index(rng, i + 1)` per swap.
+            for i in (1..self.len()).rev() {
+                let j = gen_index(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: RngCore + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{chacha_block_for_tests, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// ChaCha20 block 0 under the all-zero key equals the canonical djb test
+    /// vector (the first 64 keystream bytes `76 b8 e0 ad ...`). The block
+    /// function is shared verbatim with the ChaCha12 used by `StdRng`, so
+    /// this pins the constants, round structure, counter placement, and
+    /// feed-forward addition against an external reference.
+    #[test]
+    fn chacha20_zero_key_reference_vector() {
+        let words = chacha_block_for_tests(&[0u32; 8], 0, 10);
+        let mut bytes = [0u8; 64];
+        for (chunk, w) in bytes.chunks_exact_mut(4).zip(words) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        let expected: [u8; 16] = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86,
+            0xbd, 0x28,
+        ];
+        assert_eq!(&bytes[..16], &expected);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    /// Mixed-width draws must stay aligned with the BlockRng buffer
+    /// discipline: a u32 draw consumes one word, a u64 two, including across
+    /// the refill boundary.
+    #[test]
+    fn mixed_width_draws_consume_block_buffer_words() {
+        let mut whole = StdRng::seed_from_u64(3);
+        let mut split = StdRng::seed_from_u64(3);
+        // 63 u32 draws leave `split` one word before the refill boundary.
+        let mut words = Vec::new();
+        for _ in 0..66 {
+            words.push(whole.next_u32());
+        }
+        for w in words.iter().take(63) {
+            assert_eq!(split.next_u32(), *w);
+        }
+        // The straddling u64 must splice word 63 (low) with word 64 (high).
+        let straddle = split.next_u64();
+        assert_eq!(straddle as u32, words[63]);
+        assert_eq!((straddle >> 32) as u32, words[64]);
+        assert_eq!(split.next_u32(), words[65]);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&y));
+            let z = rng.gen_range(0u32..5);
+            assert!(z < 5);
+            let w = rng.gen_range(250u8..=255);
+            assert!(w >= 250);
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let g = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&g));
+            let u = rng.gen::<f32>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((300..700).contains(&heads), "p=0.25 over 2000: {heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}
