@@ -96,8 +96,12 @@ fn bench_pcp(c: &mut Criterion) {
             ))
         });
     });
-    let proximity =
-        crossem::plus::minibatch::pairwise_proximity(&f.clip, &f.tokenizer, &f.dataset, 1);
+    let proximity = std::rc::Rc::new(crossem::plus::minibatch::pairwise_proximity(
+        &f.clip,
+        &f.tokenizer,
+        &f.dataset,
+        1,
+    ));
     let mut rng = StdRng::seed_from_u64(5);
     group.bench_function("partition_phase3", |b| {
         b.iter(|| std::hint::black_box(partition_by_proximity(&proximity, &plus, &mut rng)));

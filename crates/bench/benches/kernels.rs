@@ -7,6 +7,42 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn bench_gemm_kernels(c: &mut Criterion) {
+    use cem_tensor::kernels;
+    let mut group = c.benchmark_group("gemm_kernels");
+    let mut rng = StdRng::seed_from_u64(7);
+    for &n in &[64usize, 128, 256] {
+        let a = init::randn(&[n, n], 1.0, &mut rng).to_vec();
+        let b = init::randn(&[n, n], 1.0, &mut rng).to_vec();
+        let mut out = vec![0.0f32; n * n];
+        for threads in [1usize, 4] {
+            let id = BenchmarkId::new(format!("blocked_t{threads}"), n);
+            group.bench_with_input(id, &n, |bench, _| {
+                bench.iter(|| {
+                    out.fill(0.0);
+                    kernels::gemm_with_threads(&a, &b, &mut out, n, n, n, threads);
+                    std::hint::black_box(&mut out);
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("blocked_nt_t1", n), &n, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                kernels::gemm_nt_with_threads(&a, &b, &mut out, n, n, n, 1);
+                std::hint::black_box(&mut out);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_tn_t1", n), &n, |bench, _| {
+            bench.iter(|| {
+                out.fill(0.0);
+                kernels::gemm_tn_with_threads(&a, &b, &mut out, n, n, n, 1);
+                std::hint::black_box(&mut out);
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     let mut rng = StdRng::seed_from_u64(0);
@@ -84,5 +120,5 @@ fn bench_autograd_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(kernels, bench_matmul, bench_rowwise, bench_autograd_overhead);
+criterion_group!(kernels, bench_gemm_kernels, bench_matmul, bench_rowwise, bench_autograd_overhead);
 criterion_main!(kernels);

@@ -49,7 +49,7 @@ fn run<'h>(
     let config = prepared.train_config(PromptKind::Hard, epochs);
     let matcher = CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, config, &mut rng);
     let report = matcher
-        .train_with_options(&mut rng, TrainOptions { checkpoints: manager, injector })
+        .train_with_options(&mut rng, TrainOptions { checkpoints: manager, injector, ..Default::default() })
         .expect("drill checkpoints must load");
     let params = matcher.trainable_params().iter().map(|p| p.to_vec()).collect();
     let mrr = matcher.evaluate().mrr as f64;

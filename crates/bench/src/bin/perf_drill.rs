@@ -1,0 +1,311 @@
+//! Performance drills for the parallel kernel layer and the frozen-feature
+//! cache (see DESIGN.md, "Performance"). Four sections, each with timings
+//! and — wherever parallelism is involved — a hard bit-identity verdict:
+//!
+//! 1. **GEMM kernels** — the blocked register-tiled kernel vs a local
+//!    reimplementation of the seed's naive triple loop, at 1/2/4 threads.
+//!    Outputs at every thread count must match bit-for-bit.
+//! 2. **Proximity construction** — `pairwise_proximity` at 1/2/4 threads
+//!    (bit-identical), plus the [`FeatureCache`] cold-miss vs warm-hit
+//!    cost.
+//! 3. **CrossEM epoch** — one tuning epoch at 1/2/4 threads via
+//!    [`TrainOptions::threads`]; trained parameters must be bitwise equal.
+//! 4. **CrossEM⁺ epoch** — same drill through the PCP/negative-sampling
+//!    path and the shared feature cache.
+//!
+//! Results land in `BENCH_perf.json`. Honours `--quick`; `--smoke` is the
+//! same scale with the large GEMM sizes dropped (for CI).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cem_bench::{default_plus, prepare, HarnessConfig, PreparedBundle};
+use cem_data::DatasetKind;
+use cem_tensor::{kernels, par};
+use crossem::plus::minibatch::pairwise_proximity;
+use crossem::plus::CrossEmPlus;
+use crossem::trainer::TrainOptions;
+use crossem::{CrossEm, FeatureCache, PromptKind};
+
+/// Stage index for the drill RNG (distinct from the table harness stages).
+const DRILL_STAGE: u64 = 88;
+
+/// Thread budgets every parallel section is drilled at.
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// The seed's GEMM, kept verbatim as the baseline the blocked kernel is
+/// measured against: naive i-k-j triple loop with the zero-skip branch.
+fn naive_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = a[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aik * b[kk * n + j];
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-random matrix fill (xorshift; no rand dependency
+/// needed for raw slices).
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median-of-reps wall time in milliseconds.
+fn bench_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..reps).map(|_| time_ms(&mut f)).collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct GemmRow {
+    n: usize,
+    naive_ms: f64,
+    blocked_ms: [f64; 3],
+    identical: bool,
+}
+
+fn drill_gemm(sizes: &[usize]) -> Vec<GemmRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let a = fill(0x5eed + n as u64, n * n);
+        let b = fill(0xbeef + n as u64, n * n);
+        let reps = if n >= 512 { 3 } else { 5 };
+
+        let mut c_naive = vec![0.0f32; n * n];
+        let naive_ms = bench_ms(reps, || {
+            c_naive.fill(0.0);
+            naive_gemm(&a, &b, &mut c_naive, n, n, n);
+        });
+
+        let mut blocked_ms = [0.0f64; 3];
+        let mut outputs: Vec<Vec<f32>> = Vec::new();
+        for (slot, &t) in THREADS.iter().enumerate() {
+            let mut c = vec![0.0f32; n * n];
+            blocked_ms[slot] = bench_ms(reps, || {
+                c.fill(0.0);
+                kernels::gemm_with_threads(&a, &b, &mut c, n, n, n, t);
+            });
+            outputs.push(c);
+        }
+        let identical = outputs.iter().all(|c| c == &outputs[0]);
+        eprintln!(
+            "[gemm] {n}x{n}x{n}: naive {naive_ms:.1} ms, blocked t1 {:.1} / t2 {:.1} / t4 {:.1} ms \
+             ({:.2}x vs naive), threads bit-identical: {identical}",
+            blocked_ms[0],
+            blocked_ms[1],
+            blocked_ms[2],
+            naive_ms / blocked_ms[0],
+        );
+        rows.push(GemmRow { n, naive_ms, blocked_ms, identical });
+    }
+    rows
+}
+
+struct TrainedEpoch {
+    seconds: f64,
+    params: Vec<Vec<f32>>,
+}
+
+/// One tuning epoch of plain CrossEM at a fixed thread budget.
+fn crossem_epoch(prepared: &PreparedBundle, threads: usize) -> TrainedEpoch {
+    prepared.reset_clip();
+    let bundle = &prepared.bundle;
+    let mut rng = bundle.stage_rng(DRILL_STAGE);
+    let config = prepared.train_config(PromptKind::Hard, 1);
+    let matcher = CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, config, &mut rng);
+    let start = Instant::now();
+    matcher
+        .train_with_options(&mut rng, TrainOptions { threads: Some(threads), ..Default::default() })
+        .expect("no checkpoints, no resume path to fail");
+    let seconds = start.elapsed().as_secs_f64();
+    let params = matcher.trainable_params().iter().map(|p| p.to_vec()).collect();
+    TrainedEpoch { seconds, params }
+}
+
+/// One tuning epoch of CrossEM⁺ (PCP + negative sampling + orthogonal
+/// constraint) at a fixed thread budget.
+fn crossem_plus_epoch(prepared: &PreparedBundle, threads: usize) -> TrainedEpoch {
+    prepared.reset_clip();
+    let bundle = &prepared.bundle;
+    let mut rng = bundle.stage_rng(DRILL_STAGE + 1);
+    let config = prepared.train_config(PromptKind::Soft, 1);
+    let trainer = CrossEmPlus::new(
+        &bundle.clip,
+        &bundle.tokenizer,
+        &bundle.dataset,
+        config,
+        default_plus(),
+        &mut rng,
+    );
+    let start = Instant::now();
+    trainer
+        .train_with_options(&mut rng, TrainOptions { threads: Some(threads), ..Default::default() })
+        .expect("no checkpoints, no resume path to fail");
+    let seconds = start.elapsed().as_secs_f64();
+    let params = trainer.base().trainable_params().iter().map(|p| p.to_vec()).collect();
+    TrainedEpoch { seconds, params }
+}
+
+fn bitwise_equal(runs: &[TrainedEpoch]) -> bool {
+    runs.iter().all(|r| r.params == runs[0].params)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let config = if smoke { HarnessConfig::quick() } else { HarnessConfig::from_args() };
+    let quick = smoke || std::env::args().any(|a| a == "--quick");
+    let gemm_sizes: &[usize] = if smoke { &[64, 128] } else { &[128, 256, 512] };
+
+    // ---------------------------------------------------------------
+    // Section 1: GEMM kernels.
+    // ---------------------------------------------------------------
+    eprintln!("[perf 1] GEMM: blocked kernel vs naive seed loop …");
+    let gemm_rows = drill_gemm(gemm_sizes);
+    let gemm_identical = gemm_rows.iter().all(|r| r.identical);
+    // Kernel-iteration mode: stop after section 1, no JSON.
+    if std::env::args().any(|a| a == "--gemm-only") {
+        std::process::exit(if gemm_identical { 0 } else { 1 });
+    }
+    let gemm_speedup = gemm_rows
+        .last()
+        .map(|r| r.naive_ms / r.blocked_ms[0])
+        .unwrap_or(0.0);
+
+    // ---------------------------------------------------------------
+    // Section 2: proximity construction + feature cache.
+    // ---------------------------------------------------------------
+    eprintln!("[perf 2] proximity matrix at 1/2/4 threads + feature cache …");
+    let prepared = prepare(DatasetKind::Cub, &config);
+    let bundle = &prepared.bundle;
+    prepared.reset_clip();
+
+    let mut prox_ms = [0.0f64; 3];
+    let mut prox_outputs = Vec::new();
+    for (slot, &t) in THREADS.iter().enumerate() {
+        let _guard = par::ThreadsGuard::new(t);
+        let mut out = None;
+        prox_ms[slot] = bench_ms(3, || {
+            out = Some(pairwise_proximity(&bundle.clip, &bundle.tokenizer, &bundle.dataset, 1));
+        });
+        prox_outputs.push(out.unwrap());
+    }
+    let prox_identical = prox_outputs.iter().all(|p| p == &prox_outputs[0]);
+    eprintln!(
+        "[perf 2] pairwise_proximity t1 {:.1} / t2 {:.1} / t4 {:.1} ms, bit-identical: {prox_identical}",
+        prox_ms[0], prox_ms[1], prox_ms[2],
+    );
+
+    let cache = FeatureCache::new();
+    let cache_miss_ms =
+        time_ms(|| drop(cache.proximity(&bundle.clip, &bundle.tokenizer, &bundle.dataset, 1)));
+    let cache_hit_ms =
+        time_ms(|| drop(cache.proximity(&bundle.clip, &bundle.tokenizer, &bundle.dataset, 1)));
+    let cache_consistent = cache.hits() == 1 && cache.misses() == 2;
+    eprintln!(
+        "[perf 2] cache cold miss {cache_miss_ms:.1} ms, warm hit {cache_hit_ms:.3} ms \
+         ({:.0}x), counters ok: {cache_consistent}",
+        cache_miss_ms / cache_hit_ms.max(1e-6),
+    );
+
+    // ---------------------------------------------------------------
+    // Sections 3 & 4: one epoch of each trainer per thread budget.
+    // ---------------------------------------------------------------
+    eprintln!("[perf 3] one CrossEM epoch at 1/2/4 threads …");
+    let em_runs: Vec<TrainedEpoch> =
+        THREADS.iter().map(|&t| crossem_epoch(&prepared, t)).collect();
+    let em_identical = bitwise_equal(&em_runs);
+    eprintln!(
+        "[perf 3] epoch t1 {:.2} / t2 {:.2} / t4 {:.2} s, params bit-identical: {em_identical}",
+        em_runs[0].seconds, em_runs[1].seconds, em_runs[2].seconds,
+    );
+
+    eprintln!("[perf 4] one CrossEM⁺ epoch at 1/2/4 threads …");
+    let plus_runs: Vec<TrainedEpoch> =
+        THREADS.iter().map(|&t| crossem_plus_epoch(&prepared, t)).collect();
+    let plus_identical = bitwise_equal(&plus_runs);
+    eprintln!(
+        "[perf 4] epoch t1 {:.2} / t2 {:.2} / t4 {:.2} s, params bit-identical: {plus_identical}",
+        plus_runs[0].seconds, plus_runs[1].seconds, plus_runs[2].seconds,
+    );
+
+    // ---------------------------------------------------------------
+    // Summary + BENCH_perf.json
+    // ---------------------------------------------------------------
+    let all_pass = gemm_identical && prox_identical && cache_consistent && em_identical && plus_identical;
+    println!(
+        "\nperf drill: blocked GEMM {gemm_speedup:.2}x vs naive at {}³, cache hit {:.0}x \
+         cheaper than recompute, determinism {}",
+        gemm_rows.last().map(|r| r.n).unwrap_or(0),
+        cache_miss_ms / cache_hit_ms.max(1e-6),
+        if all_pass { "ALL PASS" } else { "FAILURES" },
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"harness\": \"perf_drill\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "standard" });
+    let _ = writeln!(json, "  \"machine_threads\": {},", par::max_threads());
+    let _ = writeln!(json, "  \"gemm\": [");
+    for (i, row) in gemm_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"naive_ms\": {:.3}, \"blocked_t1_ms\": {:.3}, \
+             \"blocked_t2_ms\": {:.3}, \"blocked_t4_ms\": {:.3}, \
+             \"speedup_vs_naive\": {:.3}, \"threads_bit_identical\": {}}}{}",
+            row.n,
+            row.naive_ms,
+            row.blocked_ms[0],
+            row.blocked_ms[1],
+            row.blocked_ms[2],
+            row.naive_ms / row.blocked_ms[0],
+            row.identical,
+            if i + 1 < gemm_rows.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"proximity_t1_ms\": {:.3},", prox_ms[0]);
+    let _ = writeln!(json, "  \"proximity_t2_ms\": {:.3},", prox_ms[1]);
+    let _ = writeln!(json, "  \"proximity_t4_ms\": {:.3},", prox_ms[2]);
+    let _ = writeln!(json, "  \"proximity_bit_identical\": {prox_identical},");
+    let _ = writeln!(json, "  \"cache_miss_ms\": {cache_miss_ms:.3},");
+    let _ = writeln!(json, "  \"cache_hit_ms\": {cache_hit_ms:.4},");
+    let _ = writeln!(
+        json,
+        "  \"cache_speedup\": {:.1},",
+        cache_miss_ms / cache_hit_ms.max(1e-6)
+    );
+    let _ = writeln!(json, "  \"crossem_epoch_t1_s\": {:.4},", em_runs[0].seconds);
+    let _ = writeln!(json, "  \"crossem_epoch_t2_s\": {:.4},", em_runs[1].seconds);
+    let _ = writeln!(json, "  \"crossem_epoch_t4_s\": {:.4},", em_runs[2].seconds);
+    let _ = writeln!(json, "  \"crossem_bit_identical\": {em_identical},");
+    let _ = writeln!(json, "  \"crossem_plus_epoch_t1_s\": {:.4},", plus_runs[0].seconds);
+    let _ = writeln!(json, "  \"crossem_plus_epoch_t2_s\": {:.4},", plus_runs[1].seconds);
+    let _ = writeln!(json, "  \"crossem_plus_epoch_t4_s\": {:.4},", plus_runs[2].seconds);
+    let _ = writeln!(json, "  \"crossem_plus_bit_identical\": {plus_identical},");
+    let _ = writeln!(json, "  \"all_pass\": {all_pass}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");
+    println!("wrote BENCH_perf.json");
+
+    if !all_pass {
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,14 @@
 //! K-means clustering, used by PCP's cluster-based data partition (paper
 //! Alg. 2 phase 3).
+//!
+//! The assignment step (each point independently finds its nearest
+//! centroid) is partitioned over the scoped thread pool for large inputs;
+//! per-point nearest-centroid search is order-identical to the serial code,
+//! so results are bit-identical at every thread count. The centroid update
+//! stays serial: it accumulates sums across points, and splitting that
+//! would change the f32 summation order.
 
+use cem_tensor::par;
 use rand::Rng;
 
 /// Result of a k-means run.
@@ -55,26 +63,37 @@ pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut
     }
 
     let mut assignments = vec![0usize; points.len()];
+    let mut next = vec![0usize; points.len()];
     let mut iterations = 0usize;
     for iter in 0..max_iters {
         iterations = iter + 1;
-        // Assign.
-        let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_d = f32::INFINITY;
-            for (c, centroid) in centroids.iter().enumerate() {
-                let d = sq_dist(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
-                }
-            }
-            if assignments[i] != best {
-                assignments[i] = best;
-                changed = true;
-            }
+        // Assign: each point's nearest centroid is independent, so the
+        // assignment scratch is row-partitioned over the thread pool.
+        {
+            let centroids = &centroids;
+            par::par_chunks_mut(
+                &mut next,
+                1,
+                par::auto_threads(points.len() * dim.max(1)),
+                |start, block| {
+                    for (i, slot) in block.iter_mut().enumerate() {
+                        let p = &points[start + i];
+                        let mut best = 0usize;
+                        let mut best_d = f32::INFINITY;
+                        for (c, centroid) in centroids.iter().enumerate() {
+                            let d = sq_dist(p, centroid);
+                            if d < best_d {
+                                best_d = d;
+                                best = c;
+                            }
+                        }
+                        *slot = best;
+                    }
+                },
+            );
         }
+        let changed = assignments != next;
+        assignments.copy_from_slice(&next);
         if !changed && iter > 0 {
             break;
         }

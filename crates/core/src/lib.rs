@@ -27,6 +27,7 @@
 //!   constraint wired into training.
 //! * [`metrics`] — Hits@k and MRR evaluation.
 
+pub mod cache;
 pub mod checkpoint;
 pub mod config;
 pub mod guard;
@@ -38,6 +39,7 @@ pub mod plus;
 pub mod prompt;
 pub mod trainer;
 
+pub use cache::FeatureCache;
 pub use checkpoint::{CheckpointManager, ResumeError, ResumeSource};
 pub use config::{GuardConfig, PromptKind, TrainConfig};
 pub use guard::{DivergenceGuard, EpochAction, FaultInjector, GuardVerdict};

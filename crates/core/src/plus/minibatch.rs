@@ -9,11 +9,22 @@
 //! proximity to the subset, and k-means-clusters the survivors by their
 //! proximity distribution so images with similar matching behaviour share a
 //! mini-batch.
+//!
+//! Performance: phase 1 runs through the (non-`Sync`) tensor graph and stays
+//! serial, but its output is plain `Vec<f32>` feature rows. Phase 2 only
+//! reads those rows, so its proximity rows are fanned out over the scoped
+//! thread pool ([`cem_tensor::par`]) — each worker owns a disjoint block of
+//! entity rows and the result is bit-identical at every thread count. The
+//! phase-1 features are also the unit of reuse for
+//! [`crate::cache::FeatureCache`], which computes them exactly once per
+//! (model, dataset) pair.
+
+use std::rc::Rc;
 
 use cem_clip::{Clip, Image, Tokenizer};
 use cem_data::EmDataset;
 use cem_graph::d_hop_subgraph;
-use cem_tensor::no_grad;
+use cem_tensor::{no_grad, par};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -34,13 +45,67 @@ impl Partition {
     }
 }
 
+/// Pairwise proximity `S(v, I)` (Eq. 8) as a flat row-major `[entities ×
+/// images]` matrix — one allocation instead of one `Vec` per entity, and a
+/// layout the row-partitioned parallel builder can split with
+/// [`par::par_chunks_mut`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProximityMatrix {
+    entities: usize,
+    images: usize,
+    data: Vec<f32>,
+}
+
+impl ProximityMatrix {
+    /// All-zero matrix of the given dimensions.
+    pub fn zeros(entities: usize, images: usize) -> Self {
+        ProximityMatrix { entities, images, data: vec![0.0; entities * images] }
+    }
+
+    /// Build from per-entity rows (each of the same length).
+    pub fn from_rows(rows: Vec<Vec<f32>>) -> Self {
+        let entities = rows.len();
+        let images = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|r| r.len() == images), "ragged proximity rows");
+        let mut data = Vec::with_capacity(entities * images);
+        for row in rows {
+            data.extend_from_slice(&row);
+        }
+        ProximityMatrix { entities, images, data }
+    }
+
+    pub fn entities(&self) -> usize {
+        self.entities
+    }
+
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Proximity row of entity `v`: `S(v, ·)` over all images.
+    pub fn row(&self, v: usize) -> &[f32] {
+        &self.data[v * self.images..(v + 1) * self.images]
+    }
+
+    /// Single entry `S(v, i)`.
+    pub fn at(&self, v: usize, i: usize) -> f32 {
+        self.data[v * self.images + i]
+    }
+
+    /// The flat row-major backing storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
 /// Output of mini-batch generation.
 #[derive(Debug, Clone)]
 pub struct Pcp {
     pub partitions: Vec<Partition>,
     /// Pairwise proximity `S[entity][image]` (Eq. 8) — reused by negative
-    /// sampling.
-    pub proximity: Vec<Vec<f32>>,
+    /// sampling. Shared, not copied: the matrix can be large and is
+    /// read-only after construction.
+    pub proximity: Rc<ProximityMatrix>,
     /// Candidate pairs surviving the pruning, for complexity accounting.
     pub surviving_pairs: usize,
 }
@@ -49,17 +114,22 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-/// Phase 1+2: the pairwise proximity matrix `S(v, I)` for all entities and
-/// images. Exposed separately because negative sampling needs it even when
-/// MBG itself is ablated (`CrossEM⁺ w/o MBG`).
-pub fn pairwise_proximity(
-    clip: &Clip,
-    tokenizer: &Tokenizer,
-    dataset: &EmDataset,
-    hops: usize,
-) -> Vec<Vec<f32>> {
+/// Phase 1 output: the frozen property features proximity is computed from.
+/// Plain `Vec<f32>` rows (no tensors), so they are `Sync` and cacheable.
+#[derive(Debug, Clone)]
+pub struct FrozenFeatures {
+    /// Normalised label feature per *graph vertex* (matrix `A`).
+    pub label_features: Vec<Vec<f32>>,
+    /// Normalised feature per image patch (matrix `C`), `[image][patch]`.
+    pub patch_features: Vec<Vec<Vec<f32>>>,
+}
+
+/// Phase 1: encode every vertex label and every image patch with the frozen
+/// towers. Serial — the tensor graph is single-threaded by design — but run
+/// exactly once per (model, dataset) when routed through
+/// [`crate::cache::FeatureCache`].
+pub fn frozen_features(clip: &Clip, tokenizer: &Tokenizer, dataset: &EmDataset) -> FrozenFeatures {
     no_grad(|| {
-        // Phase 1a: label features A for every graph vertex.
         let label_features: Vec<Vec<f32>> = dataset
             .graph
             .vertices()
@@ -69,7 +139,6 @@ pub fn pairwise_proximity(
             })
             .collect();
 
-        // Phase 1b: patch features C for every image patch.
         let patch_features: Vec<Vec<Vec<f32>>> = dataset
             .images
             .iter()
@@ -83,45 +152,81 @@ pub fn pairwise_proximity(
             })
             .collect();
 
-        // Phase 2: S(v, I) = Σ_{v_j ∈ N(v)} max_{c_k ∈ P(I)} <A[v_j], C[c_k]>.
-        dataset
-            .entities
-            .iter()
-            .map(|&v| {
-                let sub = d_hop_subgraph(&dataset.graph, v, hops);
-                let neighborhood: Vec<&Vec<f32>> =
-                    sub.vertices.iter().map(|u| &label_features[u.0]).collect();
-                patch_features
-                    .iter()
-                    .map(|patches| {
-                        neighborhood
-                            .iter()
-                            .map(|feat| {
-                                patches
-                                    .iter()
-                                    .map(|p| dot(feat, p))
-                                    .fold(f32::NEG_INFINITY, f32::max)
-                            })
-                            .sum()
-                    })
-                    .collect()
-            })
-            .collect()
+        FrozenFeatures { label_features, patch_features }
     })
+}
+
+/// Phase 2 over precomputed features:
+/// `S(v, I) = Σ_{v_j ∈ N(v)} max_{c_k ∈ P(I)} <A[v_j], C[c_k]>`.
+///
+/// Entity rows are independent, so they are partitioned over the thread
+/// pool; every row is produced by the same serial per-row code regardless
+/// of the thread count.
+pub fn proximity_from_features(
+    features: &FrozenFeatures,
+    dataset: &EmDataset,
+    hops: usize,
+) -> ProximityMatrix {
+    let n_entities = dataset.entities.len();
+    let n_images = features.patch_features.len();
+    let mut matrix = ProximityMatrix::zeros(n_entities, n_images);
+    if n_entities == 0 || n_images == 0 {
+        return matrix;
+    }
+
+    // Neighbourhood features per entity, resolved up front so the parallel
+    // stage touches only plain slices.
+    let neighborhoods: Vec<Vec<&[f32]>> = dataset
+        .entities
+        .iter()
+        .map(|&v| {
+            let sub = d_hop_subgraph(&dataset.graph, v, hops);
+            sub.vertices.iter().map(|u| features.label_features[u.0].as_slice()).collect()
+        })
+        .collect();
+    let patch_features = &features.patch_features;
+
+    par::par_chunks_mut(&mut matrix.data, n_images, par::max_threads(), |first_row, block| {
+        for (r, row) in block.chunks_exact_mut(n_images).enumerate() {
+            let neighborhood = &neighborhoods[first_row + r];
+            for (dst, patches) in row.iter_mut().zip(patch_features) {
+                *dst = neighborhood
+                    .iter()
+                    .map(|feat| {
+                        patches.iter().map(|p| dot(feat, p)).fold(f32::NEG_INFINITY, f32::max)
+                    })
+                    .sum();
+            }
+        }
+    });
+    matrix
+}
+
+/// Phase 1+2: the pairwise proximity matrix `S(v, I)` for all entities and
+/// images. Exposed separately because negative sampling needs it even when
+/// MBG itself is ablated (`CrossEM⁺ w/o MBG`).
+pub fn pairwise_proximity(
+    clip: &Clip,
+    tokenizer: &Tokenizer,
+    dataset: &EmDataset,
+    hops: usize,
+) -> ProximityMatrix {
+    let features = frozen_features(clip, tokenizer, dataset);
+    proximity_from_features(&features, dataset, hops)
 }
 
 /// Phase 3 over a precomputed proximity matrix: random vertex subsets,
 /// image pruning at the `prune_quantile`, and k-means over proximity
 /// distributions.
 pub fn partition_by_proximity<R: Rng>(
-    proximity: &[Vec<f32>],
+    proximity: &Rc<ProximityMatrix>,
     config: &PlusConfig,
     rng: &mut R,
 ) -> Pcp {
     config.validate();
-    let n_entities = proximity.len();
+    let n_entities = proximity.entities();
     assert!(n_entities > 0, "no entities to partition");
-    let n_images = proximity[0].len();
+    let n_images = proximity.images();
 
     let mut entity_order: Vec<usize> = (0..n_entities).collect();
     entity_order.shuffle(rng);
@@ -135,7 +240,7 @@ pub fn partition_by_proximity<R: Rng>(
             .map(|i| {
                 let s = subset
                     .iter()
-                    .map(|&v| proximity[v][i])
+                    .map(|&v| proximity.at(v, i))
                     .fold(f32::NEG_INFINITY, f32::max);
                 (i, s)
             })
@@ -155,7 +260,7 @@ pub fn partition_by_proximity<R: Rng>(
         let distributions: Vec<Vec<f32>> = survivors
             .iter()
             .map(|&i| {
-                let raw: Vec<f32> = subset.iter().map(|&v| proximity[v][i]).collect();
+                let raw: Vec<f32> = subset.iter().map(|&v| proximity.at(v, i)).collect();
                 let min = raw.iter().copied().fold(f32::INFINITY, f32::min);
                 let shifted: Vec<f32> = raw.iter().map(|x| x - min + 1e-6).collect();
                 let total: f32 = shifted.iter().sum();
@@ -176,7 +281,7 @@ pub fn partition_by_proximity<R: Rng>(
         }
     }
     partitions.shuffle(rng);
-    Pcp { partitions, proximity: proximity.to_vec(), surviving_pairs }
+    Pcp { partitions, proximity: Rc::clone(proximity), surviving_pairs }
 }
 
 /// Full Alg. 2: phases 1–3.
@@ -188,7 +293,7 @@ pub fn minibatch_generation<R: Rng>(
     config: &PlusConfig,
     rng: &mut R,
 ) -> Pcp {
-    let proximity = pairwise_proximity(clip, tokenizer, dataset, hops);
+    let proximity = Rc::new(pairwise_proximity(clip, tokenizer, dataset, hops));
     partition_by_proximity(&proximity, config, rng)
 }
 
@@ -222,15 +327,33 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn uniform_proximity(entities: usize, images: usize) -> Vec<Vec<f32>> {
+    fn uniform_proximity(entities: usize, images: usize) -> Rc<ProximityMatrix> {
         // Block-diagonal-ish: entity e prefers images with i % entities == e.
-        (0..entities)
-            .map(|e| {
-                (0..images)
-                    .map(|i| if i % entities == e { 1.0 } else { 0.1 })
-                    .collect()
-            })
-            .collect()
+        Rc::new(ProximityMatrix::from_rows(
+            (0..entities)
+                .map(|e| {
+                    (0..images)
+                        .map(|i| if i % entities == e { 1.0 } else { 0.1 })
+                        .collect()
+                })
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn flat_matrix_accessors_agree() {
+        let m = ProximityMatrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.entities(), 2);
+        assert_eq!(m.images(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.at(0, 2), 3.0);
+        assert_eq!(m.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = ProximityMatrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
     }
 
     #[test]
@@ -267,14 +390,16 @@ mod tests {
     fn high_proximity_images_survive_pruning() {
         let mut rng = StdRng::seed_from_u64(2);
         // Image 0 is loved by everyone; image 1 by no one.
-        let prox: Vec<Vec<f32>> = (0..4)
-            .map(|_| {
-                let mut row = vec![0.2; 20];
-                row[0] = 5.0;
-                row[1] = -5.0;
-                row
-            })
-            .collect();
+        let prox = Rc::new(ProximityMatrix::from_rows(
+            (0..4)
+                .map(|_| {
+                    let mut row = vec![0.2; 20];
+                    row[0] = 5.0;
+                    row[1] = -5.0;
+                    row
+                })
+                .collect(),
+        ));
         let config = PlusConfig { vertex_subsets: 1, prune_quantile: 0.4, ..PlusConfig::default() };
         let pcp = partition_by_proximity(&prox, &config, &mut rng);
         let all_images: Vec<usize> =
@@ -311,7 +436,7 @@ mod tests {
         // matching entity 1.
         let row0: Vec<f32> = (0..20).map(|i| if i < 10 { 2.0 } else { 0.1 }).collect();
         let row1: Vec<f32> = (0..20).map(|i| if i < 10 { 0.1 } else { 2.0 }).collect();
-        let prox = vec![row0, row1];
+        let prox = Rc::new(ProximityMatrix::from_rows(vec![row0, row1]));
         let config = PlusConfig {
             vertex_subsets: 1,
             image_clusters: 2,

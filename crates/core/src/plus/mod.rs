@@ -14,6 +14,6 @@ pub mod minibatch;
 pub mod negsample;
 pub mod trainer;
 
-pub use minibatch::{minibatch_generation, Partition, Pcp};
+pub use minibatch::{minibatch_generation, FrozenFeatures, Partition, Pcp, ProximityMatrix};
 pub use negsample::negative_sampling;
 pub use trainer::{CrossEmPlus, PlusReport};

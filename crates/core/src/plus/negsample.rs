@@ -10,7 +10,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::plus::minibatch::Partition;
+use crate::plus::minibatch::{Partition, ProximityMatrix};
 
 /// Enrich `partitions` with hard negative images. `proximity` is the
 /// `S(v, I)` matrix from Alg. 2; `batch_images` is the batch size `N`
@@ -19,7 +19,7 @@ use crate::plus::minibatch::Partition;
 /// `1..=top_k`).
 pub fn negative_sampling<R: Rng>(
     partitions: &mut [Partition],
-    proximity: &[Vec<f32>],
+    proximity: &ProximityMatrix,
     batch_images: usize,
     top_k: usize,
     rng: &mut R,
@@ -43,7 +43,7 @@ pub fn negative_sampling<R: Rng>(
         let mut seen = inside.clone();
         for &v in &partition.vertices {
             let k = rng.gen_range(1..=top_k);
-            let row = &proximity[v];
+            let row = proximity.row(v);
             let mut order: Vec<usize> = (0..row.len()).collect();
             order.sort_by(|&a, &b| {
                 row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
@@ -73,15 +73,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn proximity() -> Vec<Vec<f32>> {
+    fn proximity() -> ProximityMatrix {
         // 3 entities × 12 images; entity v strongly prefers images 4v..4v+3.
-        (0..3)
-            .map(|v| {
-                (0..12)
-                    .map(|i| if i / 4 == v { 2.0 + (i % 4) as f32 * 0.1 } else { 0.1 })
-                    .collect()
-            })
-            .collect()
+        ProximityMatrix::from_rows(
+            (0..3)
+                .map(|v| {
+                    (0..12)
+                        .map(|i| if i / 4 == v { 2.0 + (i % 4) as f32 * 0.1 } else { 0.1 })
+                        .collect()
+                })
+                .collect(),
+        )
     }
 
     #[test]
@@ -136,7 +138,7 @@ mod tests {
     fn candidate_exhaustion_is_not_fatal() {
         let mut rng = StdRng::seed_from_u64(4);
         // Tiny repository: padding target may exceed what exists.
-        let prox = vec![vec![1.0, 0.5]];
+        let prox = ProximityMatrix::from_rows(vec![vec![1.0, 0.5]]);
         let mut parts = vec![Partition { vertices: vec![0], images: vec![0] }];
         negative_sampling(&mut parts, &prox, 8, 2, &mut rng);
         assert!(parts[0].images.len() <= 2);

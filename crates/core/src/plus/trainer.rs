@@ -1,6 +1,7 @@
 //! The CrossEM⁺ training loop: Algorithm 1 with PCP partitions, hard
 //! negative sampling, and the orthogonal prompt constraint.
 
+use std::rc::Rc;
 use std::time::Instant;
 
 use cem_clip::{Clip, Tokenizer};
@@ -10,14 +11,12 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use crate::cache::FeatureCache;
 use crate::checkpoint::{derive_seed, encode_train_state, plus_fingerprint, ResumeError};
 use crate::config::{PlusConfig, TrainConfig};
 use crate::guard::EpochAction;
 use crate::metrics::Metrics;
-use crate::plus::minibatch::{
-    pairwise_proximity, partition_by_proximity, random_partitions,
-    Partition,
-};
+use crate::plus::minibatch::{partition_by_proximity, random_partitions, Partition};
 use crate::plus::negsample::negative_sampling;
 use crate::trainer::{reset_identity, CrossEm, EpochStats, TrainEngine, TrainOptions, TrainReport};
 
@@ -41,6 +40,11 @@ pub struct PlusReport {
 pub struct CrossEmPlus<'a> {
     base: CrossEm<'a>,
     plus: PlusConfig,
+    /// Frozen-feature/proximity cache: partition preparation reads from it
+    /// instead of re-encoding every vertex and patch on each call. Shareable
+    /// across trainers over the same pre-trained model (see
+    /// [`FeatureCache`]).
+    cache: Rc<FeatureCache>,
 }
 
 impl<'a> CrossEmPlus<'a> {
@@ -52,10 +56,33 @@ impl<'a> CrossEmPlus<'a> {
         plus: PlusConfig,
         rng: &mut R,
     ) -> Self {
+        Self::with_feature_cache(
+            clip,
+            tokenizer,
+            dataset,
+            config,
+            plus,
+            Rc::new(FeatureCache::new()),
+            rng,
+        )
+    }
+
+    /// Like [`CrossEmPlus::new`] but reusing an external feature cache, so
+    /// repeated runs (epoch restarts, ablation sweeps over the same frozen
+    /// model) skip the phase-1 encoder passes entirely.
+    pub fn with_feature_cache<R: Rng>(
+        clip: &'a Clip,
+        tokenizer: &'a Tokenizer,
+        dataset: &'a EmDataset,
+        config: TrainConfig,
+        plus: PlusConfig,
+        cache: Rc<FeatureCache>,
+        rng: &mut R,
+    ) -> Self {
         plus.validate();
         let mut base = CrossEm::new(clip, tokenizer, dataset, config, rng);
         base.orthogonal = plus.orthogonal_constraint;
-        CrossEmPlus { base, plus }
+        CrossEmPlus { base, plus, cache }
     }
 
     pub fn base(&self) -> &CrossEm<'a> {
@@ -66,6 +93,11 @@ impl<'a> CrossEmPlus<'a> {
         &self.plus
     }
 
+    /// The feature cache backing partition preparation.
+    pub fn feature_cache(&self) -> &Rc<FeatureCache> {
+        &self.cache
+    }
+
     /// Build the training partitions according to the enabled
     /// optimisations. Returns the partitions and the proximity matrix (if
     /// it was needed).
@@ -73,7 +105,7 @@ impl<'a> CrossEmPlus<'a> {
         let dataset = self.base.dataset();
         let needs_proximity = self.plus.minibatch_generation || self.plus.negative_sampling;
         let proximity = if needs_proximity {
-            Some(pairwise_proximity(
+            Some(self.cache.proximity(
                 self.base.clip(),
                 self.base.tokenizer(),
                 dataset,
@@ -117,6 +149,7 @@ impl<'a> CrossEmPlus<'a> {
         rng: &mut R,
         mut options: TrainOptions<'_>,
     ) -> Result<PlusReport, ResumeError> {
+        let _threads = options.threads.map(cem_tensor::par::ThreadsGuard::new);
         let config = *self.base.config();
         let mut engine = TrainEngine::new(self.base.trainable_params(), &config);
         let fingerprint = plus_fingerprint(&config, &self.plus);

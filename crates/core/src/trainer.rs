@@ -116,6 +116,11 @@ pub struct TrainOptions<'h> {
     pub checkpoints: Option<&'h CheckpointManager>,
     /// Deterministic fault-injection hooks (testing only).
     pub injector: Option<&'h mut dyn FaultInjector>,
+    /// Kernel thread budget for this run (`None` = inherit the process
+    /// default: `CEM_THREADS` or the machine's parallelism). Any value
+    /// produces bit-identical training results; this knob only trades wall
+    /// clock.
+    pub threads: Option<usize>,
 }
 
 /// The optimisation engine shared by CrossEM (Alg. 1) and CrossEM⁺: owns
@@ -533,6 +538,7 @@ impl<'a> CrossEm<'a> {
         rng: &mut R,
         mut options: TrainOptions<'_>,
     ) -> Result<TrainReport, ResumeError> {
+        let _threads = options.threads.map(cem_tensor::par::ThreadsGuard::new);
         let mut engine = TrainEngine::new(self.trainable_params(), &self.config);
         let fingerprint = config_fingerprint(&self.config);
         let mut report = TrainReport::default();
@@ -830,7 +836,7 @@ mod tests {
         let report = m
             .train_with_options(
                 &mut rng,
-                TrainOptions { checkpoints: None, injector: Some(&mut injector) },
+                TrainOptions { checkpoints: None, injector: Some(&mut injector), ..Default::default() },
             )
             .unwrap();
         assert_eq!(report.nan_batches(), 1);
@@ -865,7 +871,7 @@ mod tests {
         let report = m
             .train_with_options(
                 &mut rng,
-                TrainOptions { checkpoints: None, injector: Some(&mut injector) },
+                TrainOptions { checkpoints: None, injector: Some(&mut injector), ..Default::default() },
             )
             .unwrap();
         assert!(report.diverged);
@@ -890,7 +896,7 @@ mod tests {
         let full = m
             .train_with_options(
                 &mut rng,
-                TrainOptions { checkpoints: Some(&manager), injector: None },
+                TrainOptions { checkpoints: Some(&manager), injector: None, ..Default::default() },
             )
             .unwrap();
         assert_eq!(full.epochs.len(), 3);
@@ -907,7 +913,7 @@ mod tests {
             let partial = m
                 .train_with_options(
                     &mut rng,
-                    TrainOptions { checkpoints: Some(&manager_b), injector: Some(&mut injector) },
+                    TrainOptions { checkpoints: Some(&manager_b), injector: Some(&mut injector), ..Default::default() },
                 )
                 .unwrap();
             assert_eq!(partial.epochs.len(), 2, "aborted after epoch index 1");
@@ -919,7 +925,7 @@ mod tests {
         let resumed = m
             .train_with_options(
                 &mut rng,
-                TrainOptions { checkpoints: Some(&manager_b), injector: None },
+                TrainOptions { checkpoints: Some(&manager_b), injector: None, ..Default::default() },
             )
             .unwrap();
         assert_eq!(resumed.resumed_from, Some(2));
@@ -941,7 +947,7 @@ mod tests {
             let m = CrossEm::new(&clip, &tokenizer, &dataset, config(PromptKind::Hard), &mut rng);
             m.train_with_options(
                 &mut rng,
-                TrainOptions { checkpoints: Some(&manager), injector: None },
+                TrainOptions { checkpoints: Some(&manager), injector: None, ..Default::default() },
             )
             .unwrap();
         }
@@ -951,7 +957,7 @@ mod tests {
         let err = m
             .train_with_options(
                 &mut rng,
-                TrainOptions { checkpoints: Some(&manager), injector: None },
+                TrainOptions { checkpoints: Some(&manager), injector: None, ..Default::default() },
             )
             .unwrap_err();
         assert!(matches!(err, ResumeError::FingerprintMismatch { .. }), "{err}");

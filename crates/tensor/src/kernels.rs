@@ -1,0 +1,418 @@
+//! Blocked, parallel GEMM kernels over raw `f32` slices.
+//!
+//! These are the compute core of [`Tensor::matmul`](crate::Tensor::matmul)
+//! and [`Tensor::matmul_nt`](crate::Tensor::matmul_nt) — forward *and*
+//! backward closures route through the same three accumulate kernels. They
+//! are exposed publicly so the bench harnesses can time them directly.
+//!
+//! Design (see DESIGN.md §9):
+//!
+//! * **Register tiling** — `gemm`/`gemm_tn` process four output rows per
+//!   sweep of the shared right-operand row (4× fewer passes over `b`), and
+//!   `gemm_nt` uses a four-accumulator unrolled dot product. Inner loops
+//!   are bounds-check-free iterator zips, which the compiler vectorises.
+//! * **No sparsity branches** — the seed kernels skipped `a[i,k] == 0.0`;
+//!   that branch defeats vectorisation on dense data and only helped
+//!   degenerate sparse inputs, so it is gone.
+//! * **Row-parallel** — output rows are partitioned over
+//!   [`par::par_chunks_mut`]. Each element accumulates in the same `k` (or
+//!   `m`) order at every thread count, so results are bit-identical to the
+//!   serial path.
+
+use crate::par;
+
+/// Four-accumulator unrolled dot product. The accumulation schedule is
+/// fixed (independent of caller context), so every call site sees identical
+/// rounding.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let mut ac = a.chunks_exact(4);
+    let mut bc = b.chunks_exact(4);
+    for (qa, qb) in (&mut ac).zip(&mut bc) {
+        acc[0] += qa[0] * qb[0];
+        acc[1] += qa[1] * qb[1];
+        acc[2] += qa[2] * qb[2];
+        acc[3] += qa[3] * qb[3];
+    }
+    let mut sum = (acc[0] + acc[2]) + (acc[1] + acc[3]);
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// `c[m,n] += a[m,k] @ b[k,n]`, auto thread count.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_with_threads(a, b, c, m, k, n, par::auto_threads_gemm(m * k * n));
+}
+
+/// `c[m,n] += a[m,k] @ b[n,k]^T`, auto thread count.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_nt_with_threads(a, b, c, m, k, n, par::auto_threads_gemm(m * k * n));
+}
+
+/// `c[k,n] += a[m,k]^T @ b[m,n]`, auto thread count.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_tn_with_threads(a, b, c, m, k, n, par::auto_threads_gemm(m * k * n));
+}
+
+/// `c[m,n] += a[m,k] @ b[k,n]` with an explicit thread budget.
+pub fn gemm_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    par::par_chunks_mut(c, n, threads, |row0, block| gemm_row_block(a, b, block, row0, k, n));
+}
+
+/// Serial kernel for a contiguous block of output rows starting at `row0`.
+///
+/// 4-row × 4-k micro-kernel in ikj order: each sweep streams four `b` rows
+/// across four `c` rows, so every pass over the outputs retires sixteen
+/// multiply-adds per element-visit instead of one.
+///
+/// Determinism invariant: each `c` element receives `+= x0·v0 + x1·v1 +
+/// x2·v2 + x3·v3` per 4-k group (then `+= x·v` per leftover k), in
+/// increasing `k` order. The row-remainder path below uses the *same*
+/// grouping, so the schedule depends only on `k` — never on the thread
+/// layout or on where a row falls inside a block — and results are
+/// bit-identical at every thread count.
+fn gemm_row_block(a: &[f32], b: &[f32], c_block: &mut [f32], row0: usize, k: usize, n: usize) {
+    // Cache blocking over k: every row group in this block sweeps the same
+    // `K_BLOCK`-row panel of `b` before the next panel is touched, so on
+    // large inputs the panel stays cache-resident instead of `b` being
+    // streamed from memory once per row group. K_BLOCK is a multiple of 4,
+    // so the panel edges coincide with the 4-k group boundaries and the
+    // per-element schedule is exactly that of the unblocked loop.
+    const K_BLOCK: usize = 128;
+    let mut k0 = 0usize;
+    while k0 < k {
+        let k1 = (k0 + K_BLOCK).min(k);
+        gemm_row_block_panel(a, b, c_block, row0, k, n, k0, k1);
+        k0 = k1;
+    }
+}
+
+/// One k panel `[k0, k1)` of [`gemm_row_block`].
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_block_panel(
+    a: &[f32],
+    b: &[f32],
+    c_block: &mut [f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    k0: usize,
+    k1: usize,
+) {
+    let rows = c_block.len() / n;
+    let mut rows_iter = c_block.chunks_exact_mut(n);
+    let mut r = 0usize;
+    while rows - r >= 4 {
+        let c0 = rows_iter.next().unwrap();
+        let c1 = rows_iter.next().unwrap();
+        let c2 = rows_iter.next().unwrap();
+        let c3 = rows_iter.next().unwrap();
+        let i = row0 + r;
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let a2 = &a[(i + 2) * k..(i + 3) * k];
+        let a3 = &a[(i + 3) * k..(i + 4) * k];
+        let mut kk = k0;
+        // Two 4-k groups per j sweep: each group is its own `+=` into `c`
+        // (two sequential adds), so the per-element schedule is exactly
+        // that of two consecutive single-group sweeps — only the c/b
+        // memory traffic is halved.
+        while k1 - kk >= 8 {
+            let b0 = &b[kk * n..kk * n + n];
+            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+            let b4 = &b[(kk + 4) * n..(kk + 4) * n + n];
+            let b5 = &b[(kk + 5) * n..(kk + 5) * n + n];
+            let b6 = &b[(kk + 6) * n..(kk + 6) * n + n];
+            let b7 = &b[(kk + 7) * n..(kk + 7) * n + n];
+            let ga: [[f32; 4]; 4] = [
+                [a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3]],
+                [a1[kk], a1[kk + 1], a1[kk + 2], a1[kk + 3]],
+                [a2[kk], a2[kk + 1], a2[kk + 2], a2[kk + 3]],
+                [a3[kk], a3[kk + 1], a3[kk + 2], a3[kk + 3]],
+            ];
+            let gb: [[f32; 4]; 4] = [
+                [a0[kk + 4], a0[kk + 5], a0[kk + 6], a0[kk + 7]],
+                [a1[kk + 4], a1[kk + 5], a1[kk + 6], a1[kk + 7]],
+                [a2[kk + 4], a2[kk + 5], a2[kk + 6], a2[kk + 7]],
+                [a3[kk + 4], a3[kk + 5], a3[kk + 6], a3[kk + 7]],
+            ];
+            for j in 0..n {
+                let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+                let (w0, w1, w2, w3) = (b4[j], b5[j], b6[j], b7[j]);
+                let t0 = c0[j] + (ga[0][0] * v0 + ga[0][1] * v1 + ga[0][2] * v2 + ga[0][3] * v3);
+                c0[j] = t0 + (gb[0][0] * w0 + gb[0][1] * w1 + gb[0][2] * w2 + gb[0][3] * w3);
+                let t1 = c1[j] + (ga[1][0] * v0 + ga[1][1] * v1 + ga[1][2] * v2 + ga[1][3] * v3);
+                c1[j] = t1 + (gb[1][0] * w0 + gb[1][1] * w1 + gb[1][2] * w2 + gb[1][3] * w3);
+                let t2 = c2[j] + (ga[2][0] * v0 + ga[2][1] * v1 + ga[2][2] * v2 + ga[2][3] * v3);
+                c2[j] = t2 + (gb[2][0] * w0 + gb[2][1] * w1 + gb[2][2] * w2 + gb[2][3] * w3);
+                let t3 = c3[j] + (ga[3][0] * v0 + ga[3][1] * v1 + ga[3][2] * v2 + ga[3][3] * v3);
+                c3[j] = t3 + (gb[3][0] * w0 + gb[3][1] * w1 + gb[3][2] * w2 + gb[3][3] * w3);
+            }
+            kk += 8;
+        }
+        while k1 - kk >= 4 {
+            let b0 = &b[kk * n..kk * n + n];
+            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+            let (x00, x01, x02, x03) = (a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3]);
+            let (x10, x11, x12, x13) = (a1[kk], a1[kk + 1], a1[kk + 2], a1[kk + 3]);
+            let (x20, x21, x22, x23) = (a2[kk], a2[kk + 1], a2[kk + 2], a2[kk + 3]);
+            let (x30, x31, x32, x33) = (a3[kk], a3[kk + 1], a3[kk + 2], a3[kk + 3]);
+            for j in 0..n {
+                let (v0, v1, v2, v3) = (b0[j], b1[j], b2[j], b3[j]);
+                c0[j] += x00 * v0 + x01 * v1 + x02 * v2 + x03 * v3;
+                c1[j] += x10 * v0 + x11 * v1 + x12 * v2 + x13 * v3;
+                c2[j] += x20 * v0 + x21 * v1 + x22 * v2 + x23 * v3;
+                c3[j] += x30 * v0 + x31 * v1 + x32 * v2 + x33 * v3;
+            }
+            kk += 4;
+        }
+        for kk in kk..k1 {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let (x0, x1, x2, x3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            for ((((d0, d1), d2), d3), &bv) in
+                c0.iter_mut().zip(c1.iter_mut()).zip(c2.iter_mut()).zip(c3.iter_mut()).zip(b_row)
+            {
+                *d0 += x0 * bv;
+                *d1 += x1 * bv;
+                *d2 += x2 * bv;
+                *d3 += x3 * bv;
+            }
+        }
+        r += 4;
+    }
+    // Leftover rows (< 4 in this block): same 4-k grouping as the main
+    // path, one row at a time — see the determinism invariant above.
+    for c_row in rows_iter {
+        let i = row0 + r;
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut kk = k0;
+        while k1 - kk >= 4 {
+            let b0 = &b[kk * n..kk * n + n];
+            let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+            let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+            let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+            let (x0, x1, x2, x3) = (a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]);
+            for j in 0..n {
+                c_row[j] += x0 * b0[j] + x1 * b1[j] + x2 * b2[j] + x3 * b3[j];
+            }
+            kk += 4;
+        }
+        for kk in kk..k1 {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let x = a_row[kk];
+            for (dst, &bv) in c_row.iter_mut().zip(b_row) {
+                *dst += x * bv;
+            }
+        }
+        r += 1;
+    }
+}
+
+/// `c[m,n] += a[m,k] @ b[n,k]^T` (`c[i,j] = Σ_k a[i,k]·b[j,k]`) with an
+/// explicit thread budget — the similarity-matrix workhorse.
+pub fn gemm_nt_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    par::par_chunks_mut(c, n, threads, |row0, block| {
+        for (r, c_row) in block.chunks_exact_mut(n).enumerate() {
+            let i = row0 + r;
+            let a_row = &a[i * k..(i + 1) * k];
+            for (j, dst) in c_row.iter_mut().enumerate() {
+                *dst += dot(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+    });
+}
+
+/// `c[k,n] += a[m,k]^T @ b[m,n]` (`c[p,q] = Σ_i a[i,p]·b[i,q]`) with an
+/// explicit thread budget. Workers own disjoint blocks of `c`'s rows (the
+/// `p` dimension) and sweep all of `a`/`b`, so each element accumulates in
+/// `i` order at every thread count.
+pub fn gemm_tn_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    if k == 0 || n == 0 {
+        return;
+    }
+    par::par_chunks_mut(c, n, threads, |p0, block| {
+        let prows = block.len() / n;
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let b_row = &b[i * n..(i + 1) * n];
+            let mut rows_iter = block.chunks_exact_mut(n);
+            let mut pp = 0usize;
+            while prows - pp >= 4 {
+                let c0 = rows_iter.next().unwrap();
+                let c1 = rows_iter.next().unwrap();
+                let c2 = rows_iter.next().unwrap();
+                let c3 = rows_iter.next().unwrap();
+                let p = p0 + pp;
+                let (x0, x1, x2, x3) = (a_row[p], a_row[p + 1], a_row[p + 2], a_row[p + 3]);
+                for ((((d0, d1), d2), d3), &bv) in c0
+                    .iter_mut()
+                    .zip(c1.iter_mut())
+                    .zip(c2.iter_mut())
+                    .zip(c3.iter_mut())
+                    .zip(b_row)
+                {
+                    *d0 += x0 * bv;
+                    *d1 += x1 * bv;
+                    *d2 += x2 * bv;
+                    *d3 += x3 * bv;
+                }
+                pp += 4;
+            }
+            for c_row in rows_iter {
+                let x = a_row[p0 + pp];
+                for (dst, &bv) in c_row.iter_mut().zip(b_row) {
+                    *dst += x * bv;
+                }
+                pp += 1;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook triple loop, the reference the kernels are checked against.
+    fn reference_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += (a[i * k + kk] as f64) * (b[kk * n + j] as f64);
+                }
+            }
+        }
+        c.into_iter().map(|x| x as f32).collect()
+    }
+
+    fn filled(len: usize, seed: u32) -> Vec<f32> {
+        // Small LCG so tests need no RNG dependency; values in [-2, 2).
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1 << 22) as f32 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemm_matches_reference_all_row_remainders() {
+        for m in [1usize, 2, 3, 4, 5, 7, 8, 9] {
+            let (k, n) = (6, 5);
+            let a = filled(m * k, 11);
+            let b = filled(k * n, 22);
+            let mut c = vec![0.0f32; m * n];
+            gemm_with_threads(&a, &b, &mut c, m, k, n, 1);
+            let want = reference_gemm(&a, &b, m, k, n);
+            for (x, y) in c.iter().zip(&want) {
+                assert!((x - y).abs() < 1e-4, "m={m}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_are_bit_identical_across_thread_counts() {
+        let (m, k, n) = (13, 9, 11);
+        let a = filled(m * k, 3);
+        let b = filled(k * n, 5);
+        let bt = filled(n * k, 7);
+        let b_tn = filled(m * n, 9);
+        for threads in [2usize, 3, 4, 8] {
+            let mut c1 = vec![0.0f32; m * n];
+            let mut cp = vec![0.0f32; m * n];
+            gemm_with_threads(&a, &b, &mut c1, m, k, n, 1);
+            gemm_with_threads(&a, &b, &mut cp, m, k, n, threads);
+            assert_eq!(c1, cp, "gemm threads={threads}");
+
+            let mut d1 = vec![0.0f32; m * n];
+            let mut dp = vec![0.0f32; m * n];
+            gemm_nt_with_threads(&a, &bt, &mut d1, m, k, n, 1);
+            gemm_nt_with_threads(&a, &bt, &mut dp, m, k, n, threads);
+            assert_eq!(d1, dp, "gemm_nt threads={threads}");
+
+            let mut e1 = vec![0.0f32; k * n];
+            let mut ep = vec![0.0f32; k * n];
+            gemm_tn_with_threads(&a, &b_tn, &mut e1, m, k, n, 1);
+            gemm_tn_with_threads(&a, &b_tn, &mut ep, m, k, n, threads);
+            assert_eq!(e1, ep, "gemm_tn threads={threads}");
+        }
+    }
+
+    #[test]
+    fn accumulate_semantics_preserved() {
+        // Kernels add into c rather than overwrite.
+        let (m, k, n) = (2, 3, 2);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![10.0f32; m * n];
+        gemm_with_threads(&a, &b, &mut c, m, k, n, 1);
+        assert_eq!(c, vec![13.0; 4]);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for len in 0..9 {
+            let a: Vec<f32> = (0..len).map(|i| i as f32 + 1.0).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 + 1.0) * 0.5).collect();
+            let want: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - want).abs() < 1e-4, "len={len}");
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_noops() {
+        let mut c = vec![0.0f32; 0];
+        gemm_with_threads(&[], &[], &mut c, 0, 4, 0, 4);
+        gemm_nt_with_threads(&[], &[], &mut c, 0, 4, 0, 4);
+        gemm_tn_with_threads(&[], &[], &mut c, 4, 0, 0, 4);
+    }
+}

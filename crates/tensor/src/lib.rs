@@ -21,6 +21,10 @@
 //!   `DESIGN.md` for the substitution argument.
 //! * Randomness always flows through caller-provided [`rand::Rng`] values so
 //!   every experiment in the workspace is reproducible from a seed.
+//! * Parallelism lives *below* autograd: the GEMM and large elementwise
+//!   kernels partition raw output slices over a scoped thread pool
+//!   ([`par`], thread count from `CEM_THREADS`), and each worker owns a
+//!   disjoint row block — results are bit-identical at every thread count.
 //!
 //! ```
 //! use cem_tensor::Tensor;
@@ -36,9 +40,11 @@ pub mod crc;
 pub mod grad;
 pub mod init;
 pub mod io;
+pub mod kernels;
 pub mod memory;
 pub mod ops;
 pub mod optim;
+pub mod par;
 pub mod shape;
 pub mod tensor;
 

@@ -1,7 +1,26 @@
 //! Elementwise arithmetic (same-shape binary ops, scalar ops, pointwise maps).
+//!
+//! Large buffers (≥ [`par::PAR_ELEMWISE_THRESHOLD`]) are partitioned over
+//! the scoped thread pool; each element is computed independently, so the
+//! parallel path is bit-identical to the serial one.
 
 use super::{out_grad, result};
+use crate::par;
 use crate::tensor::Tensor;
+
+/// `f` mapped over one slice, parallel above the size threshold.
+fn map1(a: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; a.len()];
+    par::map_into(a, &mut out, par::auto_threads(a.len()), f);
+    out
+}
+
+/// `f` zipped over two slices, parallel above the size threshold.
+fn map2(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; a.len()];
+    par::zip_into(a, b, &mut out, par::auto_threads(a.len()), f);
+    out
+}
 
 impl Tensor {
     fn assert_same_shape(&self, other: &Tensor, op: &str) {
@@ -16,8 +35,7 @@ impl Tensor {
     /// Elementwise `self + other` (same shape).
     pub fn add(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "add");
-        let data: Vec<f32> =
-            self.data().iter().zip(other.data().iter()).map(|(a, b)| a + b).collect();
+        let data = map2(&self.data(), &other.data(), |a, b| a + b);
         let (a, b) = (self.clone(), other.clone());
         result(data, *self.shape(), vec![self.clone(), other.clone()], "add", move |out| {
             let g = out_grad(out);
@@ -33,8 +51,7 @@ impl Tensor {
     /// Elementwise `self - other` (same shape).
     pub fn sub(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "sub");
-        let data: Vec<f32> =
-            self.data().iter().zip(other.data().iter()).map(|(a, b)| a - b).collect();
+        let data = map2(&self.data(), &other.data(), |a, b| a - b);
         let (a, b) = (self.clone(), other.clone());
         result(data, *self.shape(), vec![self.clone(), other.clone()], "sub", move |out| {
             let g = out_grad(out);
@@ -42,8 +59,7 @@ impl Tensor {
                 a.accumulate_grad(&g);
             }
             if b.tracks_grad() {
-                let neg: Vec<f32> = g.iter().map(|x| -x).collect();
-                b.accumulate_grad(&neg);
+                b.accumulate_grad(&map1(&g, |x| -x));
             }
         })
     }
@@ -51,18 +67,15 @@ impl Tensor {
     /// Elementwise `self ⊙ other` (same shape).
     pub fn mul(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "mul");
-        let data: Vec<f32> =
-            self.data().iter().zip(other.data().iter()).map(|(a, b)| a * b).collect();
+        let data = map2(&self.data(), &other.data(), |a, b| a * b);
         let (a, b) = (self.clone(), other.clone());
         result(data, *self.shape(), vec![self.clone(), other.clone()], "mul", move |out| {
             let g = out_grad(out);
             if a.tracks_grad() {
-                let da: Vec<f32> = g.iter().zip(b.data().iter()).map(|(g, b)| g * b).collect();
-                a.accumulate_grad(&da);
+                a.accumulate_grad(&map2(&g, &b.data(), |g, b| g * b));
             }
             if b.tracks_grad() {
-                let db: Vec<f32> = g.iter().zip(a.data().iter()).map(|(g, a)| g * a).collect();
-                b.accumulate_grad(&db);
+                b.accumulate_grad(&map2(&g, &a.data(), |g, a| g * a));
             }
         })
     }
@@ -70,22 +83,16 @@ impl Tensor {
     /// Elementwise `self / other` (same shape).
     pub fn div(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "div");
-        let data: Vec<f32> =
-            self.data().iter().zip(other.data().iter()).map(|(a, b)| a / b).collect();
+        let data = map2(&self.data(), &other.data(), |a, b| a / b);
         let (a, b) = (self.clone(), other.clone());
         result(data, *self.shape(), vec![self.clone(), other.clone()], "div", move |out| {
             let g = out_grad(out);
             if a.tracks_grad() {
-                let da: Vec<f32> = g.iter().zip(b.data().iter()).map(|(g, b)| g / b).collect();
-                a.accumulate_grad(&da);
+                a.accumulate_grad(&map2(&g, &b.data(), |g, b| g / b));
             }
             if b.tracks_grad() {
-                let db: Vec<f32> = g
-                    .iter()
-                    .zip(a.data().iter().zip(b.data().iter()))
-                    .map(|(g, (a, b))| -g * a / (b * b))
-                    .collect();
-                b.accumulate_grad(&db);
+                let gq = map2(&g, &a.data(), |g, a| -g * a);
+                b.accumulate_grad(&map2(&gq, &b.data(), |gq, b| gq / (b * b)));
             }
         })
     }
@@ -97,7 +104,7 @@ impl Tensor {
 
     /// `self + c` for scalar `c`.
     pub fn add_scalar(&self, c: f32) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|a| a + c).collect();
+        let data = map1(&self.data(), |a| a + c);
         let a = self.clone();
         result(data, *self.shape(), vec![self.clone()], "add_scalar", move |out| {
             if a.tracks_grad() {
@@ -108,54 +115,52 @@ impl Tensor {
 
     /// `self * c` for scalar `c`.
     pub fn mul_scalar(&self, c: f32) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|a| a * c).collect();
+        let data = map1(&self.data(), |a| a * c);
         let a = self.clone();
         result(data, *self.shape(), vec![self.clone()], "mul_scalar", move |out| {
             if a.tracks_grad() {
-                let g: Vec<f32> = out_grad(out).iter().map(|g| g * c).collect();
-                a.accumulate_grad(&g);
+                a.accumulate_grad(&map1(&out_grad(out), |g| g * c));
             }
         })
     }
 
     /// Elementwise `exp`.
     pub fn exp(&self) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|a| a.exp()).collect();
+        let data = map1(&self.data(), |a| a.exp());
         let a = self.clone();
         let saved = data.clone();
         result(data, *self.shape(), vec![self.clone()], "exp", move |out| {
             if a.tracks_grad() {
-                let g: Vec<f32> = out_grad(out).iter().zip(&saved).map(|(g, y)| g * y).collect();
-                a.accumulate_grad(&g);
+                a.accumulate_grad(&map2(&out_grad(out), &saved, |g, y| g * y));
             }
         })
     }
 
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&self) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|a| a.ln()).collect();
+        let data = map1(&self.data(), |a| a.ln());
         let a = self.clone();
         result(data, *self.shape(), vec![self.clone()], "ln", move |out| {
             if a.tracks_grad() {
-                let g: Vec<f32> =
-                    out_grad(out).iter().zip(a.data().iter()).map(|(g, x)| g / x).collect();
-                a.accumulate_grad(&g);
+                a.accumulate_grad(&map2(&out_grad(out), &a.data(), |g, x| g / x));
             }
         })
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|a| a.sqrt()).collect();
+        let data = map1(&self.data(), |a| a.sqrt());
         let a = self.clone();
         let saved = data.clone();
         result(data, *self.shape(), vec![self.clone()], "sqrt", move |out| {
             if a.tracks_grad() {
-                let g: Vec<f32> = out_grad(out)
-                    .iter()
-                    .zip(&saved)
-                    .map(|(g, y)| if *y > 0.0 { g / (2.0 * y) } else { 0.0 })
-                    .collect();
+                let g = map2(&out_grad(out), &saved, |g, y| {
+                    if y > 0.0 {
+                        g / (2.0 * y)
+                    } else {
+                        0.0
+                    }
+                });
                 a.accumulate_grad(&g);
             }
         })
@@ -168,23 +173,19 @@ impl Tensor {
 
     /// Elementwise absolute value (subgradient 0 at the kink).
     pub fn abs(&self) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|a| a.abs()).collect();
+        let data = map1(&self.data(), |a| a.abs());
         let a = self.clone();
         result(data, *self.shape(), vec![self.clone()], "abs", move |out| {
             if a.tracks_grad() {
-                let g: Vec<f32> = out_grad(out)
-                    .iter()
-                    .zip(a.data().iter())
-                    .map(|(g, x)| {
-                        if *x > 0.0 {
-                            *g
-                        } else if *x < 0.0 {
-                            -*g
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect();
+                let g = map2(&out_grad(out), &a.data(), |g, x| {
+                    if x > 0.0 {
+                        g
+                    } else if x < 0.0 {
+                        -g
+                    } else {
+                        0.0
+                    }
+                });
                 a.accumulate_grad(&g);
             }
         })
@@ -193,15 +194,17 @@ impl Tensor {
     /// Elementwise clamp into `[lo, hi]` (zero gradient outside the range).
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         assert!(lo <= hi, "clamp: lo > hi");
-        let data: Vec<f32> = self.data().iter().map(|a| a.clamp(lo, hi)).collect();
+        let data = map1(&self.data(), |a| a.clamp(lo, hi));
         let a = self.clone();
         result(data, *self.shape(), vec![self.clone()], "clamp", move |out| {
             if a.tracks_grad() {
-                let g: Vec<f32> = out_grad(out)
-                    .iter()
-                    .zip(a.data().iter())
-                    .map(|(g, x)| if *x >= lo && *x <= hi { *g } else { 0.0 })
-                    .collect();
+                let g = map2(&out_grad(out), &a.data(), |g, x| {
+                    if x >= lo && x <= hi {
+                        g
+                    } else {
+                        0.0
+                    }
+                });
                 a.accumulate_grad(&g);
             }
         })

@@ -1,72 +1,15 @@
 //! Matrix multiplication and transposition.
 //!
-//! Kernels are naive but cache-aware (ikj loop order so the inner loop
-//! streams contiguous rows of the right operand). The workspace's models are
-//! small (d_model ≤ 128), so these kernels dominate neither correctness nor
-//! the paper's relative-efficiency claims.
+//! The compute lives in [`crate::kernels`]: blocked, register-tiled GEMM
+//! kernels whose output rows are partitioned over the scoped thread pool
+//! ([`crate::par`]). Forward passes and backward closures route through the
+//! same three accumulate kernels, so gradients get the same tiling and the
+//! same thread-count-independent, bit-identical results.
 
 use super::{out_grad, result};
+use crate::kernels::{gemm as gemm_acc, gemm_nt as gemm_nt_acc, gemm_tn as gemm_tn_acc};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-
-/// `c[m,n] += a[m,k] @ b[k,n]` with ikj ordering.
-fn gemm_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let c_row = &mut c[i * n..(i + 1) * n];
-        for (kk, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aik * *bv;
-            }
-        }
-    }
-}
-
-/// `c[m,n] += a[m,k] @ b[n,k]^T` (right operand stored row-major by rows of
-/// its *transpose*), i.e. `c[i,j] = Σ_k a[i,k]·b[j,k]`.
-fn gemm_nt_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (x, y) in a_row.iter().zip(b_row) {
-                acc += x * y;
-            }
-            c[i * n + j] += acc;
-        }
-    }
-}
-
-/// `c[k,n] += a[m,k]^T @ b[m,n]`, i.e. `c[p,q] = Σ_i a[i,p]·b[i,q]`.
-fn gemm_tn_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), m * n);
-    debug_assert_eq!(c.len(), k * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let b_row = &b[i * n..(i + 1) * n];
-        for (p, &aip) in a_row.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let c_row = &mut c[p * n..(p + 1) * n];
-            for (cv, bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aip * *bv;
-            }
-        }
-    }
-}
 
 impl Tensor {
     /// Matrix product `self[m,k] @ other[k,n] -> [m,n]`. Rank-1 left

@@ -1,6 +1,13 @@
 //! Reductions: sums, means, row/column reductions, max.
+//!
+//! Per-row reductions (each output element reads a disjoint input row) are
+//! parallelised above [`par::PAR_ELEMWISE_THRESHOLD`]. Global reductions
+//! (`sum`, `sum_axis0`) stay serial: splitting them would change the f32
+//! accumulation order and break the bit-identical-at-any-thread-count
+//! guarantee.
 
 use super::{out_grad, result};
+use crate::par;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -28,19 +35,28 @@ impl Tensor {
     pub fn sum_rows(&self) -> Tensor {
         let d = self.shape().last_dim();
         let rows = self.shape().leading();
-        let src = self.data();
-        let data: Vec<f32> =
-            (0..rows).map(|r| src[r * d..(r + 1) * d].iter().sum()).collect();
-        drop(src);
+        let src_ref = self.data();
+        let src: &[f32] = &src_ref;
+        let mut data = vec![0.0f32; rows];
+        par::par_chunks_mut(&mut data, 1, par::auto_threads(rows * d), |start, block| {
+            for (i, dst) in block.iter_mut().enumerate() {
+                let r = start + i;
+                *dst = src[r * d..(r + 1) * d].iter().sum();
+            }
+        });
+        drop(src_ref);
         let a = self.clone();
         result(data, Shape::new(&[rows]), vec![self.clone()], "sum_rows", move |out| {
             if a.tracks_grad() {
-                let g = out_grad(out);
+                let g_vec = out_grad(out);
+                let g: &[f32] = &g_vec;
                 let mut da = vec![0.0f32; rows * d];
-                for r in 0..rows {
-                    for v in da[r * d..(r + 1) * d].iter_mut() {
-                        *v = g[r];
-                    }
+                if d > 0 {
+                    par::par_chunks_mut(&mut da, d, par::auto_threads(rows * d), |start, block| {
+                        for (i, row) in block.chunks_exact_mut(d).enumerate() {
+                            row.fill(g[start + i]);
+                        }
+                    });
                 }
                 a.accumulate_grad(&da);
             }

@@ -1,0 +1,242 @@
+//! `cem-par`: scoped-thread data parallelism *below* autograd.
+//!
+//! [`Tensor`](crate::Tensor) is `Rc<RefCell<…>>` and therefore neither
+//! `Send` nor `Sync`, so parallelism cannot live at the op-graph level.
+//! Instead, kernels first extract raw `&[f32]` / `&mut [f32]` slices (plain
+//! slices are `Sync`/`Send`) and fan the *output rows* out over a scoped
+//! thread pool ([`std::thread::scope`] — no external dependency, no
+//! long-lived worker state). Each worker owns a disjoint, contiguous block
+//! of output rows and runs exactly the serial per-row code, so:
+//!
+//! * no two threads ever write the same element (no atomics, no locks on
+//!   the hot path), and
+//! * every output element is produced by the *same* sequence of f32
+//!   operations regardless of the thread count — results are
+//!   **bit-identical** to the serial path, which preserves the bit-faithful
+//!   checkpoint/resume guarantee of the resilience layer.
+//!
+//! Thread count resolution order: [`set_threads`]/[`ThreadsGuard`] override
+//! → `CEM_THREADS` environment variable → [`std::thread::available_parallelism`].
+//! A resolved count of `1` short-circuits into the exact serial code path
+//! (the partition closure is invoked once, on the calling thread, over the
+//! whole buffer).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic thread-count override; `0` means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `CEM_THREADS` parsed once per process (`0` = unset/invalid).
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("CEM_THREADS").ok().and_then(|v| v.trim().parse::<usize>().ok()).unwrap_or(0)
+    })
+}
+
+/// The thread budget kernels may use for sufficiently large work.
+pub fn max_threads() -> usize {
+    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if overridden > 0 {
+        return overridden;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Set the process-wide thread budget (`0` clears the override, falling
+/// back to `CEM_THREADS` / `available_parallelism`).
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// RAII thread-budget override used by `TrainOptions::threads`: restores
+/// the previous override on drop.
+pub struct ThreadsGuard {
+    previous: usize,
+}
+
+impl ThreadsGuard {
+    pub fn new(threads: usize) -> Self {
+        ThreadsGuard { previous: THREAD_OVERRIDE.swap(threads, Ordering::Relaxed) }
+    }
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.previous, Ordering::Relaxed);
+    }
+}
+
+/// Elementwise ops smaller than this stay serial: a thread spawn costs tens
+/// of microseconds, which only amortises once a buffer spans many cache
+/// lines' worth of work.
+pub const PAR_ELEMWISE_THRESHOLD: usize = 32 * 1024;
+
+/// GEMM work (`m·k·n` multiply-adds) below which the serial kernel wins.
+pub const PAR_GEMM_THRESHOLD: usize = 1 << 21;
+
+/// Thread budget for an elementwise/reduce op over `numel` elements.
+pub fn auto_threads(numel: usize) -> usize {
+    if numel < PAR_ELEMWISE_THRESHOLD {
+        1
+    } else {
+        max_threads()
+    }
+}
+
+/// Thread budget for a GEMM of `m·k·n` multiply-adds.
+pub fn auto_threads_gemm(work: usize) -> usize {
+    if work < PAR_GEMM_THRESHOLD {
+        1
+    } else {
+        max_threads()
+    }
+}
+
+/// Row-partition primitive: split `data` into contiguous blocks of whole
+/// `chunk_len`-element chunks, one block per worker, and call
+/// `f(first_chunk_index, block)` on each. `data.len()` must be a multiple
+/// of `chunk_len`. With an effective thread count of 1 the closure runs
+/// once on the calling thread over the entire buffer — the exact serial
+/// code path.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    assert_eq!(data.len() % chunk_len, 0, "par_chunks_mut: data not a whole number of chunks");
+    let chunks = data.len() / chunk_len;
+    let threads = threads.min(chunks).max(1);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let per_block = chunks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest: &mut [T] = data;
+        let mut first_chunk = 0usize;
+        while rest.len() > per_block * chunk_len {
+            let (block, tail) = std::mem::take(&mut rest).split_at_mut(per_block * chunk_len);
+            rest = tail;
+            let start = first_chunk;
+            scope.spawn(move || f(start, block));
+            first_chunk += per_block;
+        }
+        // The final block runs on the calling thread; scope joins the rest.
+        f(first_chunk, rest);
+    });
+}
+
+/// Parallel unary map `out[i] = f(src[i])`.
+pub fn map_into(src: &[f32], out: &mut [f32], threads: usize, f: impl Fn(f32) -> f32 + Sync) {
+    assert_eq!(src.len(), out.len(), "map_into: length mismatch");
+    par_chunks_mut(out, 1, threads, |start, block| {
+        let end = start + block.len();
+        for (dst, &x) in block.iter_mut().zip(&src[start..end]) {
+            *dst = f(x);
+        }
+    });
+}
+
+/// Parallel binary map `out[i] = f(a[i], b[i])`.
+pub fn zip_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    threads: usize,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "zip_into: operand length mismatch");
+    assert_eq!(a.len(), out.len(), "zip_into: output length mismatch");
+    par_chunks_mut(out, 1, threads, |start, block| {
+        let end = start + block.len();
+        for ((dst, &x), &y) in block.iter_mut().zip(&a[start..end]).zip(&b[start..end]) {
+            *dst = f(x, y);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_cover_all_chunks_exactly_once() {
+        for threads in [1, 2, 3, 4, 7] {
+            let mut data = vec![0u32; 6 * 5];
+            par_chunks_mut(&mut data, 5, threads, |first, block| {
+                for (c, chunk) in block.chunks_exact_mut(5).enumerate() {
+                    for v in chunk.iter_mut() {
+                        *v += (first + c) as u32 + 1;
+                    }
+                }
+            });
+            let want: Vec<u32> =
+                (0..6).flat_map(|c| std::iter::repeat_n(c as u32 + 1, 5)).collect();
+            assert_eq!(data, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_chunks_is_fine() {
+        let mut data = vec![0.0f32; 3];
+        par_chunks_mut(&mut data, 1, 16, |start, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = (start + i) as f32;
+            }
+        });
+        assert_eq!(data, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn maps_match_serial() {
+        // Keep exp() finite: sin(inf) is NaN and NaN != NaN would mask the
+        // bit-identity this test is about.
+        let src: Vec<f32> = (0..1000).map(|i| i as f32 * 0.02 - 10.0).collect();
+        let mut serial = vec![0.0f32; src.len()];
+        let mut parallel = vec![0.0f32; src.len()];
+        map_into(&src, &mut serial, 1, |x| x.exp().sin());
+        map_into(&src, &mut parallel, 4, |x| x.exp().sin());
+        assert_eq!(serial, parallel);
+
+        let b: Vec<f32> = (0..1000).map(|i| (i % 17) as f32 + 0.5).collect();
+        let mut zs = vec![0.0f32; src.len()];
+        let mut zp = vec![0.0f32; src.len()];
+        zip_into(&src, &b, &mut zs, 1, |x, y| x / y);
+        zip_into(&src, &b, &mut zp, 3, |x, y| x / y);
+        assert_eq!(zs, zp);
+    }
+
+    #[test]
+    fn threads_guard_restores_previous_override() {
+        // Serial (tests may run concurrently, but the override is only
+        // observed through max_threads, which this test scopes tightly).
+        let before = THREAD_OVERRIDE.load(Ordering::Relaxed);
+        {
+            let _g = ThreadsGuard::new(3);
+            assert_eq!(max_threads(), 3);
+            {
+                let _inner = ThreadsGuard::new(5);
+                assert_eq!(max_threads(), 5);
+            }
+            assert_eq!(max_threads(), 3);
+        }
+        assert_eq!(THREAD_OVERRIDE.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn auto_thread_policy_respects_thresholds() {
+        let _g = ThreadsGuard::new(8);
+        assert_eq!(auto_threads(10), 1);
+        assert_eq!(auto_threads(PAR_ELEMWISE_THRESHOLD), 8);
+        assert_eq!(auto_threads_gemm(10), 1);
+        assert_eq!(auto_threads_gemm(PAR_GEMM_THRESHOLD), 8);
+    }
+}

@@ -54,7 +54,7 @@ fn crossem_run<'h>(
     let matcher =
         CrossEm::new(&bundle.clip, &bundle.tokenizer, &bundle.dataset, train_config(), &mut rng);
     let report = matcher
-        .train_with_options(&mut rng, TrainOptions { checkpoints: Some(manager), injector })
+        .train_with_options(&mut rng, TrainOptions { checkpoints: Some(manager), injector, ..Default::default() })
         .expect("resume must succeed");
     let params = matcher.trainable_params().iter().map(|p| p.to_vec()).collect();
     let mrr = matcher.evaluate().mrr;
@@ -112,7 +112,7 @@ fn plus_trainer_crash_resume_is_bit_faithful() {
             &mut rng,
         );
         let report = trainer
-            .train_with_options(&mut rng, TrainOptions { checkpoints: Some(manager), injector })
+            .train_with_options(&mut rng, TrainOptions { checkpoints: Some(manager), injector, ..Default::default() })
             .expect("resume must succeed");
         let params =
             trainer.base().trainable_params().iter().map(|p| p.to_vec()).collect();
@@ -148,7 +148,7 @@ fn nan_injection_triggers_rollback_and_run_stays_healthy() {
     let report = matcher
         .train_with_options(
             &mut rng,
-            TrainOptions { checkpoints: None, injector: Some(&mut poisoner) },
+            TrainOptions { checkpoints: None, injector: Some(&mut poisoner), ..Default::default() },
         )
         .unwrap();
     assert_eq!(poisoner.poisoned, 1);
@@ -234,7 +234,7 @@ fn resume_with_wrong_config_is_a_typed_error() {
     let err = matcher
         .train_with_options(
             &mut rng,
-            TrainOptions { checkpoints: Some(&manager), injector: None },
+            TrainOptions { checkpoints: Some(&manager), injector: None, ..Default::default() },
         )
         .expect_err("mismatched config must not resume");
     assert!(matches!(err, ResumeError::FingerprintMismatch { .. }), "{err}");
