@@ -1,0 +1,298 @@
+//! Validate a telemetry JSONL stream and print the run's per-phase
+//! time/throughput breakdown.
+//!
+//! ```text
+//! obs_report <run.jsonl>                 validate + report an existing stream
+//! obs_report --drill <out.jsonl>         run a short instrumented CrossEM +
+//!                                        CrossEM⁺ training writing <out.jsonl>,
+//!                                        then report it
+//! obs_report --min-coverage 0.9 <file>   additionally fail unless the leaf
+//!                                        spans explain ≥ 90% of wall time
+//! ```
+//!
+//! Validation (any failure exits non-zero): every line parses as a flat
+//! JSON object with a `type`, the first line is the `run_manifest`, at
+//! least one `epoch_end` is present. A final unparseable line in a file
+//! not ending in a newline is reported as a crash truncation (warning, not
+//! an error). The breakdown sums only the *disjoint leaf* span families
+//! (`phase.*`, `prep.*`, `setup.*`, `pretrain.*`, `checkpoint.*`), so the
+//! coverage figure never double-counts nested drill-down spans.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use cem_bench::{default_plus, prepare, HarnessConfig};
+use cem_obs::{Object, ObsSession, RunManifest, Value};
+use crossem::checkpoint::config_fingerprint;
+use crossem::plus::CrossEmPlus;
+use crossem::{CrossEm, PromptKind, TrainOptions};
+
+/// Span-name prefixes treated as disjoint leaves of the wall-time
+/// breakdown. Nested drill-down spans (anything else, e.g. `kmeans.run`)
+/// are reported but excluded from the coverage sum.
+const LEAF_FAMILIES: [&str; 5] = ["phase.", "prep.", "setup.", "pretrain.", "checkpoint."];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut drill = false;
+    let mut min_coverage: Option<f64> = None;
+    let mut path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--drill" => drill = true,
+            "--min-coverage" => match iter.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => min_coverage = Some(v),
+                None => return usage("--min-coverage needs a fraction in [0,1]"),
+            },
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_string()),
+            other => return usage(&format!("unrecognised argument {other:?}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing JSONL path");
+    };
+
+    if drill {
+        if let Err(e) = run_drill(Path::new(&path)) {
+            eprintln!("obs_report: drill failed: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    match report(Path::new(&path), min_coverage) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("obs_report: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("obs_report: {problem}");
+    eprintln!("usage: obs_report [--drill] [--min-coverage FRAC] <run.jsonl>");
+    ExitCode::from(2)
+}
+
+/// Run a short instrumented CrossEM + CrossEM⁺ training, writing its
+/// telemetry to `path`. The session begins *after* dataset generation and
+/// CLIP pre-training so the stream describes prompt tuning, the part the
+/// span taxonomy covers end-to-end.
+fn run_drill(path: &Path) -> std::io::Result<()> {
+    let config = HarnessConfig::quick();
+    let prepared = prepare(cem_data::DatasetKind::Cub, &config);
+    let bundle = &prepared.bundle;
+    let dataset = &bundle.dataset;
+
+    let train_config = prepared.train_config(PromptKind::Hard, config.em_epochs);
+    let manifest = RunManifest::new("obs_drill")
+        .seed(config.seed)
+        .config_fingerprint(config_fingerprint(&train_config))
+        .threads(cem_tensor::par::max_threads())
+        .dataset(dataset.name.clone(), dataset.entity_count(), dataset.image_count());
+    let session = ObsSession::begin(path, &manifest)?;
+
+    // CrossEM with the hard structure-aware prompt.
+    prepared.reset_clip();
+    let mut rng = bundle.stage_rng(11 + PromptKind::Hard as u64);
+    let matcher =
+        CrossEm::new(&bundle.clip, &bundle.tokenizer, dataset, train_config, &mut rng);
+    let report = matcher
+        .train_with_options(&mut rng, TrainOptions { obs: Some(&session), ..Default::default() })
+        .expect("no checkpoints: resume cannot fail");
+    let metrics = matcher.evaluate();
+
+    // CrossEM⁺ with every optimisation on, in the same stream.
+    prepared.reset_clip();
+    let mut rng = bundle.stage_rng(31);
+    let plus_config = prepared.train_config(PromptKind::Soft, config.em_epochs);
+    let trainer = CrossEmPlus::new(
+        &bundle.clip,
+        &bundle.tokenizer,
+        dataset,
+        plus_config,
+        default_plus(),
+        &mut rng,
+    );
+    let plus_report = trainer
+        .train_with_options(&mut rng, TrainOptions { obs: Some(&session), ..Default::default() })
+        .expect("no checkpoints: resume cannot fail");
+    let plus_metrics = trainer.evaluate();
+
+    session.finish(&[
+        ("crossem_final_loss", Value::Num(report.final_loss().unwrap_or(f32::NAN) as f64)),
+        ("crossem_mrr", Value::Num(metrics.mrr as f64)),
+        (
+            "plus_final_loss",
+            Value::Num(plus_report.train.final_loss().unwrap_or(f32::NAN) as f64),
+        ),
+        ("plus_mrr", Value::Num(plus_metrics.mrr as f64)),
+    ]);
+    Ok(())
+}
+
+struct SpanRow {
+    name: String,
+    calls: f64,
+    total_s: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Parse, validate, and print the breakdown. Returns `Err(message)` on any
+/// validation failure.
+fn report(path: &Path, min_coverage: Option<f64>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let ends_with_newline = text.ends_with('\n');
+    let raw_lines: Vec<&str> = text.lines().collect();
+    if raw_lines.is_empty() {
+        return Err("empty event stream".into());
+    }
+
+    let mut events: Vec<Object> = Vec::with_capacity(raw_lines.len());
+    let mut truncated_tail = false;
+    for (i, line) in raw_lines.iter().enumerate() {
+        match Object::parse(line) {
+            Ok(event) => {
+                if event.str("type").is_none() {
+                    return Err(format!("line {}: event without a type", i + 1));
+                }
+                events.push(event);
+            }
+            Err(e) if i + 1 == raw_lines.len() && !ends_with_newline => {
+                // A crash mid-write leaves exactly one torn final line.
+                truncated_tail = true;
+                eprintln!("warning: final line truncated mid-write (crashed run?): {e}");
+            }
+            Err(e) => return Err(format!("line {}: invalid event: {e}", i + 1)),
+        }
+    }
+
+    let manifest = events.first().filter(|e| e.str("type") == Some("run_manifest"));
+    let Some(manifest) = manifest else {
+        return Err("first line is not a run_manifest".into());
+    };
+
+    let epoch_ends: Vec<&Object> =
+        events.iter().filter(|e| e.str("type") == Some("epoch_end")).collect();
+    if epoch_ends.is_empty() {
+        return Err("no epoch_end event: the run never finished an epoch".into());
+    }
+    let run_end = events.iter().rev().find(|e| e.str("type") == Some("run_end"));
+
+    println!("== run ==");
+    println!(
+        "run={} threads={} version={} dataset={} ({} entities, {} images)",
+        manifest.str("run").unwrap_or("?"),
+        manifest.num("threads").unwrap_or(0.0),
+        manifest.str("version").unwrap_or("?"),
+        manifest.str("dataset").unwrap_or("-"),
+        manifest.num("entities").unwrap_or(0.0),
+        manifest.num("images").unwrap_or(0.0),
+    );
+    println!("events={} epochs_completed={}", events.len(), epoch_ends.len());
+
+    let total_batches: f64 = epoch_ends.iter().filter_map(|e| e.num("batches")).sum();
+    let train_seconds: f64 = epoch_ends.iter().filter_map(|e| e.num("seconds")).sum();
+    if train_seconds > 0.0 {
+        println!(
+            "throughput: {total_batches} batches over {train_seconds:.2}s training ({:.1} batches/s)",
+            total_batches / train_seconds
+        );
+    }
+    if let Some(loss) = epoch_ends.last().and_then(|e| e.num("mean_loss")) {
+        println!("final mean_loss: {loss}");
+    }
+
+    let mut spans: Vec<SpanRow> = events
+        .iter()
+        .filter(|e| e.str("type") == Some("span_summary"))
+        .map(|e| SpanRow {
+            name: e.str("span").unwrap_or("?").to_string(),
+            calls: e.num("calls").unwrap_or(0.0),
+            total_s: e.num("total_s").unwrap_or(0.0),
+            mean_ms: e.num("mean_ms").unwrap_or(0.0),
+            p50_ms: e.num("p50_ms").unwrap_or(0.0),
+            p99_ms: e.num("p99_ms").unwrap_or(0.0),
+        })
+        .collect();
+    spans.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+
+    let wall = run_end.and_then(|e| e.num("wall_seconds"));
+    println!("\n== phases ==");
+    println!(
+        "{:<22} {:>8} {:>10} {:>10} {:>10} {:>10} {:>7}",
+        "span", "calls", "total_s", "mean_ms", "p50_ms", "p99_ms", "% wall"
+    );
+    let mut leaf_total = 0.0f64;
+    for row in &spans {
+        let is_leaf = LEAF_FAMILIES.iter().any(|f| row.name.starts_with(f));
+        if is_leaf {
+            leaf_total += row.total_s;
+        }
+        let share = wall
+            .filter(|w| *w > 0.0)
+            .map_or("-".to_string(), |w| format!("{:.1}%", 100.0 * row.total_s / w));
+        println!(
+            "{:<22} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>7}{}",
+            row.name,
+            row.calls,
+            row.total_s,
+            row.mean_ms,
+            row.p50_ms,
+            row.p99_ms,
+            share,
+            if is_leaf { "" } else { "  (nested)" },
+        );
+    }
+
+    let counters: Vec<(&str, f64)> = events
+        .iter()
+        .filter(|e| e.str("type") == Some("counter_summary"))
+        .filter_map(|e| {
+            let value = e.num("value").or_else(|| {
+                e.str("value").and_then(|s| s.parse::<f64>().ok())
+            })?;
+            Some((e.str("counter")?, value))
+        })
+        .collect();
+    if !counters.is_empty() {
+        println!("\n== counters ==");
+        for (name, value) in &counters {
+            println!("{name:<32} {value}");
+        }
+    }
+
+    match wall {
+        Some(wall) if wall > 0.0 => {
+            let coverage = leaf_total / wall;
+            println!(
+                "\ncoverage: leaf spans explain {:.1}% of {:.2}s wall time",
+                coverage * 100.0,
+                wall
+            );
+            if let Some(min) = min_coverage {
+                if coverage < min {
+                    return Err(format!(
+                        "coverage {:.1}% below the required {:.1}%",
+                        coverage * 100.0,
+                        min * 100.0
+                    ));
+                }
+            }
+        }
+        _ => {
+            eprintln!("warning: no run_end/wall_seconds (crashed run?); coverage not computed");
+            if min_coverage.is_some() {
+                return Err("cannot enforce --min-coverage without a run_end event".into());
+            }
+        }
+    }
+
+    if truncated_tail {
+        println!("\nnote: stream ends in a truncated line — treat tail metrics as partial");
+    }
+    Ok(())
+}

@@ -175,6 +175,12 @@ fn main() {
     let quick = smoke || std::env::args().any(|a| a == "--quick");
     let gemm_sizes: &[usize] = if smoke { &[64, 128] } else { &[128, 256, 512] };
 
+    // Registry counters (cache hit/miss/evict, GEMM dispatch decisions)
+    // ride along in BENCH_perf.json. Counters are observational only, so
+    // the bit-identity verdicts below are unaffected.
+    let _obs = cem_obs::force_enable();
+    let obs_baseline = cem_obs::global().snapshot();
+
     // ---------------------------------------------------------------
     // Section 1: GEMM kernels.
     // ---------------------------------------------------------------
@@ -250,6 +256,20 @@ fn main() {
     // ---------------------------------------------------------------
     // Summary + BENCH_perf.json
     // ---------------------------------------------------------------
+    let obs = cem_obs::global().snapshot().delta_since(&obs_baseline);
+    let counter = |name: &str| obs.counter(name).unwrap_or(0);
+    eprintln!(
+        "[perf obs] gemm dispatch blocked={} serial={}, cache features {}h/{}m \
+         proximity {}h/{}m evict={}",
+        counter("gemm.dispatch.blocked_parallel"),
+        counter("gemm.dispatch.serial_fallback"),
+        counter("cache.features.hit"),
+        counter("cache.features.miss"),
+        counter("cache.proximity.hit"),
+        counter("cache.proximity.miss"),
+        counter("cache.evict"),
+    );
+
     let all_pass = gemm_identical && prox_identical && cache_consistent && em_identical && plus_identical;
     println!(
         "\nperf drill: blocked GEMM {gemm_speedup:.2}x vs naive at {}³, cache hit {:.0}x \
@@ -300,6 +320,23 @@ fn main() {
     let _ = writeln!(json, "  \"crossem_plus_epoch_t2_s\": {:.4},", plus_runs[1].seconds);
     let _ = writeln!(json, "  \"crossem_plus_epoch_t4_s\": {:.4},", plus_runs[2].seconds);
     let _ = writeln!(json, "  \"crossem_plus_bit_identical\": {plus_identical},");
+    let _ = writeln!(json, "  \"obs_counters\": {{");
+    let _ = writeln!(
+        json,
+        "    \"gemm_dispatch_blocked_parallel\": {},",
+        counter("gemm.dispatch.blocked_parallel")
+    );
+    let _ = writeln!(
+        json,
+        "    \"gemm_dispatch_serial_fallback\": {},",
+        counter("gemm.dispatch.serial_fallback")
+    );
+    let _ = writeln!(json, "    \"cache_features_hit\": {},", counter("cache.features.hit"));
+    let _ = writeln!(json, "    \"cache_features_miss\": {},", counter("cache.features.miss"));
+    let _ = writeln!(json, "    \"cache_proximity_hit\": {},", counter("cache.proximity.hit"));
+    let _ = writeln!(json, "    \"cache_proximity_miss\": {},", counter("cache.proximity.miss"));
+    let _ = writeln!(json, "    \"cache_evict\": {}", counter("cache.evict"));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"all_pass\": {all_pass}");
     json.push_str("}\n");
     std::fs::write("BENCH_perf.json", &json).expect("write BENCH_perf.json");

@@ -8,6 +8,7 @@
 //! point.
 
 use cem_nn::Module;
+use cem_obs::{cem_debug, cem_info};
 use cem_tensor::optim::{AdamW, Optimizer};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -64,7 +65,12 @@ pub fn pretrain<R: Rng>(
     let mut epoch_losses = Vec::with_capacity(config.epochs);
     let mut steps = 0usize;
 
-    for _epoch in 0..config.epochs {
+    cem_info!(
+        "pre-training: {} epochs over {} pairs (batch {batch_size})",
+        config.epochs,
+        pairs.len()
+    );
+    for epoch in 0..config.epochs {
         indices.shuffle(rng);
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
@@ -72,6 +78,7 @@ pub fn pretrain<R: Rng>(
             if chunk.len() < 2 {
                 continue;
             }
+            cem_obs::span!("pretrain.batch");
             let texts: Vec<Vec<usize>> = chunk.iter().map(|&i| pairs[i].0.clone()).collect();
             let images: Vec<&Image> = chunk.iter().map(|&i| &pairs[i].1).collect();
             let text_emb = clip.encode_texts(&texts);
@@ -85,7 +92,9 @@ pub fn pretrain<R: Rng>(
             opt.step();
             steps += 1;
         }
-        epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { f32::NAN });
+        let mean = if batches > 0 { epoch_loss / batches as f32 } else { f32::NAN };
+        cem_debug!("pre-train epoch {epoch}: mean_loss={mean} batches={batches}");
+        epoch_losses.push(mean);
     }
 
     PretrainReport { epoch_losses, steps }

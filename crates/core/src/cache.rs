@@ -66,9 +66,11 @@ impl FeatureCache {
         let key = fingerprint(clip, dataset);
         if let Some(found) = self.features.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
+            record_lookup("features", "hit");
             return Rc::clone(found);
         }
         self.misses.set(self.misses.get() + 1);
+        record_lookup("features", "miss");
         let computed = Rc::new(frozen_features(clip, tokenizer, dataset));
         self.features.borrow_mut().insert(key, Rc::clone(&computed));
         computed
@@ -86,9 +88,11 @@ impl FeatureCache {
         let key = (fingerprint(clip, dataset), hops);
         if let Some(found) = self.proximity.borrow().get(&key) {
             self.hits.set(self.hits.get() + 1);
+            record_lookup("proximity", "hit");
             return Rc::clone(found);
         }
         self.misses.set(self.misses.get() + 1);
+        record_lookup("proximity", "miss");
         let features = self.features(clip, tokenizer, dataset);
         let computed = Rc::new(proximity_from_features(&features, dataset, hops));
         self.proximity.borrow_mut().insert(key, Rc::clone(&computed));
@@ -107,9 +111,36 @@ impl FeatureCache {
 
     /// Drop every cached entry (counters are kept).
     pub fn clear(&self) {
+        let evicted =
+            self.features.borrow().len() as u64 + self.proximity.borrow().len() as u64;
+        cem_obs::counter_add!("cache.evict", evicted);
+        cem_obs::emit(|| {
+            cem_obs::Event::new("cache")
+                .field("stage", "all")
+                .field("outcome", "evict")
+                .field("entries", evicted as f64)
+        });
         self.features.borrow_mut().clear();
         self.proximity.borrow_mut().clear();
     }
+}
+
+/// Publish one cache lookup into the registry + event stream. The counter
+/// names are `cache.features.hit`, `cache.features.miss`,
+/// `cache.proximity.hit`, `cache.proximity.miss`.
+fn record_lookup(stage: &'static str, outcome: &'static str) {
+    if !cem_obs::enabled() {
+        return;
+    }
+    match (stage, outcome) {
+        ("features", "hit") => cem_obs::counter_add!("cache.features.hit", 1),
+        ("features", "miss") => cem_obs::counter_add!("cache.features.miss", 1),
+        ("proximity", "hit") => cem_obs::counter_add!("cache.proximity.hit", 1),
+        _ => cem_obs::counter_add!("cache.proximity.miss", 1),
+    }
+    cem_obs::emit(|| {
+        cem_obs::Event::new("cache").field("stage", stage).field("outcome", outcome)
+    });
 }
 
 /// Hash the (model, dataset) identity the frozen features depend on.

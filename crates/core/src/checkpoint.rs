@@ -135,6 +135,7 @@ impl CheckpointManager {
     /// the incoming file becomes durable (fsync) before any rename, and
     /// the old `latest` is preserved as `prev` before being displaced.
     pub fn save(&self, dict: &StateDict) -> Result<(), CheckpointError> {
+        cem_obs::span!("checkpoint.save");
         let incoming = self.dir.join("ckpt-incoming.cemt");
         dict.save(&incoming)?; // temp file + fsync + atomic rename inside
         let latest = self.latest_path();
@@ -145,6 +146,10 @@ impl CheckpointManager {
         if let Ok(d) = std::fs::File::open(&self.dir) {
             let _ = d.sync_all();
         }
+        cem_obs::emit(|| {
+            cem_obs::Event::new("checkpoint_save")
+                .field("path", self.latest_path().display().to_string())
+        });
         Ok(())
     }
 
@@ -153,6 +158,7 @@ impl CheckpointManager {
     /// a corrupt/truncated `latest` to `prev`; only errors when every
     /// candidate on disk is damaged — never panics on bad bytes.
     pub fn load(&self) -> Result<Option<(StateDict, ResumeSource)>, CheckpointError> {
+        cem_obs::span!("checkpoint.load");
         let mut first_error: Option<CheckpointError> = None;
         for (path, source) in
             [(self.latest_path(), ResumeSource::Latest), (self.prev_path(), ResumeSource::Previous)]
@@ -161,7 +167,14 @@ impl CheckpointManager {
                 continue;
             }
             match StateDict::load(&path) {
-                Ok(dict) => return Ok(Some((dict, source))),
+                Ok(dict) => {
+                    cem_obs::emit(|| {
+                        cem_obs::Event::new("checkpoint_load")
+                            .field("path", path.display().to_string())
+                            .field("source", format!("{source:?}").to_ascii_lowercase())
+                    });
+                    return Ok(Some((dict, source)));
+                }
                 Err(e) => {
                     first_error.get_or_insert(e);
                 }

@@ -34,6 +34,16 @@ impl GuardVerdict {
         matches!(self, GuardVerdict::Healthy)
     }
 
+    /// Short machine-readable name used by `guard_trip` telemetry events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            GuardVerdict::Healthy => "healthy",
+            GuardVerdict::NonFiniteLoss => "non_finite_loss",
+            GuardVerdict::NonFiniteGrad => "non_finite_grad",
+            GuardVerdict::LossSpike { .. } => "loss_spike",
+        }
+    }
+
     /// Whether this verdict indicates a non-finite (NaN/∞) batch.
     pub fn is_non_finite(&self) -> bool {
         matches!(self, GuardVerdict::NonFiniteLoss | GuardVerdict::NonFiniteGrad)

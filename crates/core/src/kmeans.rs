@@ -115,6 +115,13 @@ pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut
         }
     }
 
+    cem_obs::counter_add!("kmeans.iterations", iterations as u64);
+    cem_obs::emit(|| {
+        cem_obs::Event::new("kmeans")
+            .field("points", points.len() as f64)
+            .field("k", k as f64)
+            .field("iterations", iterations as f64)
+    });
     KMeansResult { assignments, centroids, iterations }
 }
 

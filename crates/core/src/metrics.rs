@@ -13,13 +13,14 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Hits@k for the three standard cutoffs.
-    pub fn hits(&self, k: usize) -> f32 {
+    /// Hits@k for the three standard cutoffs; `None` for any other `k`
+    /// (only k ∈ {1,3,5} are tracked).
+    pub fn hits(&self, k: usize) -> Option<f32> {
         match k {
-            1 => self.hits_at_1,
-            3 => self.hits_at_3,
-            5 => self.hits_at_5,
-            _ => panic!("only k ∈ {{1,3,5}} are tracked"),
+            1 => Some(self.hits_at_1),
+            3 => Some(self.hits_at_3),
+            5 => Some(self.hits_at_5),
+            _ => None,
         }
     }
 
@@ -172,6 +173,16 @@ mod tests {
         let m = evaluate_rankings(&rankings, |_, img| img == 4 || img == 7);
         assert!((m.mrr - 0.5).abs() < 1e-6);
         assert_eq!(m.hits_at_3, 1.0);
+    }
+
+    #[test]
+    fn hits_covers_tracked_cutoffs_only() {
+        let m = Metrics { hits_at_1: 0.1, hits_at_3: 0.3, hits_at_5: 0.5, mrr: 0.2, queries: 10 };
+        assert_eq!(m.hits(1), Some(0.1));
+        assert_eq!(m.hits(3), Some(0.3));
+        assert_eq!(m.hits(5), Some(0.5));
+        assert_eq!(m.hits(2), None);
+        assert_eq!(m.hits(10), None);
     }
 
     #[test]

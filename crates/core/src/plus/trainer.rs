@@ -6,6 +6,7 @@ use std::time::Instant;
 
 use cem_clip::{Clip, Tokenizer};
 use cem_data::EmDataset;
+use cem_obs::{cem_debug, cem_info, Event};
 use cem_tensor::memory;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -18,7 +19,9 @@ use crate::guard::EpochAction;
 use crate::metrics::Metrics;
 use crate::plus::minibatch::{partition_by_proximity, random_partitions, Partition};
 use crate::plus::negsample::negative_sampling;
-use crate::trainer::{reset_identity, CrossEm, EpochStats, TrainEngine, TrainOptions, TrainReport};
+use crate::trainer::{
+    epoch_end_event, reset_identity, CrossEm, EpochStats, TrainEngine, TrainOptions, TrainReport,
+};
 
 /// RNG stream index reserved for partition preparation; epoch shuffles use
 /// the epoch number, which never reaches `u64::MAX`.
@@ -105,6 +108,7 @@ impl<'a> CrossEmPlus<'a> {
         let dataset = self.base.dataset();
         let needs_proximity = self.plus.minibatch_generation || self.plus.negative_sampling;
         let proximity = if needs_proximity {
+            cem_obs::span!("prep.proximity");
             Some(self.cache.proximity(
                 self.base.clip(),
                 self.base.tokenizer(),
@@ -115,13 +119,17 @@ impl<'a> CrossEmPlus<'a> {
             None
         };
 
-        let mut partitions = if self.plus.minibatch_generation {
-            partition_by_proximity(proximity.as_ref().unwrap(), &self.plus, rng).partitions
-        } else {
-            random_partitions(dataset.entity_count(), dataset.image_count(), &self.plus, rng)
+        let mut partitions = {
+            cem_obs::span!("prep.partition");
+            if self.plus.minibatch_generation {
+                partition_by_proximity(proximity.as_ref().unwrap(), &self.plus, rng).partitions
+            } else {
+                random_partitions(dataset.entity_count(), dataset.image_count(), &self.plus, rng)
+            }
         };
 
         if self.plus.negative_sampling {
+            cem_obs::span!("prep.negsample");
             negative_sampling(
                 &mut partitions,
                 proximity.as_ref().unwrap(),
@@ -188,8 +196,23 @@ impl<'a> CrossEmPlus<'a> {
             let state = engine.resume_from(dict, fingerprint)?;
             start_epoch = state.epochs_done.min(config.epochs);
             train.resumed_from = Some(state.epochs_done);
+            cem_info!("resuming CrossEM+ run at epoch {}", state.epochs_done);
         }
         let pairs_per_epoch: usize = partitions.iter().map(Partition::pair_count).sum();
+        if let Some(session) = options.obs {
+            session.emit(
+                Event::new("prep_end")
+                    .field("seconds", prep_seconds)
+                    .field("partitions", partitions.len() as f64)
+                    .field("pairs_per_epoch", pairs_per_epoch as f64),
+            );
+        }
+        cem_info!(
+            "CrossEM+ prep: {} partitions, {} pairs/epoch ({:.2}s)",
+            partitions.len(),
+            pairs_per_epoch,
+            prep_seconds
+        );
 
         let mut order: Vec<usize> = (0..partitions.len()).collect();
 
@@ -208,9 +231,13 @@ impl<'a> CrossEmPlus<'a> {
                     order.shuffle(&mut epoch_rng);
                 }
             }
+            if let Some(session) = options.obs {
+                session.emit(Event::new("epoch_start").field("epoch", epoch as f64));
+            }
             engine.begin_epoch();
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
+            let mut batch_idx = 0usize;
             'batches: for &pi in &order {
                 let partition = &partitions[pi];
                 for vertex_chunk in partition.vertices.chunks(config.batch_vertices) {
@@ -219,24 +246,46 @@ impl<'a> CrossEmPlus<'a> {
                             continue;
                         }
                         let loss = self.base.batch_loss(vertex_chunk, image_chunk);
-                        if let Some(value) = engine.apply(loss, options.injector.as_deref_mut()) {
+                        let applied = engine.apply(loss, options.injector.as_deref_mut());
+                        if let Some(session) = options.obs {
+                            session.emit(
+                                Event::new("batch")
+                                    .field("epoch", epoch as f64)
+                                    .field("batch", batch_idx as f64)
+                                    .field("loss", applied.map_or(f64::NAN, |v| v as f64))
+                                    .field("healthy", applied.is_some()),
+                            );
+                        }
+                        if let Some(value) = applied {
+                            cem_debug!("epoch {epoch} batch {batch_idx}: loss={value}");
                             loss_sum += value;
                             batches += 1;
                         }
+                        batch_idx += 1;
                         if engine.diverged() {
                             break 'batches;
                         }
                     }
                 }
             }
-            train.epochs.push(EpochStats {
+            let stats = EpochStats {
                 seconds: start.elapsed().as_secs_f64(),
                 peak_bytes: memory::peak_bytes(),
                 mean_loss: if batches > 0 { loss_sum / batches as f32 } else { f32::NAN },
                 batches,
                 nan_batches: engine.nan_batches(),
                 rollbacks: engine.rollbacks(),
-            });
+            };
+            if let Some(session) = options.obs {
+                session.emit(epoch_end_event(epoch, &stats));
+            }
+            cem_info!(
+                "epoch {epoch}: mean_loss={} batches={} ({:.2}s)",
+                stats.mean_loss,
+                stats.batches,
+                stats.seconds
+            );
+            train.epochs.push(stats);
             if engine.diverged() {
                 train.diverged = true;
                 break 'epochs;

@@ -26,6 +26,7 @@
 use std::time::Instant;
 
 use cem_clip::{Clip, Tokenizer};
+use cem_obs::{cem_debug, cem_info, Event, ObsSession};
 use cem_data::EmDataset;
 use cem_nn::Module;
 use cem_tensor::io::StateDict;
@@ -121,6 +122,10 @@ pub struct TrainOptions<'h> {
     /// produces bit-identical training results; this knob only trades wall
     /// clock.
     pub threads: Option<usize>,
+    /// Telemetry session this run publishes epoch/batch events into
+    /// (`None` = no structured events). Purely observational: training
+    /// results are bit-identical with or without a session.
+    pub obs: Option<&'h ObsSession>,
 }
 
 /// The optimisation engine shared by CrossEM (Alg. 1) and CrossEM⁺: owns
@@ -198,6 +203,7 @@ impl TrainEngine {
     /// target. Called at run start, after a resume, and at the end of
     /// every healthy epoch.
     pub(crate) fn take_snapshot(&mut self) {
+        cem_obs::span!("phase.snapshot");
         self.snapshot_params = self.params.iter().map(|p| p.to_vec()).collect();
         self.snapshot_opt = self.opt.state_dict();
     }
@@ -229,6 +235,7 @@ impl TrainEngine {
         loss: Tensor,
         injector: Option<&mut (dyn FaultInjector + '_)>,
     ) -> Option<f32> {
+        cem_obs::span!("phase.step");
         let value = loss.item();
         self.opt.zero_grad();
         loss.backward();
@@ -252,6 +259,18 @@ impl TrainEngine {
         } else {
             self.retries_left -= 1;
         }
+        cem_obs::counter_add!("guard.trips", 1);
+        cem_obs::emit(|| {
+            Event::new("guard_trip")
+                .field("verdict", verdict.label())
+                .field("loss", value as f64)
+                .field("diverged", self.diverged)
+        });
+        cem_info!(
+            "guard trip: verdict={} loss={value} diverged={}",
+            verdict.label(),
+            self.diverged
+        );
         None
     }
 }
@@ -297,34 +316,38 @@ impl<'a> CrossEm<'a> {
         clip.freeze_image_tower();
 
         let max_len = config.max_prompt_len.min(clip.text.max_len());
-        let prompt_ids: Vec<Vec<usize>> = match config.prompt {
-            PromptKind::Baseline => (0..dataset.entity_count())
-                .map(|e| {
-                    let text = baseline_prompt(dataset.entity_label(e), config.photo_prefix);
-                    tokenizer.encode(&text, max_len).0
-                })
-                .collect(),
-            PromptKind::Hard => {
-                let options = HardPromptOptions {
-                    hops: config.hops,
-                    photo_prefix: config.photo_prefix,
-                    max_subprompts: config.max_subprompts,
-                };
-                dataset
-                    .entities
-                    .iter()
-                    .map(|&v| {
-                        let text = hard_prompt(&dataset.graph, v, &options);
+        let prompt_ids: Vec<Vec<usize>> = {
+            cem_obs::span!("setup.prompts");
+            match config.prompt {
+                PromptKind::Baseline => (0..dataset.entity_count())
+                    .map(|e| {
+                        let text = baseline_prompt(dataset.entity_label(e), config.photo_prefix);
                         tokenizer.encode(&text, max_len).0
                     })
-                    .collect()
+                    .collect(),
+                PromptKind::Hard => {
+                    let options = HardPromptOptions {
+                        hops: config.hops,
+                        photo_prefix: config.photo_prefix,
+                        max_subprompts: config.max_subprompts,
+                    };
+                    dataset
+                        .entities
+                        .iter()
+                        .map(|&v| {
+                            let text = hard_prompt(&dataset.graph, v, &options);
+                            tokenizer.encode(&text, max_len).0
+                        })
+                        .collect()
+                }
+                PromptKind::Soft => (0..dataset.entity_count())
+                    .map(|e| tokenizer.encode(dataset.entity_label(e), max_len).0)
+                    .collect(),
             }
-            PromptKind::Soft => (0..dataset.entity_count())
-                .map(|e| tokenizer.encode(dataset.entity_label(e), max_len).0)
-                .collect(),
         };
 
         let (soft, label_means) = if config.prompt == PromptKind::Soft {
+            cem_obs::span!("setup.soft");
             let generator = SoftPromptGenerator::new(
                 &dataset.graph,
                 &clip.text,
@@ -355,6 +378,7 @@ impl<'a> CrossEm<'a> {
         };
 
         let image_embeddings = no_grad(|| {
+            cem_obs::span!("setup.images");
             let refs: Vec<&cem_clip::Image> = dataset.images.iter().collect();
             let mut parts = Vec::new();
             for chunk in refs.chunks(64) {
@@ -365,6 +389,7 @@ impl<'a> CrossEm<'a> {
         .detach();
 
         let prior_logits = no_grad(|| {
+            cem_obs::span!("setup.prior");
             let prompts: Vec<Vec<usize>> = (0..dataset.entity_count())
                 .map(|e| {
                     let text = baseline_prompt(dataset.entity_label(e), config.photo_prefix);
@@ -483,20 +508,27 @@ impl<'a> CrossEm<'a> {
     /// within the random batch keeps self-training from reinforcing
     /// arbitrary in-batch matches.
     pub(crate) fn batch_loss(&self, vertex_batch: &[usize], image_batch: &[usize]) -> Tensor {
-        let (text_emb, prompts) = self.encode_entities(vertex_batch);
+        let (text_emb, prompts) = {
+            cem_obs::span!("phase.encode");
+            self.encode_entities(vertex_batch)
+        };
 
         // Mine global pseudo-positives with the current prompts, anchored
         // by the frozen zero-shot prior (no grad).
-        let mined: Vec<usize> = no_grad(|| {
-            let live = self
-                .clip
-                .similarity_logits(&text_emb.detach(), &self.image_embeddings);
-            let prior = self
-                .prior_logits
-                .gather_rows(vertex_batch)
-                .mul_scalar(self.config.mining_prior_weight);
-            live.add(&prior).argmax_rows()
-        });
+        let mined: Vec<usize> = {
+            cem_obs::span!("phase.mine");
+            no_grad(|| {
+                let live = self
+                    .clip
+                    .similarity_logits(&text_emb.detach(), &self.image_embeddings);
+                let prior = self
+                    .prior_logits
+                    .gather_rows(vertex_batch)
+                    .mul_scalar(self.config.mining_prior_weight);
+                live.add(&prior).argmax_rows()
+            })
+        };
+        cem_obs::span!("phase.loss");
         let mut images: Vec<usize> = image_batch.to_vec();
         let mut targets = Vec::with_capacity(vertex_batch.len());
         for &img in &mined {
@@ -557,12 +589,25 @@ impl<'a> CrossEm<'a> {
             }),
         };
 
+        if let Some(from) = report.resumed_from {
+            cem_info!("resuming CrossEM run at epoch {from}");
+        }
+        cem_info!(
+            "CrossEM training: {} epochs, {} entities, {} images",
+            self.config.epochs,
+            self.dataset.entity_count(),
+            self.dataset.image_count()
+        );
+
         let mut entity_order: Vec<usize> = (0..self.dataset.entity_count()).collect();
         let mut image_order: Vec<usize> = (0..self.dataset.image_count()).collect();
 
         'epochs: for epoch in start_epoch..self.config.epochs {
             memory::reset_peak();
             let start = Instant::now();
+            if let Some(session) = options.obs {
+                session.emit(Event::new("epoch_start").field("epoch", epoch as f64));
+            }
             match run_seed {
                 // Legacy stream: persistent orders, cumulative shuffles.
                 None => {
@@ -582,29 +627,52 @@ impl<'a> CrossEm<'a> {
             engine.begin_epoch();
             let mut loss_sum = 0.0f32;
             let mut batches = 0usize;
+            let mut batch_idx = 0usize;
             'batches: for vertex_chunk in entity_order.chunks(self.config.batch_vertices) {
                 for image_chunk in image_order.chunks(self.config.batch_images) {
                     if image_chunk.len() < 2 {
                         continue;
                     }
                     let loss = self.batch_loss(vertex_chunk, image_chunk);
-                    if let Some(value) = engine.apply(loss, options.injector.as_deref_mut()) {
+                    let applied = engine.apply(loss, options.injector.as_deref_mut());
+                    if let Some(session) = options.obs {
+                        session.emit(
+                            Event::new("batch")
+                                .field("epoch", epoch as f64)
+                                .field("batch", batch_idx as f64)
+                                .field("loss", applied.map_or(f64::NAN, |v| v as f64))
+                                .field("healthy", applied.is_some()),
+                        );
+                    }
+                    if let Some(value) = applied {
+                        cem_debug!("epoch {epoch} batch {batch_idx}: loss={value}");
                         loss_sum += value;
                         batches += 1;
                     }
+                    batch_idx += 1;
                     if engine.diverged() {
                         break 'batches;
                     }
                 }
             }
-            report.epochs.push(EpochStats {
+            let stats = EpochStats {
                 seconds: start.elapsed().as_secs_f64(),
                 peak_bytes: memory::peak_bytes(),
                 mean_loss: if batches > 0 { loss_sum / batches as f32 } else { f32::NAN },
                 batches,
                 nan_batches: engine.nan_batches(),
                 rollbacks: engine.rollbacks(),
-            });
+            };
+            if let Some(session) = options.obs {
+                session.emit(epoch_end_event(epoch, &stats));
+            }
+            cem_info!(
+                "epoch {epoch}: mean_loss={} batches={} ({:.2}s)",
+                stats.mean_loss,
+                stats.batches,
+                stats.seconds
+            );
+            report.epochs.push(stats);
             if engine.diverged() {
                 report.diverged = true;
                 break 'epochs;
@@ -627,6 +695,7 @@ impl<'a> CrossEm<'a> {
     /// Matching probabilities (Eq. 4) for all entities against all images:
     /// `[n_entities, n_images]`.
     pub fn matching_matrix(&self) -> Tensor {
+        cem_obs::span!("phase.match");
         no_grad(|| {
             let all: Vec<usize> = (0..self.dataset.entity_count()).collect();
             let mut parts = Vec::new();
@@ -643,9 +712,23 @@ impl<'a> CrossEm<'a> {
     /// dataset's gold pairs.
     pub fn evaluate(&self) -> Metrics {
         let probabilities = self.matching_matrix();
+        cem_obs::span!("phase.rank");
         let rankings = rank_images(&probabilities, 0);
         evaluate_rankings(&rankings, |entity, image| self.dataset.is_match(entity, image))
     }
+}
+
+/// Render one epoch's stats as the `epoch_end` event (shared by both
+/// trainers so the schema stays in one place).
+pub(crate) fn epoch_end_event(epoch: usize, stats: &EpochStats) -> Event {
+    Event::new("epoch_end")
+        .field("epoch", epoch as f64)
+        .field("seconds", stats.seconds)
+        .field("mean_loss", stats.mean_loss as f64)
+        .field("batches", stats.batches as f64)
+        .field("nan_batches", stats.nan_batches as f64)
+        .field("rollbacks", stats.rollbacks as f64)
+        .field("peak_bytes", stats.peak_bytes as f64)
 }
 
 /// Reset a permutation buffer to `0..n` in place.

@@ -1,0 +1,402 @@
+//! Minimal flat JSON — exactly what the event schema needs, nothing more.
+//!
+//! Every event line is one *flat* JSON object: string, finite number,
+//! boolean, or null values, no nested containers. Flatness is a deliberate
+//! schema constraint (it keeps every consumer — `obs_report`, CI
+//! validation, `jq`-style ad-hoc tooling — trivial), so the parser rejects
+//! nesting rather than supporting it. Field order is preserved, which makes
+//! serialize → parse → serialize round-trips byte-stable.
+//!
+//! Numbers are emitted through Rust's shortest-roundtrip `f64` formatting;
+//! values beyond 2^53 (where `f64` loses integer precision) must be encoded
+//! as strings by the caller — [`crate::events::Event`] does this for seeds
+//! and fingerprints.
+
+use std::fmt;
+
+/// A flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+}
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Num(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// A flat JSON object with preserved field order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Object(pub Vec<(String, Value)>);
+
+impl Object {
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    /// Append a field (last write wins on lookup only if keys are unique —
+    /// callers keep them unique).
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        self.0.push((key.into(), value.into()));
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Value::as_f64)
+    }
+
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Value::as_str)
+    }
+
+    /// Serialize as one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(self.0.len() * 16 + 2);
+        out.push('{');
+        for (i, (key, value)) in self.0.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_string(&mut out, key);
+            out.push(':');
+            match value {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Num(n) => {
+                    if n.is_finite() {
+                        // Integral values print without a fraction.
+                        if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                            out.push_str(&format!("{}", *n as i64));
+                        } else {
+                            out.push_str(&format!("{n}"));
+                        }
+                    } else {
+                        // JSON has no NaN/∞; null is the honest encoding.
+                        out.push_str("null");
+                    }
+                }
+                Value::Str(s) => write_string(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse one flat JSON object. Errors carry the byte offset.
+    pub fn parse(input: &str) -> Result<Object, JsonError> {
+        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let obj = p.object()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing bytes after object"));
+        }
+        Ok(obj)
+    }
+}
+
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn object(&mut self) -> Result<Object, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'{') | Some(b'[') => {
+                Err(self.err("nested containers are outside the flat event schema"))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("bad utf8"))?;
+        text.parse::<f64>().map(Value::Num).map_err(|_| JsonError {
+            offset: start,
+            message: format!("invalid number {text:?}"),
+        })
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&b) = rest.first() else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: &[(&str, Value)]) -> Object {
+        Object(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+    }
+
+    #[test]
+    fn round_trip_preserves_fields_and_order() {
+        let o = obj(&[
+            ("type", "epoch_end".into()),
+            ("epoch", Value::Num(3.0)),
+            ("loss", Value::Num(0.125)),
+            ("diverged", Value::Bool(false)),
+            ("note", Value::Null),
+        ]);
+        let line = o.to_json();
+        let parsed = Object::parse(&line).unwrap();
+        assert_eq!(parsed, o);
+        // Byte-stable second round.
+        assert_eq!(parsed.to_json(), line);
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        let o = obj(&[("n", Value::Num(42.0))]);
+        assert_eq!(o.to_json(), r#"{"n":42}"#);
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let o = obj(&[("n", Value::Num(f64::NAN))]);
+        assert_eq!(o.to_json(), r#"{"n":null}"#);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "line\nbreak \"quoted\" back\\slash\ttab\u{1}";
+        let o = obj(&[("s", tricky.into())]);
+        let parsed = Object::parse(&o.to_json()).unwrap();
+        assert_eq!(parsed.str("s"), Some(tricky));
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let o = obj(&[("s", "CrossEM⁺ — テスト".into())]);
+        let parsed = Object::parse(&o.to_json()).unwrap();
+        assert_eq!(parsed.str("s"), Some("CrossEM⁺ — テスト"));
+    }
+
+    #[test]
+    fn nested_containers_are_rejected() {
+        let err = Object::parse(r#"{"a": {"b": 1}}"#).unwrap_err();
+        assert!(err.message.contains("flat"), "{err}");
+        assert!(Object::parse(r#"{"a": [1,2]}"#).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_error_with_offset() {
+        assert!(Object::parse("").is_err());
+        assert!(Object::parse("{").is_err());
+        assert!(Object::parse(r#"{"a" 1}"#).is_err());
+        assert!(Object::parse(r#"{"a": 1} extra"#).is_err());
+        assert!(Object::parse(r#"{"a": 12..5}"#).is_err());
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(Object::parse("{}").unwrap(), Object::new());
+        assert_eq!(Object::parse(" { } ").unwrap(), Object::new());
+    }
+}

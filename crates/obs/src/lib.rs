@@ -1,0 +1,187 @@
+//! # cem-obs
+//!
+//! Observability for the CrossEM workspace: structured tracing, a metrics
+//! registry, and run-manifest telemetry (see DESIGN.md, "Observability").
+//! Pure std — this crate sits *below* `cem-tensor` (whose kernels it
+//! instruments), so it must not pull in any dependency.
+//!
+//! Three layers:
+//!
+//! * **Registry** ([`registry`]) — a global, thread-safe store of named
+//!   counters, gauges, and log₂-bucketed latency histograms. Hot paths
+//!   record through [`span!`] / [`counter_add!`], which cache their handle
+//!   in a call-site `OnceLock` so an increment is one relaxed atomic add.
+//! * **Event stream** ([`events`]) — flat JSON objects, one per line,
+//!   written through a process-global [`events::JsonlSink`] (epoch
+//!   boundaries, batch losses, checkpoint saves/loads, guard trips, cache
+//!   hits, k-means convergence). Each line is a single `write_all`, so
+//!   concurrent writers never interleave partial lines.
+//! * **Run manifest** ([`manifest`]) — an [`manifest::ObsSession`] opens
+//!   the JSONL file next to the checkpoints, writes a [`manifest::RunManifest`]
+//!   as the first line, and on `finish` appends per-span/per-counter
+//!   summary lines plus a final `run_end` record.
+//!
+//! ## Overhead contract
+//!
+//! Telemetry is **off by default** and zero-cost-when-disabled: every
+//! instrumentation point first checks [`enabled()`] — one relaxed atomic
+//! load — and does nothing else when it returns false. Enabling happens via
+//! the `CEM_OBS` environment variable (`1`/`true`/`on`), programmatically
+//! through [`force_enable`], or implicitly while an
+//! [`manifest::ObsSession`] is live. Telemetry only *observes* (wall-clock
+//! reads and atomic adds); it never touches RNG streams, parameters, or
+//! schedules, so training results are bit-identical with obs on or off at
+//! any thread count (asserted by `tests/observability.rs`).
+//!
+//! Leveled logging ([`cem_info!`], [`cem_debug!`], gated by `CEM_LOG`) is
+//! independent of the metrics switch so library crates never print
+//! unconditionally.
+
+pub mod events;
+pub mod json;
+pub mod logging;
+pub mod manifest;
+pub mod registry;
+pub mod span;
+
+pub use events::{emit, install_sink, uninstall_sink, Event, JsonlSink};
+pub use json::{JsonError, Object, Value};
+pub use logging::{log_enabled, set_log_level, LogLevel};
+pub use manifest::{build_info, BuildInfo, ObsSession, RunManifest};
+pub use registry::{global, Counter, Gauge, Registry, Snapshot, SpanStats};
+pub use span::SpanGuard;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Live programmatic enables (forced guards + active sessions).
+static FORCED: AtomicUsize = AtomicUsize::new(0);
+
+/// `CEM_OBS` parsed once per process.
+fn env_enabled() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("CEM_OBS")
+            .map(|v| matches!(v.trim(), "1" | "true" | "on" | "TRUE" | "ON"))
+            .unwrap_or(false)
+    })
+}
+
+/// Whether telemetry records anything. The disabled path of every
+/// instrumentation point is this single relaxed load and a branch.
+#[inline]
+pub fn enabled() -> bool {
+    FORCED.load(Ordering::Relaxed) > 0 || env_enabled()
+}
+
+/// RAII programmatic enable (testing and drill harnesses). Nests: obs stays
+/// on until every guard has dropped (and `CEM_OBS` is unset).
+pub struct ObsGuard(());
+
+/// Turn telemetry on for the lifetime of the returned guard.
+pub fn force_enable() -> ObsGuard {
+    FORCED.fetch_add(1, Ordering::Relaxed);
+    ObsGuard(())
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        FORCED.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Time a lexical scope into the global registry's histogram for `$name`.
+///
+/// ```
+/// fn hot() {
+///     cem_obs::span!("phase.encode");
+///     // … work; the span closes when the scope ends …
+/// }
+/// ```
+///
+/// Span names are dot-separated, coarse-to-fine (`phase.encode`,
+/// `prep.proximity`, `checkpoint.save`); `obs_report` treats the `phase.*`,
+/// `prep.*`, `setup.*`, `pretrain.*`, and `checkpoint.*` families as the
+/// disjoint leaves of the wall-time breakdown, so spans within one family
+/// must not nest.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        let _cem_obs_span = {
+            static STATS: std::sync::OnceLock<std::sync::Arc<$crate::registry::SpanStats>> =
+                std::sync::OnceLock::new();
+            $crate::span::SpanGuard::open($name, &STATS)
+        };
+    };
+}
+
+/// Add to the global counter `$name` (no-op while disabled).
+#[macro_export]
+macro_rules! counter_add {
+    ($name:literal, $n:expr) => {
+        if $crate::enabled() {
+            static COUNTER: std::sync::OnceLock<std::sync::Arc<$crate::registry::Counter>> =
+                std::sync::OnceLock::new();
+            COUNTER.get_or_init(|| $crate::registry::global().counter($name)).add($n as u64);
+        }
+    };
+}
+
+/// Set the global gauge `$name` (no-op while disabled).
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:literal, $v:expr) => {
+        if $crate::enabled() {
+            static GAUGE: std::sync::OnceLock<std::sync::Arc<$crate::registry::Gauge>> =
+                std::sync::OnceLock::new();
+            GAUGE.get_or_init(|| $crate::registry::global().gauge($name)).set($v as f64);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_enable_nests_and_restores() {
+        // Note: CEM_OBS unset in the test environment.
+        let before = enabled();
+        {
+            let _a = force_enable();
+            assert!(enabled());
+            {
+                let _b = force_enable();
+                assert!(enabled());
+            }
+            assert!(enabled());
+        }
+        assert_eq!(enabled(), before);
+    }
+
+    #[test]
+    fn macros_record_only_while_enabled() {
+        counter_add!("test.lib.disabled", 5);
+        let snap = global().snapshot();
+        assert_eq!(snap.counter("test.lib.disabled"), None);
+
+        let _g = force_enable();
+        counter_add!("test.lib.enabled", 2);
+        counter_add!("test.lib.enabled", 3);
+        let snap = global().snapshot();
+        assert_eq!(snap.counter("test.lib.enabled"), Some(5));
+    }
+
+    #[test]
+    fn span_macro_times_a_scope() {
+        let _g = force_enable();
+        {
+            span!("test.lib.span");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = global().snapshot();
+        let s = snap.span("test.lib.span").expect("span recorded");
+        assert!(s.calls >= 1);
+        assert!(s.total_nanos >= 2_000_000, "slept 2ms, recorded {}ns", s.total_nanos);
+    }
+}

@@ -1,0 +1,142 @@
+//! Leveled stderr logging for library crates.
+//!
+//! Library code must never print unconditionally; it logs through
+//! [`cem_info!`](crate::cem_info) / [`cem_debug!`](crate::cem_debug), which
+//! are silent unless `CEM_LOG` (or a programmatic [`set_log_level`]) turns
+//! them on. The default is [`LogLevel::Off`], so tests and downstream
+//! consumers see no output.
+//!
+//! `CEM_LOG` accepts `off` (default), `info`, and `debug`; unknown values
+//! fall back to `off`. Binaries (the bench drills) may call
+//! [`set_log_level`] to force a level regardless of the environment.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Verbosity tiers, ordered: `Off < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// No output (the default).
+    Off = 0,
+    /// Milestones: run/epoch starts and ends, checkpoints, guard trips.
+    Info = 1,
+    /// Per-batch and per-iteration detail.
+    Debug = 2,
+}
+
+impl LogLevel {
+    fn from_u8(v: u8) -> LogLevel {
+        match v {
+            2 => LogLevel::Debug,
+            1 => LogLevel::Info,
+            _ => LogLevel::Off,
+        }
+    }
+
+    fn parse(s: &str) -> LogLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" | "2" => LogLevel::Debug,
+            "info" | "1" => LogLevel::Info,
+            _ => LogLevel::Off,
+        }
+    }
+}
+
+/// Programmatic override: 0 = none (defer to `CEM_LOG`), else level + 1.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_level() -> LogLevel {
+    static PARSED: OnceLock<LogLevel> = OnceLock::new();
+    *PARSED.get_or_init(|| {
+        std::env::var("CEM_LOG").map(|v| LogLevel::parse(&v)).unwrap_or(LogLevel::Off)
+    })
+}
+
+/// The effective level: a [`set_log_level`] override wins, else `CEM_LOG`.
+pub fn current_log_level() -> LogLevel {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_level(),
+        v => LogLevel::from_u8(v - 1),
+    }
+}
+
+/// Would a message at `level` be printed?
+#[inline]
+pub fn log_enabled(level: LogLevel) -> bool {
+    level != LogLevel::Off && level <= current_log_level()
+}
+
+/// Force the level from code (binaries only; libraries should leave the
+/// environment in charge).
+pub fn set_log_level(level: LogLevel) {
+    OVERRIDE.store(level as u8 + 1, Ordering::Relaxed);
+}
+
+/// Print one formatted line to stderr (the macros' backend).
+pub fn log_line(level: LogLevel, args: std::fmt::Arguments<'_>) {
+    if !log_enabled(level) {
+        return;
+    }
+    let tag = match level {
+        LogLevel::Off => return,
+        LogLevel::Info => "info",
+        LogLevel::Debug => "debug",
+    };
+    eprintln!("[cem:{tag}] {args}");
+}
+
+/// Log a milestone (`CEM_LOG=info` or higher).
+#[macro_export]
+macro_rules! cem_info {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Info) {
+            $crate::logging::log_line($crate::LogLevel::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log fine-grained progress (`CEM_LOG=debug`).
+#[macro_export]
+macro_rules! cem_debug {
+    ($($arg:tt)*) => {
+        if $crate::log_enabled($crate::LogLevel::Debug) {
+            $crate::logging::log_line($crate::LogLevel::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(LogLevel::Off < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_names_and_numbers() {
+        assert_eq!(LogLevel::parse("debug"), LogLevel::Debug);
+        assert_eq!(LogLevel::parse("INFO"), LogLevel::Info);
+        assert_eq!(LogLevel::parse("1"), LogLevel::Info);
+        assert_eq!(LogLevel::parse("garbage"), LogLevel::Off);
+        assert_eq!(LogLevel::parse(""), LogLevel::Off);
+    }
+
+    #[test]
+    fn override_controls_enablement() {
+        // Tests share the process, so restore the "no override" state last.
+        set_log_level(LogLevel::Debug);
+        assert!(log_enabled(LogLevel::Info));
+        assert!(log_enabled(LogLevel::Debug));
+        set_log_level(LogLevel::Info);
+        assert!(log_enabled(LogLevel::Info));
+        assert!(!log_enabled(LogLevel::Debug));
+        set_log_level(LogLevel::Off);
+        assert!(!log_enabled(LogLevel::Info));
+        // Off is never "enabled" — it is the absence of logging.
+        assert!(!log_enabled(LogLevel::Off));
+    }
+}

@@ -1,0 +1,300 @@
+//! Run manifests and the session that brackets an instrumented run.
+//!
+//! [`ObsSession::begin`] opens the JSONL sink (conventionally
+//! `obs.jsonl` next to the run's checkpoints), writes the
+//! [`RunManifest`] as the first line, installs the sink process-globally
+//! (so sessionless components like the feature cache publish into the same
+//! stream), and force-enables telemetry for its lifetime.
+//! [`ObsSession::finish`] appends `span_summary`/`counter_summary` lines
+//! for everything recorded *during the session* (a registry snapshot taken
+//! at begin subtracts prior history) and a closing `run_end` record with
+//! the wall time and any caller-supplied end-of-run metrics.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::events::{install_sink, uninstall_sink, Event, JsonlSink};
+use crate::json::Value;
+use crate::registry::Snapshot;
+use crate::ObsGuard;
+
+/// Compile-time build identity: enough to `git describe` the binary that
+/// produced a JSONL stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Workspace package version.
+    pub version: &'static str,
+    /// `CEM_GIT_DESCRIBE` baked in at compile time (CI exports it), if any.
+    pub git: Option<&'static str>,
+    /// Whether the binary was built with debug assertions.
+    pub debug: bool,
+}
+
+/// This crate's build identity.
+pub fn build_info() -> BuildInfo {
+    BuildInfo {
+        version: env!("CARGO_PKG_VERSION"),
+        git: option_env!("CEM_GIT_DESCRIBE"),
+        debug: cfg!(debug_assertions),
+    }
+}
+
+/// Everything needed to identify and reproduce a run, emitted as the first
+/// JSONL line.
+#[derive(Debug, Clone, Default)]
+pub struct RunManifest {
+    /// Human-readable run kind (`"crossem"`, `"crossem_plus"`, `"obs_drill"`, …).
+    pub run: String,
+    /// The run seed driving every epoch shuffle.
+    pub seed: Option<u64>,
+    /// Training-config fingerprint (see `crossem::checkpoint`).
+    pub config_fingerprint: Option<u64>,
+    /// Resolved kernel thread budget.
+    pub threads: usize,
+    /// Dataset identity.
+    pub dataset: Option<DatasetStats>,
+}
+
+/// Dataset shape recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetStats {
+    pub name: String,
+    pub entities: usize,
+    pub images: usize,
+}
+
+impl RunManifest {
+    pub fn new(run: impl Into<String>) -> RunManifest {
+        RunManifest { run: run.into(), ..RunManifest::default() }
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    pub fn config_fingerprint(mut self, fp: u64) -> Self {
+        self.config_fingerprint = Some(fp);
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    pub fn dataset(mut self, name: impl Into<String>, entities: usize, images: usize) -> Self {
+        self.dataset = Some(DatasetStats { name: name.into(), entities, images });
+        self
+    }
+
+    /// Render as the `run_manifest` event.
+    pub fn to_event(&self) -> Event {
+        let build = build_info();
+        let mut event = Event::new("run_manifest")
+            .field("schema", 1.0)
+            .field("run", self.run.as_str())
+            .field("threads", self.threads as f64)
+            .field("version", build.version)
+            .field("git", build.git.unwrap_or("unknown"))
+            .field("debug_build", build.debug);
+        if let Some(seed) = self.seed {
+            // Always a string: seeds are arbitrary u64s and must round-trip
+            // exactly regardless of magnitude.
+            event = event.field("seed", seed.to_string());
+        }
+        if let Some(fp) = self.config_fingerprint {
+            event = event.field("config_fingerprint", format!("{fp:#018x}"));
+        }
+        if let Some(ds) = &self.dataset {
+            event = event
+                .field("dataset", ds.name.as_str())
+                .field("entities", ds.entities as f64)
+                .field("images", ds.images as f64);
+        }
+        event
+    }
+}
+
+/// A live instrumented run: sink + manifest + registry window.
+pub struct ObsSession {
+    sink: Arc<JsonlSink>,
+    start: Instant,
+    baseline: Snapshot,
+    finished: bool,
+    _enable: ObsGuard,
+}
+
+impl ObsSession {
+    /// Open `path`, write the manifest, install the sink globally, and
+    /// force-enable telemetry until the session ends.
+    pub fn begin(path: impl Into<PathBuf>, manifest: &RunManifest) -> io::Result<ObsSession> {
+        let enable = crate::force_enable();
+        let sink = Arc::new(JsonlSink::create(path)?);
+        sink.write(manifest.to_event());
+        install_sink(Arc::clone(&sink));
+        Ok(ObsSession {
+            sink,
+            start: Instant::now(),
+            baseline: crate::registry::global().snapshot(),
+            finished: false,
+            _enable: enable,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        self.sink.path()
+    }
+
+    /// Write one event into this session's stream.
+    pub fn emit(&self, event: Event) {
+        self.sink.write(event);
+    }
+
+    /// Append span/counter summaries for this session's window plus a
+    /// `run_end` record carrying `extras`, then uninstall the sink.
+    pub fn finish(mut self, extras: &[(&str, Value)]) {
+        self.write_summaries(extras);
+    }
+
+    fn write_summaries(&mut self, extras: &[(&str, Value)]) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let window = crate::registry::global().snapshot().delta_since(&self.baseline);
+        for span in &window.spans {
+            if span.calls == 0 {
+                continue;
+            }
+            self.sink.write(
+                Event::new("span_summary")
+                    .field("span", span.name.as_str())
+                    .field("calls", span.calls as f64)
+                    .field("total_s", span.total_nanos as f64 / 1e9)
+                    .field("mean_ms", span.mean_nanos() / 1e6)
+                    .field("p50_ms", span.approx_quantile(0.5) / 1e6)
+                    .field("p99_ms", span.approx_quantile(0.99) / 1e6),
+            );
+        }
+        for (name, value) in &window.counters {
+            if *value == 0 {
+                continue;
+            }
+            self.sink.write(
+                Event::new("counter_summary").field("counter", name.as_str()).field_u64("value", *value),
+            );
+        }
+        let mut end = Event::new("run_end")
+            .field("wall_seconds", self.start.elapsed().as_secs_f64());
+        for (key, value) in extras {
+            end = end.field(key, value.clone());
+        }
+        self.sink.write(end);
+        uninstall_sink();
+    }
+}
+
+impl Drop for ObsSession {
+    /// An abandoned session still closes its stream (no extras).
+    fn drop(&mut self) {
+        self.write_summaries(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Object;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cem_obs_manifest_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    fn parse_lines(path: &Path) -> Vec<Object> {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .map(|l| Object::parse(l).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn manifest_event_carries_identity() {
+        let manifest = RunManifest::new("crossem")
+            .seed(u64::MAX)
+            .config_fingerprint(0xabcd)
+            .threads(4)
+            .dataset("CUB-IMG", 120, 480);
+        let obj = manifest.to_event().into_object();
+        assert_eq!(obj.str("type"), Some("run_manifest"));
+        assert_eq!(obj.str("run"), Some("crossem"));
+        assert_eq!(obj.str("seed"), Some("18446744073709551615"));
+        assert_eq!(obj.str("config_fingerprint"), Some("0x000000000000abcd"));
+        assert_eq!(obj.num("threads"), Some(4.0));
+        assert_eq!(obj.num("entities"), Some(120.0));
+        assert!(obj.str("version").is_some());
+    }
+
+    #[test]
+    fn session_brackets_manifest_summaries_and_run_end() {
+        let path = tmp("bracket");
+        let session = ObsSession::begin(&path, &RunManifest::new("test")).unwrap();
+        assert!(crate::enabled(), "session force-enables telemetry");
+        crate::counter_add!("test.manifest.counter", 3);
+        {
+            crate::span!("test.manifest.span");
+        }
+        session.emit(Event::new("epoch_end").field("epoch", 0.0));
+        session.finish(&[("final_loss", Value::Num(0.5))]);
+
+        let lines = parse_lines(&path);
+        assert_eq!(lines.first().unwrap().str("type"), Some("run_manifest"));
+        assert_eq!(lines.last().unwrap().str("type"), Some("run_end"));
+        assert_eq!(lines.last().unwrap().num("final_loss"), Some(0.5));
+        assert!(lines.iter().any(|l| l.str("type") == Some("epoch_end")));
+        assert!(lines
+            .iter()
+            .any(|l| l.str("type") == Some("span_summary")
+                && l.str("span") == Some("test.manifest.span")));
+        assert!(lines
+            .iter()
+            .any(|l| l.str("type") == Some("counter_summary")
+                && l.str("counter") == Some("test.manifest.counter")
+                && l.num("value") == Some(3.0)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn summaries_cover_only_the_session_window() {
+        // History recorded before the session must not leak into it.
+        {
+            let _on = crate::force_enable();
+            crate::counter_add!("test.manifest.window", 100);
+        }
+        let path = tmp("window");
+        let session = ObsSession::begin(&path, &RunManifest::new("test")).unwrap();
+        crate::counter_add!("test.manifest.window", 7);
+        session.finish(&[]);
+        let lines = parse_lines(&path);
+        let summary = lines
+            .iter()
+            .find(|l| l.str("counter") == Some("test.manifest.window"))
+            .expect("counter summarised");
+        assert_eq!(summary.num("value"), Some(7.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dropped_session_still_writes_run_end() {
+        let path = tmp("drop");
+        {
+            let _session = ObsSession::begin(&path, &RunManifest::new("test")).unwrap();
+        }
+        let lines = parse_lines(&path);
+        assert_eq!(lines.last().unwrap().str("type"), Some("run_end"));
+        std::fs::remove_file(&path).ok();
+    }
+}

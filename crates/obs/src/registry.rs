@@ -1,0 +1,353 @@
+//! Global metrics registry: named counters, gauges, and log₂-bucketed
+//! latency histograms.
+//!
+//! Handles are `Arc`-shared atomics, so the hot path never holds a lock —
+//! the registry's `Mutex` only guards the name→handle maps during the
+//! one-time lookup each call site performs through its cached `OnceLock`
+//! (see [`counter_add!`](crate::counter_add) / [`span!`](crate::span)).
+//! [`Registry::reset`] zeroes values *in place*, so cached handles stay
+//! valid across resets (drill harnesses reset between sections).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic event count. Exact under concurrency: increments are atomic
+/// adds, so totals at thread count 1/2/4 are identical for identical work.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins numeric level (stored as `f64` bits).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram buckets: bucket `i` counts durations with `floor(log2(ns)) == i`
+/// (bucket 0 also holds sub-nanosecond readings). 2^39 ns ≈ 9 minutes; the
+/// last bucket is a catch-all for anything longer.
+pub const SPAN_BUCKETS: usize = 40;
+
+/// Aggregated timings for one span name: call count, total nanoseconds, and
+/// a log-scale latency histogram.
+#[derive(Debug)]
+pub struct SpanStats {
+    calls: AtomicU64,
+    total_nanos: AtomicU64,
+    buckets: [AtomicU64; SPAN_BUCKETS],
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            calls: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl SpanStats {
+    /// Fold one measured duration in.
+    pub fn record(&self, nanos: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let bucket = (63 - nanos.max(1).leading_zeros() as usize).min(SPAN_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    pub fn total_nanos(&self) -> u64 {
+        self.total_nanos.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.total_nanos.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time copy of one span's aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    pub name: String,
+    pub calls: u64,
+    pub total_nanos: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl SpanSnapshot {
+    /// Mean nanoseconds per call (0 for an empty span).
+    pub fn mean_nanos(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.calls as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in [0,1]) from the log₂ histogram: the
+    /// geometric midpoint of the bucket holding the q-th call.
+    pub fn approx_quantile(&self, q: f64) -> f64 {
+        if self.calls == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.calls as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+            }
+        }
+        2f64.powi(self.buckets.len() as i32)
+    }
+}
+
+/// Point-in-time copy of the whole registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl Snapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// What happened since `earlier` (a snapshot of the same registry):
+    /// counter/span values subtract saturating; gauges keep their current
+    /// value. Lets a session report only its own window even though the
+    /// registry is process-global and cumulative.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| (name.clone(), v - earlier.counter(name).unwrap_or(0).min(*v)))
+            .collect();
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let base = earlier.span(&s.name);
+                SpanSnapshot {
+                    name: s.name.clone(),
+                    calls: s.calls.saturating_sub(base.map_or(0, |b| b.calls)),
+                    total_nanos: s.total_nanos.saturating_sub(base.map_or(0, |b| b.total_nanos)),
+                    buckets: s
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| {
+                            c.saturating_sub(base.and_then(|b| b.buckets.get(i)).copied().unwrap_or(0))
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        Snapshot { counters, gauges: self.gauges.clone(), spans }
+    }
+}
+
+/// Name → handle maps behind one mutex each; see the module docs for the
+/// locking story.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    spans: Mutex<BTreeMap<&'static str, Arc<SpanStats>>>,
+}
+
+impl Registry {
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().unwrap().entry(name).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().unwrap().entry(name).or_default())
+    }
+
+    /// The span aggregate named `name`, created on first use.
+    pub fn span_stats(&self, name: &'static str) -> Arc<SpanStats> {
+        Arc::clone(self.spans.lock().unwrap().entry(name).or_default())
+    }
+
+    /// Copy every metric out, sorted by name (BTreeMap order).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, c)| (n.to_string(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, g)| (n.to_string(), g.get()))
+                .collect(),
+            spans: self
+                .spans
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, s)| SpanSnapshot {
+                    name: n.to_string(),
+                    calls: s.calls(),
+                    total_nanos: s.total_nanos(),
+                    buckets: s.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Zero every metric in place. Handles cached at call sites stay valid.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.0.store(0, Ordering::Relaxed);
+        }
+        for s in self.spans.lock().unwrap().values() {
+            s.reset();
+        }
+    }
+}
+
+/// The process-global registry every macro records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset_in_place() {
+        let reg = Registry::default();
+        let c = reg.counter("a");
+        c.add(3);
+        reg.counter("a").add(4);
+        assert_eq!(reg.snapshot().counter("a"), Some(7));
+        reg.reset();
+        assert_eq!(reg.snapshot().counter("a"), Some(0));
+        // The pre-reset handle still feeds the same counter.
+        c.add(1);
+        assert_eq!(reg.snapshot().counter("a"), Some(1));
+    }
+
+    #[test]
+    fn gauges_keep_last_value() {
+        let reg = Registry::default();
+        reg.gauge("g").set(2.5);
+        reg.gauge("g").set(-1.25);
+        assert_eq!(reg.snapshot().gauge("g"), Some(-1.25));
+    }
+
+    #[test]
+    fn span_buckets_are_log2() {
+        let s = SpanStats::default();
+        s.record(1); // bucket 0
+        s.record(2); // bucket 1
+        s.record(3); // bucket 1
+        s.record(1024); // bucket 10
+        s.record(u64::MAX); // clamped to the last bucket
+        assert_eq!(s.calls(), 5);
+        let buckets: Vec<u64> = s.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 2);
+        assert_eq!(buckets[10], 1);
+        assert_eq!(buckets[SPAN_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_come_from_bucket_midpoints() {
+        let s = SpanStats::default();
+        for _ in 0..9 {
+            s.record(1000); // bucket 9 (512..1024)
+        }
+        s.record(1 << 20); // bucket 20
+        let reg = Registry::default();
+        *reg.spans.lock().unwrap() = BTreeMap::from([("q", Arc::new(s))]);
+        let snap = reg.snapshot();
+        let q = snap.span("q").unwrap();
+        let p50 = q.approx_quantile(0.5);
+        assert!((512.0..2048.0).contains(&p50), "p50 {p50}");
+        let p99 = q.approx_quantile(0.99);
+        assert!(p99 > 1e6, "p99 {p99}");
+    }
+
+    #[test]
+    fn delta_since_isolates_a_window() {
+        let reg = Registry::default();
+        reg.counter("w").add(10);
+        reg.span_stats("s").record(100);
+        let base = reg.snapshot();
+        reg.counter("w").add(5);
+        reg.span_stats("s").record(200);
+        let delta = reg.snapshot().delta_since(&base);
+        assert_eq!(delta.counter("w"), Some(5));
+        let s = delta.span("s").unwrap();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.total_nanos, 200);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let reg = Registry::default();
+        let c = reg.counter("conc");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,57 @@
+//! Scope timers backing the [`span!`](crate::span) macro.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::registry::SpanStats;
+
+/// RAII scope timer. While obs is disabled, opening a span is a branch and
+/// the guard holds nothing — no clock read, no allocation, no atomics.
+pub struct SpanGuard(Option<(Arc<SpanStats>, Instant)>);
+
+impl SpanGuard {
+    /// Open a span named `name`, resolving (once per call site) through
+    /// `cached`. Called by the [`span!`](crate::span) macro.
+    #[inline]
+    pub fn open(name: &'static str, cached: &OnceLock<Arc<SpanStats>>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard(None);
+        }
+        let stats = Arc::clone(cached.get_or_init(|| crate::registry::global().span_stats(name)));
+        SpanGuard(Some((stats, Instant::now())))
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((stats, start)) = self.0.take() {
+            stats.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_guard_records_nothing() {
+        static CACHE: OnceLock<Arc<SpanStats>> = OnceLock::new();
+        {
+            let _g = SpanGuard::open("test.span.disabled", &CACHE);
+        }
+        // The cache was never populated: the disabled path did no lookup.
+        assert!(CACHE.get().is_none());
+    }
+
+    #[test]
+    fn enabled_guard_records_once_per_scope() {
+        let _on = crate::force_enable();
+        static CACHE: OnceLock<Arc<SpanStats>> = OnceLock::new();
+        for _ in 0..3 {
+            let _g = SpanGuard::open("test.span.enabled", &CACHE);
+        }
+        let snap = crate::registry::global().snapshot();
+        assert_eq!(snap.span("test.span.enabled").unwrap().calls, 3);
+    }
+}

@@ -43,19 +43,37 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     sum
 }
 
+/// Record how an auto-threaded GEMM dispatched: the blocked parallel path
+/// (work cleared [`par::PAR_GEMM_THRESHOLD`] with threads available) or the
+/// serial fallback. `perf_drill` reports the split from the registry.
+#[inline]
+fn count_gemm_dispatch(threads: usize) {
+    if threads > 1 {
+        cem_obs::counter_add!("gemm.dispatch.blocked_parallel", 1);
+    } else {
+        cem_obs::counter_add!("gemm.dispatch.serial_fallback", 1);
+    }
+}
+
 /// `c[m,n] += a[m,k] @ b[k,n]`, auto thread count.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    gemm_with_threads(a, b, c, m, k, n, par::auto_threads_gemm(m * k * n));
+    let threads = par::auto_threads_gemm(m * k * n);
+    count_gemm_dispatch(threads);
+    gemm_with_threads(a, b, c, m, k, n, threads);
 }
 
 /// `c[m,n] += a[m,k] @ b[n,k]^T`, auto thread count.
 pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    gemm_nt_with_threads(a, b, c, m, k, n, par::auto_threads_gemm(m * k * n));
+    let threads = par::auto_threads_gemm(m * k * n);
+    count_gemm_dispatch(threads);
+    gemm_nt_with_threads(a, b, c, m, k, n, threads);
 }
 
 /// `c[k,n] += a[m,k]^T @ b[m,n]`, auto thread count.
 pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    gemm_tn_with_threads(a, b, c, m, k, n, par::auto_threads_gemm(m * k * n));
+    let threads = par::auto_threads_gemm(m * k * n);
+    count_gemm_dispatch(threads);
+    gemm_tn_with_threads(a, b, c, m, k, n, threads);
 }
 
 /// `c[m,n] += a[m,k] @ b[k,n]` with an explicit thread budget.

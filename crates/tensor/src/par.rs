@@ -114,10 +114,14 @@ where
     let chunks = data.len() / chunk_len;
     let threads = threads.min(chunks).max(1);
     if threads <= 1 {
+        cem_obs::counter_add!("par.serial", 1);
         f(0, data);
         return;
     }
     let per_block = chunks.div_ceil(threads);
+    cem_obs::counter_add!("par.scopes", 1);
+    // Workers beyond the calling thread (the last block runs inline).
+    cem_obs::counter_add!("par.threads_spawned", (chunks.div_ceil(per_block) - 1) as u64);
     std::thread::scope(|scope| {
         let f = &f;
         let mut rest: &mut [T] = data;

@@ -1,0 +1,191 @@
+//! The observability layer's core contract: telemetry is *purely
+//! observational*. Training with an [`ObsSession`] attached must reproduce
+//! the uninstrumented run bit-for-bit — parameters, losses, and metrics —
+//! at every thread count, and the JSONL stream it emits must be valid
+//! line-by-line (manifest first, at least one completed epoch, a final
+//! `run_end`).
+//!
+//! Observability state (the enable flag, the registry, the event sink) is
+//! process-global, so every test here serialises on a mutex.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use cem_data::{BundleConfig, DatasetBundle, DatasetKind};
+use cem_obs::{Event, Object, ObsSession, RunManifest, Value};
+use crossem::config::PlusConfig;
+use crossem::plus::CrossEmPlus;
+use crossem::trainer::TrainOptions;
+use crossem::{CrossEm, PromptKind, TrainConfig};
+
+/// Serialises every test in this file: the obs enable flag, global
+/// registry, and event sink are process-global state.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn smoke_bundle() -> DatasetBundle {
+    DatasetBundle::prepare(BundleConfig::smoke(DatasetKind::Cub))
+}
+
+fn train_config(prompt: PromptKind) -> TrainConfig {
+    TrainConfig {
+        prompt,
+        hops: 1,
+        epochs: 2,
+        batch_vertices: 4,
+        batch_images: 8,
+        ..TrainConfig::default()
+    }
+}
+
+fn scratch_jsonl(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cem_obs_test_{tag}_{}.jsonl", std::process::id()))
+}
+
+#[derive(PartialEq, Debug)]
+struct Run {
+    params: Vec<Vec<f32>>,
+    losses: Vec<f32>,
+    mrr: f32,
+}
+
+/// One full CrossEM run over a freshly rebuilt world, optionally streaming
+/// telemetry to `sink`.
+fn crossem_run(threads: usize, sink: Option<&ObsSession>) -> Run {
+    let bundle = smoke_bundle();
+    let mut rng = bundle.stage_rng(5);
+    let matcher = CrossEm::new(
+        &bundle.clip,
+        &bundle.tokenizer,
+        &bundle.dataset,
+        train_config(PromptKind::Hard),
+        &mut rng,
+    );
+    let report = matcher
+        .train_with_options(
+            &mut rng,
+            TrainOptions { threads: Some(threads), obs: sink, ..Default::default() },
+        )
+        .expect("no checkpoints, no resume path to fail");
+    Run {
+        params: matcher.trainable_params().iter().map(|p| p.to_vec()).collect(),
+        losses: report.epochs.iter().map(|e| e.mean_loss).collect(),
+        mrr: matcher.evaluate().mrr,
+    }
+}
+
+/// One full CrossEM⁺ run (PCP + negative sampling), optionally instrumented.
+fn crossem_plus_run(threads: usize, sink: Option<&ObsSession>) -> Run {
+    let bundle = smoke_bundle();
+    let mut rng = bundle.stage_rng(6);
+    let plus = PlusConfig { negative_top_k: 3, ..PlusConfig::default() };
+    let trainer = CrossEmPlus::new(
+        &bundle.clip,
+        &bundle.tokenizer,
+        &bundle.dataset,
+        train_config(PromptKind::Soft),
+        plus,
+        &mut rng,
+    );
+    let report = trainer
+        .train_with_options(
+            &mut rng,
+            TrainOptions { threads: Some(threads), obs: sink, ..Default::default() },
+        )
+        .expect("no checkpoints, no resume path to fail");
+    Run {
+        params: trainer.base().trainable_params().iter().map(|p| p.to_vec()).collect(),
+        losses: report.train.epochs.iter().map(|e| e.mean_loss).collect(),
+        mrr: trainer.evaluate().mrr,
+    }
+}
+
+fn instrumented<F: FnOnce(&ObsSession) -> Run>(tag: &str, run: F) -> (Run, PathBuf) {
+    let path = scratch_jsonl(tag);
+    let session = ObsSession::begin(&path, &RunManifest::new(tag).threads(1))
+        .expect("temp dir is writable");
+    let result = run(&session);
+    session.finish(&[("test", Value::Str(tag.to_string()))]);
+    (result, path)
+}
+
+/// Acceptance gate: obs on vs obs off is bit-identical at 1 and 4 threads,
+/// for both trainers.
+#[test]
+fn instrumented_training_is_bit_identical() {
+    let _guard = lock();
+    for threads in [1usize, 4] {
+        let plain = crossem_run(threads, None);
+        let (traced, path) = instrumented("bitid_em", |s| crossem_run(threads, Some(s)));
+        assert_eq!(plain, traced, "CrossEM diverged under tracing at {threads} threads");
+        let _ = std::fs::remove_file(path);
+
+        let plain = crossem_plus_run(threads, None);
+        let (traced, path) = instrumented("bitid_plus", |s| crossem_plus_run(threads, Some(s)));
+        assert_eq!(plain, traced, "CrossEM⁺ diverged under tracing at {threads} threads");
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Every emitted line parses as a flat JSON object with a `type`; the
+/// stream opens with the manifest, records both epochs, and closes with a
+/// `run_end` carrying the wall time.
+#[test]
+fn instrumented_run_emits_valid_jsonl() {
+    let _guard = lock();
+    let (_, path) = instrumented("jsonl", |s| crossem_run(1, Some(s)));
+    let text = std::fs::read_to_string(&path).expect("stream was written");
+    assert!(text.ends_with('\n'), "stream must end in a complete line");
+
+    let events: Vec<Object> = text
+        .lines()
+        .enumerate()
+        .map(|(i, line)| {
+            Object::parse(line).unwrap_or_else(|e| panic!("line {} invalid: {e}", i + 1))
+        })
+        .collect();
+    for event in &events {
+        assert!(event.str("type").is_some(), "every event carries a type");
+        assert!(event.num("t_ms").is_some(), "every event is timestamped");
+    }
+
+    assert_eq!(events[0].str("type"), Some("run_manifest"));
+    assert_eq!(events[0].str("run"), Some("jsonl"));
+    let epoch_ends: Vec<&Object> =
+        events.iter().filter(|e| e.str("type") == Some("epoch_end")).collect();
+    assert_eq!(epoch_ends.len(), 2, "both epochs must be recorded");
+    for end in &epoch_ends {
+        assert!(end.num("mean_loss").is_some());
+        assert!(end.num("batches").unwrap_or(0.0) > 0.0);
+    }
+    let run_end = events.last().expect("non-empty stream");
+    assert_eq!(run_end.str("type"), Some("run_end"));
+    assert!(run_end.num("wall_seconds").unwrap_or(-1.0) >= 0.0);
+    assert_eq!(run_end.str("test"), Some("jsonl"), "finish() extras are recorded");
+    let _ = std::fs::remove_file(path);
+}
+
+/// An event survives serialisation to a JSONL line and back with every
+/// field intact, including the string encoding for large u64 values.
+#[test]
+fn event_schema_round_trips_through_json() {
+    let event = Event::new("epoch_end")
+        .field("epoch", 3.0)
+        .field("mean_loss", 0.125)
+        .field("note", "drill")
+        .field("healthy", true)
+        .field("bad", f64::NAN)
+        .field_u64("seed", u64::MAX);
+    let line = event.object().to_json();
+    let parsed = Object::parse(&line).expect("round-trip parse");
+    assert_eq!(parsed.str("type"), Some("epoch_end"));
+    assert_eq!(parsed.num("epoch"), Some(3.0));
+    assert_eq!(parsed.num("mean_loss"), Some(0.125));
+    assert_eq!(parsed.str("note"), Some("drill"));
+    assert_eq!(parsed.get("healthy").and_then(Value::as_bool), Some(true));
+    assert!(matches!(parsed.get("bad"), Some(Value::Null)), "NaN must encode as null");
+    assert_eq!(parsed.str("seed"), Some("18446744073709551615"), "u64 beyond 2^53 stays exact");
+}

@@ -163,6 +163,7 @@ fn parallel_crash_and_resume_matches_serial_uninterrupted() {
                     checkpoints: Some(&manager),
                     injector: Some(&mut crasher),
                     threads: Some(4),
+                    ..Default::default()
                 },
             )
             .expect("crash run");
