@@ -1,0 +1,412 @@
+//! Chaos drills for the serving path (`cem-serve`, DESIGN.md §11). The
+//! drill builds the full four-tier [`ServeIndex`] from a trained world,
+//! then drives [`MatchService`] through scripted fault storms — every
+//! request must resolve as served, shed, or deadline-exceeded; a process
+//! abort is an automatic failure. Five drills plus a determinism check:
+//!
+//! 1. **Latency spikes** — severe spikes blow the attempt timeout, retry
+//!    to the cap, and degrade; mild spikes slow the request but still
+//!    serve the full tier.
+//! 2. **Worker panics** — panics are caught at the pool boundary, retried,
+//!    and a panic storm trips the soft-encoder breaker; after the cooldown
+//!    a probe recovers the tier.
+//! 3. **NaN-poisoned features** — the non-finite top-score check degrades
+//!    the request; the served ranking is exactly the clean next tier's.
+//! 4. **Corrupted cache rows** — per-row CRC-32 verification catches the
+//!    damage and degrades past the cached tier without retrying.
+//! 5. **Overload** — bursts beyond the queue depth shed the tail
+//!    deterministically at admission.
+//!
+//! The determinism check replays a combined fault storm at 1 and 4 worker
+//! threads and requires bit-identical responses, traces, and stats.
+//!
+//! Per-tier wall latency (p50/p99 from the `serve.match.<tier>` spans),
+//! shed rate, breaker trips, and degraded-tier accuracy vs. the full tier
+//! are written to `BENCH_serving.json`. Honours `--quick` / `--smoke`.
+
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use cem_bench::faults::ServeFaultPlan;
+use cem_bench::{default_plus, prepare, HarnessConfig};
+use cem_data::DatasetKind;
+use cem_serve::{
+    cached_proximity_scores, hard_prompt_scores, silence_injected_panics, zero_shot_scores,
+    BreakerConfig, Component, FaultKind, MatchRequest, MatchService, Outcome, Response,
+    ServeConfig, ServeIndex, ServeStats, Tier,
+};
+use cem_tensor::par::ThreadsGuard;
+use crossem::matcher::{rank_images, rank_row};
+use crossem::metrics::{evaluate_rankings, Metrics};
+use crossem::prompt::HardPromptOptions;
+use crossem::plus::CrossEmPlus;
+use crossem::{FeatureCache, PromptKind};
+
+/// Stage index for the drill RNG (distinct from the table harness stages).
+const DRILL_STAGE: u64 = 88;
+
+/// Requests per drill stream. Long enough for a breaker to trip, cool
+/// down (8..=12 ticks), half-open, and recover within one stream.
+fn stream_len(quick: bool) -> usize {
+    if quick {
+        32
+    } else {
+        96
+    }
+}
+
+fn serve_config(seed: u64, images: usize) -> ServeConfig {
+    ServeConfig { seed, top_k: images.min(10), wave: 8, ..ServeConfig::default() }
+}
+
+/// The expected ranking a clean serve of `tier` must return — computed
+/// straight off the index, independent of the service pipeline.
+fn expected_ranking(index: &ServeIndex, tier: Tier, entity: usize, top_k: usize) -> Vec<usize> {
+    rank_row(index.row(tier, entity), top_k)
+}
+
+fn served_tier(response: &Response) -> Option<Tier> {
+    response.outcome.served_tier()
+}
+
+/// Every response must resolve: served, shed, or deadline-exceeded. (The
+/// enum makes this structural; the assertion documents the invariant and
+/// counts the terminal states.)
+fn assert_all_resolved(tag: &str, responses: &[Response]) {
+    for r in responses {
+        match &r.outcome {
+            Outcome::Served { .. } | Outcome::Shed | Outcome::DeadlineExceeded => {}
+        }
+    }
+    eprintln!("[{tag}] {} requests, all resolved", responses.len());
+}
+
+fn main() {
+    silence_injected_panics();
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--smoke");
+    let config = if quick { HarnessConfig::quick() } else { HarnessConfig::standard() };
+    let n = stream_len(quick);
+
+    // ---------------------------------------------------------------
+    // Build the four-tier index. The zero/hard/cached tiers score with
+    // the *pristine* pre-trained towers (the cache fingerprint covers the
+    // encoder weights, and prompt tuning mutates the text tower), so they
+    // are computed before training; the full tier is the tuned CrossEM⁺
+    // matching matrix.
+    // ---------------------------------------------------------------
+    let prepared = prepare(DatasetKind::Cub, &config);
+    let bundle = &prepared.bundle;
+    let dataset = &bundle.dataset;
+    let train_config = prepared.train_config(PromptKind::Soft, config.em_epochs);
+
+    eprintln!("[index] scoring zero-shot / hard-prompt / cached tiers (pristine towers) …");
+    prepared.reset_clip();
+    let zero = zero_shot_scores(&bundle.clip, &bundle.tokenizer, dataset);
+    let hard = hard_prompt_scores(
+        &bundle.clip,
+        &bundle.tokenizer,
+        dataset,
+        &HardPromptOptions {
+            hops: train_config.hops,
+            max_subprompts: train_config.max_subprompts,
+            ..HardPromptOptions::default()
+        },
+    );
+    let cache = Rc::new(FeatureCache::new());
+    let cached =
+        cached_proximity_scores(&cache, &bundle.clip, &bundle.tokenizer, dataset, train_config.hops);
+
+    eprintln!("[index] training CrossEM⁺ for the full tier ({} epochs) …", config.em_epochs);
+    let mut rng = bundle.stage_rng(DRILL_STAGE);
+    let trainer = CrossEmPlus::with_feature_cache(
+        &bundle.clip,
+        &bundle.tokenizer,
+        dataset,
+        train_config,
+        default_plus(),
+        Rc::clone(&cache),
+        &mut rng,
+    );
+    trainer.train(&mut rng);
+    let full = trainer.matching_matrix().to_vec();
+
+    let entities = dataset.entity_count();
+    let images = dataset.image_count();
+    let index = ServeIndex::new(entities, images, [full, cached, hard, zero]);
+
+    // Per-tier accuracy straight off the index: what each rung of the
+    // ladder costs in ranking quality when the service degrades to it.
+    let tier_metrics: [Metrics; Tier::COUNT] = std::array::from_fn(|t| {
+        let rankings = rank_images(&index.tier_matrix(Tier::ALL[t]), 0);
+        evaluate_rankings(&rankings, |e, i| dataset.is_match(e, i))
+    });
+    let full_mrr = tier_metrics[Tier::Full.index()].mrr as f64;
+    for tier in Tier::ALL {
+        eprintln!("[accuracy] {:<6} {}", tier.label(), tier_metrics[tier.index()].row());
+    }
+
+    // Telemetry on for the serving phase; span deltas taken at the end.
+    let _obs = cem_obs::force_enable();
+    let obs_before = cem_obs::global().snapshot();
+    let base = serve_config(config.seed, images);
+    let mut total = ServeStats::default();
+
+    // ---------------------------------------------------------------
+    // Drill 1: latency spikes. Breaker threshold is lifted out of the way
+    // so the verdict isolates timeout/retry/degrade behaviour.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 1] latency spikes (severe time out, mild serve) …");
+    let severe = n / 4;
+    let mild = n / 2;
+    let mut plan = ServeFaultPlan::new();
+    for id in 0..severe as u64 {
+        plan = plan.fault_all_attempts(id, Tier::Full, FaultKind::LatencySpike { units: 10_000 });
+    }
+    for id in severe as u64..mild as u64 {
+        plan = plan.fault_all_attempts(id, Tier::Full, FaultKind::LatencySpike { units: 100 });
+    }
+    let lifted = BreakerConfig { failure_threshold: u32::MAX, ..base.breaker };
+    let mut service =
+        MatchService::new(ServeConfig { breaker: lifted, ..base }, &index);
+    let responses = service.run(&MatchRequest::stream(n, entities, config.seed), &plan);
+    assert_all_resolved("drill 1", &responses);
+    let drill1_pass = responses.iter().all(|r| {
+        let id = r.id as usize;
+        if id < severe {
+            // Severe: every attempt times out → retried to the cap, then
+            // served from the cached tier.
+            served_tier(r) == Some(Tier::Cached) && r.retries == base.retry.max_retries
+        } else if id < mild {
+            // Mild: slowed but under the attempt timeout → full tier,
+            // with the spike charged to the virtual clock.
+            served_tier(r) == Some(Tier::Full)
+                && r.cost_units == base.tier_cost[Tier::Full.index()] + 100
+        } else {
+            served_tier(r) == Some(Tier::Full)
+        }
+    }) && service.stats().breaker_trips == 0;
+    total_add(&mut total, service.stats());
+    println!("[drill 1] latency spikes → {}", verdict(drill1_pass));
+
+    // ---------------------------------------------------------------
+    // Drill 2: worker panic storm trips the breaker; a probe recovers it.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 2] panic storm → breaker trip → probe recovery …");
+    let storm = 6u64;
+    let mut plan = ServeFaultPlan::new();
+    for id in 0..storm {
+        plan = plan.fault_all_attempts(id, Tier::Full, FaultKind::WorkerPanic);
+    }
+    let mut service = MatchService::new(base, &index);
+    let responses = service.run(&MatchRequest::stream(n, entities, config.seed), &plan);
+    assert_all_resolved("drill 2", &responses);
+    let tripped = service.breaker_trips(Component::SoftEncoder) >= 1;
+    let skipped = service.trace().iter().any(|l| l.contains("skip full"));
+    let recovered =
+        service.trace().iter().any(|l| l.contains("breaker soft_encoder recovered"));
+    let storm_degraded = responses
+        .iter()
+        .take(storm as usize)
+        .all(|r| served_tier(r) == Some(Tier::Cached));
+    let tail_full = served_tier(responses.last().unwrap()) == Some(Tier::Full);
+    let drill2_pass = tripped && skipped && recovered && storm_degraded && tail_full;
+    total_add(&mut total, service.stats());
+    println!(
+        "[drill 2] trips {} skipped {skipped} recovered {recovered} → {}",
+        service.breaker_trips(Component::SoftEncoder),
+        verdict(drill2_pass)
+    );
+
+    // ---------------------------------------------------------------
+    // Drill 3: NaN-poisoned features degrade without retry and never leak
+    // a garbage ranking — the served ranking is the clean cached tier's.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 3] NaN-poisoned full-tier features …");
+    let poisoned = n / 3;
+    let mut plan = ServeFaultPlan::new();
+    for id in 0..poisoned as u64 {
+        plan = plan.fault_all_attempts(id, Tier::Full, FaultKind::NanFeatures);
+    }
+    let mut service =
+        MatchService::new(ServeConfig { breaker: lifted, ..base }, &index);
+    let requests = MatchRequest::stream(n, entities, config.seed);
+    let responses = service.run(&requests, &plan);
+    assert_all_resolved("drill 3", &responses);
+    let drill3_pass = responses.iter().zip(&requests).all(|(r, q)| {
+        let want = if (r.id as usize) < poisoned { Tier::Cached } else { Tier::Full };
+        match &r.outcome {
+            Outcome::Served { tier, ranking } => {
+                *tier == want
+                    && r.retries == 0
+                    && *ranking == expected_ranking(&index, want, q.entity, base.top_k)
+            }
+            _ => false,
+        }
+    });
+    total_add(&mut total, service.stats());
+    println!("[drill 3] NaN features → {}", verdict(drill3_pass));
+
+    // ---------------------------------------------------------------
+    // Drill 4: corrupted cache rows. NaN kills the full tier, the CRC
+    // check kills the cached tier, so the storm lands on the hard tier.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 4] corrupted cache rows under a NaN-poisoned full tier …");
+    let corrupted = n / 3;
+    let mut plan = ServeFaultPlan::new();
+    for id in 0..corrupted as u64 {
+        plan = plan
+            .fault_all_attempts(id, Tier::Full, FaultKind::NanFeatures)
+            .fault_all_attempts(id, Tier::Cached, FaultKind::CorruptCache);
+    }
+    let mut service =
+        MatchService::new(ServeConfig { breaker: lifted, ..base }, &index);
+    let responses = service.run(&MatchRequest::stream(n, entities, config.seed), &plan);
+    assert_all_resolved("drill 4", &responses);
+    let checksum_caught =
+        service.trace().iter().any(|l| l.contains("row checksum mismatch"));
+    let drill4_pass = checksum_caught
+        && responses.iter().all(|r| {
+            let want = if (r.id as usize) < corrupted { Tier::Hard } else { Tier::Full };
+            served_tier(r) == Some(want)
+        });
+    total_add(&mut total, service.stats());
+    println!("[drill 4] corrupt cache → {}", verdict(drill4_pass));
+
+    // ---------------------------------------------------------------
+    // Drill 5: overload sheds the tail at admission, nothing else.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 5] overload burst past the queue depth …");
+    let depth = n / 2;
+    let mut service =
+        MatchService::new(ServeConfig { max_queue_depth: depth, ..base }, &index);
+    let responses = service.run(
+        &MatchRequest::stream(n, entities, config.seed),
+        &ServeFaultPlan::new(),
+    );
+    assert_all_resolved("drill 5", &responses);
+    let drill5_pass = service.stats().shed == (n - depth) as u64
+        && service.stats().admitted == depth as u64
+        && responses[..depth].iter().all(|r| served_tier(r) == Some(Tier::Full))
+        && responses[depth..].iter().all(|r| r.outcome == Outcome::Shed);
+    total_add(&mut total, service.stats());
+    println!(
+        "[drill 5] shed {}/{} → {}",
+        service.stats().shed,
+        n,
+        verdict(drill5_pass)
+    );
+
+    // ---------------------------------------------------------------
+    // Determinism: a combined storm replayed at 1 and 4 threads must be
+    // bit-identical — responses, traces, and stats.
+    // ---------------------------------------------------------------
+    eprintln!("[determinism] combined storm at 1 vs 4 threads …");
+    let mut storm_plan = ServeFaultPlan::new();
+    for id in 0..(n / 6) as u64 {
+        storm_plan = storm_plan.fault_all_attempts(id, Tier::Full, FaultKind::WorkerPanic);
+    }
+    for id in (n / 6) as u64..(n / 3) as u64 {
+        storm_plan = storm_plan
+            .fault_all_attempts(id, Tier::Full, FaultKind::LatencySpike { units: 10_000 })
+            .fault_all_attempts(id, Tier::Cached, FaultKind::CorruptCache);
+    }
+    for id in (n / 3) as u64..(n / 2) as u64 {
+        storm_plan = storm_plan.fault_all_attempts(id, Tier::Full, FaultKind::NanFeatures);
+    }
+    let requests = MatchRequest::stream(n, entities, config.seed.wrapping_add(1));
+    let run_with = |threads: usize| {
+        let _guard = ThreadsGuard::new(threads);
+        let mut service = MatchService::new(base, &index);
+        let responses = service.run(&requests, &storm_plan);
+        (responses, service.trace().to_vec(), service.stats().clone())
+    };
+    let (r1, t1, s1) = run_with(1);
+    let (r4, t4, s4) = run_with(4);
+    let determinism_pass = r1 == r4 && t1 == t4 && s1 == s4;
+    total_add(&mut total, &s1);
+    total_add(&mut total, &s4);
+    println!("[determinism] 1 vs 4 threads → {}", verdict(determinism_pass));
+
+    // ---------------------------------------------------------------
+    // Summary + BENCH_serving.json
+    // ---------------------------------------------------------------
+    let obs_after = cem_obs::global().snapshot();
+    let window = obs_after.delta_since(&obs_before);
+    let latency_ms = |tier: Tier, q: f64| -> f64 {
+        window
+            .span(&format!("serve.match.{}", tier.label()))
+            .map_or(0.0, |s| s.approx_quantile(q) / 1e6)
+    };
+
+    let all_pass = drill1_pass
+        && drill2_pass
+        && drill3_pass
+        && drill4_pass
+        && drill5_pass
+        && determinism_pass;
+    let processed = total.admitted + total.shed;
+    let shed_rate = if processed == 0 { 0.0 } else { total.shed as f64 / processed as f64 };
+    println!(
+        "\nserving: {} requests, shed rate {:.3}, {} breaker trips, {} retries, \
+         {} deadline-exceeded",
+        processed, shed_rate, total.breaker_trips, total.retries, total.deadline_exceeded
+    );
+    println!("chaos drill: {}", if all_pass { "ALL PASS" } else { "FAILURES" });
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"harness\": \"chaos_drill\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "standard" });
+    let _ = writeln!(json, "  \"entities\": {entities},");
+    let _ = writeln!(json, "  \"images\": {images},");
+    let _ = writeln!(json, "  \"requests_per_drill\": {n},");
+    let _ = writeln!(json, "  \"tiers\": {{");
+    for (i, tier) in Tier::ALL.iter().enumerate() {
+        let m = &tier_metrics[tier.index()];
+        let _ = writeln!(json, "    \"{}\": {{", tier.label());
+        let _ = writeln!(json, "      \"served\": {},", total.served[tier.index()]);
+        let _ = writeln!(json, "      \"latency_p50_ms\": {:.4},", latency_ms(*tier, 0.5));
+        let _ = writeln!(json, "      \"latency_p99_ms\": {:.4},", latency_ms(*tier, 0.99));
+        let _ = writeln!(json, "      \"hits_at_1\": {:.4},", m.hits_at_1);
+        let _ = writeln!(json, "      \"mrr\": {:.4},", m.mrr);
+        let _ = writeln!(json, "      \"mrr_vs_full\": {:.4}", m.mrr as f64 / full_mrr.max(1e-9));
+        let _ = writeln!(json, "    }}{}", if i + 1 < Tier::COUNT { "," } else { "" });
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"shed_rate\": {shed_rate:.4},");
+    let _ = writeln!(json, "  \"breaker_trips\": {},", total.breaker_trips);
+    let _ = writeln!(json, "  \"retries\": {},", total.retries);
+    let _ = writeln!(json, "  \"deadline_exceeded\": {},", total.deadline_exceeded);
+    let _ = writeln!(json, "  \"drill1_latency_pass\": {drill1_pass},");
+    let _ = writeln!(json, "  \"drill2_panic_breaker_pass\": {drill2_pass},");
+    let _ = writeln!(json, "  \"drill3_nan_pass\": {drill3_pass},");
+    let _ = writeln!(json, "  \"drill4_corrupt_cache_pass\": {drill4_pass},");
+    let _ = writeln!(json, "  \"drill5_shed_pass\": {drill5_pass},");
+    let _ = writeln!(json, "  \"determinism_pass\": {determinism_pass},");
+    let _ = writeln!(json, "  \"all_pass\": {all_pass}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("wrote BENCH_serving.json");
+
+    if !all_pass {
+        std::process::exit(1);
+    }
+}
+
+fn total_add(total: &mut ServeStats, stats: &ServeStats) {
+    total.admitted += stats.admitted;
+    total.shed += stats.shed;
+    for t in 0..Tier::COUNT {
+        total.served[t] += stats.served[t];
+    }
+    total.deadline_exceeded += stats.deadline_exceeded;
+    total.retries += stats.retries;
+    total.breaker_trips += stats.breaker_trips;
+}
+
+fn verdict(pass: bool) -> &'static str {
+    if pass {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

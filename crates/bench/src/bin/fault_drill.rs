@@ -10,6 +10,10 @@
 //!    still finishes with finite loss and sane metrics.
 //! 3. **Corruption rejection** — every truncated or bit-flipped checkpoint
 //!    must be rejected with a typed error; none may panic or load.
+//! 4. **Torn rotation** — a crash *during* checkpoint rotation (after the
+//!    incoming temp file is written but with the write torn, part-way
+//!    through the rename sequence) must fall back to the previous intact
+//!    generation on load.
 //!
 //! Timings (checkpoint write/read latency, resume overhead) are written to
 //! `BENCH_robustness.json`. Honours `--quick`.
@@ -17,13 +21,14 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cem_bench::faults::{corrupt_byte, truncate_file, CrashAfterEpoch, NanPoisoner};
+use cem_bench::faults::{corrupt_byte, flip_bit, truncate_file, CrashAfterEpoch, NanPoisoner};
 use cem_bench::{prepare, HarnessConfig, PreparedBundle};
 use cem_data::DatasetKind;
 use cem_tensor::io::StateDict;
+use cem_tensor::Tensor;
 use crossem::guard::FaultInjector;
 use crossem::trainer::{TrainOptions, TrainReport};
-use crossem::{CheckpointManager, CrossEm, PromptKind};
+use crossem::{CheckpointManager, CrossEm, PromptKind, ResumeSource};
 
 /// Stage index for the drill RNG (distinct from the table harness stages).
 const DRILL_STAGE: u64 = 77;
@@ -192,9 +197,63 @@ fn main() {
     );
 
     // ---------------------------------------------------------------
+    // Drill 4: a crash mid-rotation with a torn incoming file must fall
+    // back to the previous generation.
+    // ---------------------------------------------------------------
+    eprintln!("[drill 4] tearing the incoming file mid-rotation …");
+    let gen_dict = |gen: u64| {
+        let mut dict = StateDict::new();
+        dict.insert("gen", Tensor::from_vec(vec![gen as f32], &[1, 1]));
+        dict.insert_meta("gen", gen);
+        dict
+    };
+    let dir_torn = scratch_dir("torn");
+    let mut torn_cases = 0usize;
+    let mut torn_fallbacks = 0usize;
+    // `promoted` = whether the crash hit before or after the damaged
+    // incoming file was renamed over `latest`.
+    for (mode, promoted) in
+        [("truncate", true), ("flip", true), ("truncate", false), ("flip", false)]
+    {
+        std::fs::remove_dir_all(&dir_torn).ok();
+        let manager = CheckpointManager::new(&dir_torn).expect("scratch dir");
+        manager.save(&gen_dict(1)).expect("gen 1 save");
+        manager.save(&gen_dict(2)).expect("gen 2 save");
+        // Simulated crash during the generation-3 save: the incoming temp
+        // file lands damaged (torn write / bit rot) and the process dies
+        // part-way through save()'s rename sequence.
+        let incoming = dir_torn.join("ckpt-incoming.cemt");
+        gen_dict(3).save(&incoming).expect("gen 3 incoming");
+        let len = std::fs::metadata(&incoming).expect("incoming metadata").len();
+        match mode {
+            "truncate" => truncate_file(&incoming, len / 3).expect("tear incoming"),
+            _ => flip_bit(&incoming, len / 2, 2).expect("flip incoming"),
+        }
+        std::fs::rename(manager.latest_path(), manager.prev_path()).expect("demote latest");
+        if promoted {
+            std::fs::rename(&incoming, manager.latest_path()).expect("promote incoming");
+        }
+        torn_cases += 1;
+        let fell_back = matches!(
+            manager.load(),
+            Ok(Some((dict, ResumeSource::Previous))) if dict.meta("gen") == Some(2)
+        );
+        if fell_back {
+            torn_fallbacks += 1;
+        } else {
+            eprintln!("[drill 4] {mode} (promoted={promoted}): no fallback to generation 2");
+        }
+    }
+    let drill4_pass = torn_fallbacks == torn_cases;
+    println!(
+        "[drill 4] {torn_fallbacks}/{torn_cases} torn rotations fell back to prev → {}",
+        if drill4_pass { "PASS" } else { "FAIL" }
+    );
+
+    // ---------------------------------------------------------------
     // Summary + BENCH_robustness.json
     // ---------------------------------------------------------------
-    let all_pass = drill1_pass && drill2_pass && drill3_pass;
+    let all_pass = drill1_pass && drill2_pass && drill3_pass && drill4_pass;
     println!(
         "\ncheckpoint: {checkpoint_bytes} bytes, write {checkpoint_write_ms:.2} ms, \
          read {checkpoint_read_ms:.2} ms, resume load {resume_load_ms:.2} ms"
@@ -220,6 +279,9 @@ fn main() {
     let _ = writeln!(json, "  \"drill3_corruption_pass\": {drill3_pass},");
     let _ = writeln!(json, "  \"drill3_cases\": {cases},");
     let _ = writeln!(json, "  \"drill3_rejected\": {rejected},");
+    let _ = writeln!(json, "  \"drill4_torn_rotation_pass\": {drill4_pass},");
+    let _ = writeln!(json, "  \"drill4_cases\": {torn_cases},");
+    let _ = writeln!(json, "  \"drill4_fallbacks\": {torn_fallbacks},");
     let _ = writeln!(json, "  \"checkpoint_bytes\": {checkpoint_bytes},");
     let _ = writeln!(json, "  \"checkpoint_write_ms\": {checkpoint_write_ms:.3},");
     let _ = writeln!(json, "  \"checkpoint_read_ms\": {checkpoint_read_ms:.3},");
@@ -228,7 +290,7 @@ fn main() {
     std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
     println!("wrote BENCH_robustness.json");
 
-    for dir in [dir_full, dir_crash, timing_dir] {
+    for dir in [dir_full, dir_crash, timing_dir, dir_torn] {
         std::fs::remove_dir_all(dir).ok();
     }
     std::fs::remove_file(&victim).ok();

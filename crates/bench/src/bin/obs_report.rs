@@ -29,8 +29,11 @@ use crossem::{CrossEm, PromptKind, TrainOptions};
 
 /// Span-name prefixes treated as disjoint leaves of the wall-time
 /// breakdown. Nested drill-down spans (anything else, e.g. `kmeans.run`)
-/// are reported but excluded from the coverage sum.
-const LEAF_FAMILIES: [&str; 5] = ["phase.", "prep.", "setup.", "pretrain.", "checkpoint."];
+/// are reported but excluded from the coverage sum. The `serve.*` family
+/// covers the serving phase (`serve.match.<tier>` per-tier latency) and is
+/// disjoint from the training families by construction.
+const LEAF_FAMILIES: [&str; 6] =
+    ["phase.", "prep.", "setup.", "pretrain.", "checkpoint.", "serve."];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -144,11 +147,22 @@ struct SpanRow {
 /// Parse, validate, and print the breakdown. Returns `Err(message)` on any
 /// validation failure.
 fn report(path: &Path, min_coverage: Option<f64>) -> Result<(), String> {
+    if !path.exists() {
+        return Err(format!(
+            "stream file {} does not exist — pass the path of a telemetry JSONL stream, \
+             or use --drill to generate one",
+            path.display()
+        ));
+    }
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let ends_with_newline = text.ends_with('\n');
     let raw_lines: Vec<&str> = text.lines().collect();
     if raw_lines.is_empty() {
-        return Err("empty event stream".into());
+        return Err(format!(
+            "stream file {} is empty — the run emitted no events (did the ObsSession begin, \
+             and was telemetry enabled?)",
+            path.display()
+        ));
     }
 
     let mut events: Vec<Object> = Vec::with_capacity(raw_lines.len());

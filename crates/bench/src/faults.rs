@@ -6,10 +6,12 @@
 //! disk — all reproducibly, with no randomness and no test-only branches
 //! in production code.
 
+use std::collections::HashMap;
 use std::fs::OpenOptions;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use cem_serve::{FaultKind, ServeFault, Tier};
 use cem_tensor::Tensor;
 use crossem::guard::{EpochAction, FaultInjector};
 
@@ -67,6 +69,53 @@ impl FaultInjector for CrashAfterEpoch {
     }
 }
 
+/// Scripted fault schedule for the serving drills: a pure lookup table
+/// over `(request id, tier, attempt)`, so the same plan replays the exact
+/// same fault sequence at any thread count. Exact-attempt entries take
+/// precedence over all-attempt entries for the same `(request, tier)`.
+#[derive(Debug, Default, Clone)]
+pub struct ServeFaultPlan {
+    exact: HashMap<(u64, usize, u32), FaultKind>,
+    every_attempt: HashMap<(u64, usize), FaultKind>,
+}
+
+impl ServeFaultPlan {
+    pub fn new() -> Self {
+        ServeFaultPlan::default()
+    }
+
+    /// Inject `kind` into exactly one attempt of one tier of one request.
+    pub fn fault_at(mut self, request_id: u64, tier: Tier, attempt: u32, kind: FaultKind) -> Self {
+        self.exact.insert((request_id, tier.index(), attempt), kind);
+        self
+    }
+
+    /// Inject `kind` into every attempt of one tier of one request —
+    /// a persistent failure that outlasts the retry budget.
+    pub fn fault_all_attempts(mut self, request_id: u64, tier: Tier, kind: FaultKind) -> Self {
+        self.every_attempt.insert((request_id, tier.index()), kind);
+        self
+    }
+
+    /// Number of scripted entries (exact + persistent).
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.every_attempt.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.every_attempt.is_empty()
+    }
+}
+
+impl ServeFault for ServeFaultPlan {
+    fn inject(&self, request_id: u64, tier: Tier, attempt: u32) -> Option<FaultKind> {
+        self.exact
+            .get(&(request_id, tier.index(), attempt))
+            .or_else(|| self.every_attempt.get(&(request_id, tier.index())))
+            .copied()
+    }
+}
+
 /// Truncate a file to `keep` bytes (a torn write).
 pub fn truncate_file(path: impl AsRef<Path>, keep: u64) -> io::Result<()> {
     let file = OpenOptions::new().write(true).open(path)?;
@@ -102,6 +151,23 @@ mod tests {
             std::env::temp_dir().join(format!("cem_faults_{tag}_{}", std::process::id()));
         std::fs::write(&path, bytes).unwrap();
         path
+    }
+
+    #[test]
+    fn serve_fault_plan_is_a_pure_lookup() {
+        let plan = ServeFaultPlan::new()
+            .fault_at(3, Tier::Full, 1, FaultKind::WorkerPanic)
+            .fault_all_attempts(3, Tier::Full, FaultKind::NanFeatures)
+            .fault_all_attempts(5, Tier::Cached, FaultKind::CorruptCache);
+        assert_eq!(plan.len(), 3);
+        // Exact entry wins over the persistent one for the same key.
+        assert_eq!(plan.inject(3, Tier::Full, 1), Some(FaultKind::WorkerPanic));
+        assert_eq!(plan.inject(3, Tier::Full, 0), Some(FaultKind::NanFeatures));
+        assert_eq!(plan.inject(3, Tier::Full, 2), Some(FaultKind::NanFeatures));
+        assert_eq!(plan.inject(5, Tier::Cached, 7), Some(FaultKind::CorruptCache));
+        assert_eq!(plan.inject(5, Tier::Full, 0), None);
+        assert_eq!(plan.inject(4, Tier::Cached, 0), None);
+        assert!(!plan.is_empty());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //! | `table4_ablation` | Table IV — ablation study |
 //! | `table5_casestudy` | Table V — MKG integration case study |
 //! | `run_all` | everything above in sequence |
-//! | `fault_drill` | resilience drills: crash/resume equivalence, NaN-injection rollback, checkpoint corruption rejection (writes `BENCH_robustness.json`) |
+//! | `fault_drill` | resilience drills: crash/resume equivalence, NaN-injection rollback, checkpoint corruption rejection, torn-rotation fallback (writes `BENCH_robustness.json`) |
+//! | `chaos_drill` | serving chaos drills: latency spikes, worker panics, NaN features, corrupt cache rows, overload shedding, thread-count determinism (writes `BENCH_serving.json`) |
 //!
 //! All harnesses honour `--quick` (smaller data/epochs) and print both
 //! measured numbers and the paper's reference values so shape comparisons

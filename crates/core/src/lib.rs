@@ -43,6 +43,6 @@ pub use cache::FeatureCache;
 pub use checkpoint::{CheckpointManager, ResumeError, ResumeSource};
 pub use config::{GuardConfig, PromptKind, TrainConfig};
 pub use guard::{DivergenceGuard, EpochAction, FaultInjector, GuardVerdict};
-pub use matcher::{rank_images, MatchingSet};
+pub use matcher::{rank_images, rank_row, score_cmp, MatchingSet};
 pub use metrics::{evaluate_rankings, Metrics};
 pub use trainer::{CrossEm, EpochStats, TrainOptions, TrainReport};

@@ -1,23 +1,42 @@
 //! Matching probabilities (Eq. 4), image ranking, and matching-set
 //! extraction (Def. 2's set `S`).
 
+use std::cmp::Ordering;
+
 use cem_tensor::Tensor;
+
+/// Deterministic total order over scores: every NaN sinks below every
+/// finite (and infinite) score, and finite scores compare by
+/// [`f32::total_cmp`]. Ranking a poisoned score matrix therefore never
+/// promotes a NaN entry and never depends on comparator call order the way
+/// `partial_cmp(..).unwrap_or(Equal)` did.
+pub fn score_cmp(a: f32, b: f32) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.total_cmp(&b),
+    }
+}
+
+/// Rank the image indices of one score row, best first, truncated to
+/// `top_k` (0 = keep all). NaN scores sort last; ties keep index order
+/// (stable sort), so the ranking is a deterministic permutation prefix for
+/// *any* input, poisoned or not.
+pub fn rank_row(row: &[f32], top_k: usize) -> Vec<usize> {
+    let keep = if top_k == 0 { row.len() } else { top_k.min(row.len()) };
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| score_cmp(row[b], row[a]));
+    idx.truncate(keep);
+    idx
+}
 
 /// Rank image indices for every query row of a score matrix `[N, M]`,
 /// best first, truncated to `top_k` (0 = keep all).
 pub fn rank_images(scores: &Tensor, top_k: usize) -> Vec<Vec<usize>> {
     let (n, m) = scores.shape().as_matrix();
     let data = scores.data();
-    let keep = if top_k == 0 { m } else { top_k.min(m) };
-    (0..n)
-        .map(|r| {
-            let row = &data[r * m..(r + 1) * m];
-            let mut idx: Vec<usize> = (0..m).collect();
-            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
-            idx.truncate(keep);
-            idx
-        })
-        .collect()
+    (0..n).map(|r| rank_row(&data[r * m..(r + 1) * m], top_k)).collect()
 }
 
 /// The extracted matching set `S = {(x_i, x_j)}` with scores.
@@ -38,7 +57,7 @@ impl MatchingSet {
                 let row = &data[r * m..(r + 1) * m];
                 let mut best = 0usize;
                 for (j, v) in row.iter().enumerate() {
-                    if *v > row[best] {
+                    if score_cmp(*v, row[best]) == Ordering::Greater {
                         best = j;
                     }
                 }
@@ -56,7 +75,8 @@ impl MatchingSet {
         for r in 0..n {
             for j in 0..m {
                 let p = data[r * m + j];
-                if p > threshold {
+                // NaN never clears a threshold under the total order.
+                if score_cmp(p, threshold) == Ordering::Greater {
                     pairs.push((r, j, p));
                 }
             }
@@ -117,6 +137,42 @@ mod tests {
         let s = MatchingSet::thresholded(&scores(), 0.45);
         assert_eq!(s.len(), 2); // 0.7 and 0.5
         assert!(s.pairs.iter().all(|&(_, _, p)| p > 0.45));
+    }
+
+    #[test]
+    fn score_cmp_is_a_total_order_with_nan_at_the_bottom() {
+        assert_eq!(score_cmp(f32::NAN, f32::NAN), Ordering::Equal);
+        assert_eq!(score_cmp(f32::NAN, f32::NEG_INFINITY), Ordering::Less);
+        assert_eq!(score_cmp(f32::INFINITY, f32::NAN), Ordering::Greater);
+        assert_eq!(score_cmp(-0.0, 0.0), Ordering::Less, "total_cmp separates signed zero");
+        assert_eq!(score_cmp(0.3, 0.7), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_poisoned_rows_rank_deterministically() {
+        // Row 0: NaN in the middle must sink below every finite score.
+        // Row 1: all-NaN must still yield a full, stable permutation.
+        let poisoned = Tensor::from_vec(
+            vec![0.1, f32::NAN, 0.2, f32::NAN, f32::NAN, f32::NAN],
+            &[2, 3],
+        );
+        let r = rank_images(&poisoned, 0);
+        assert_eq!(r[0], vec![2, 0, 1]);
+        assert_eq!(r[1], vec![0, 1, 2]);
+
+        let s = MatchingSet::top1(&poisoned);
+        assert_eq!(s.pairs[0].1, 2, "top1 must never pick a NaN over a finite score");
+        assert_eq!(s.pairs[1].1, 0, "all-NaN row falls back to the first index");
+
+        let t = MatchingSet::thresholded(&poisoned, 0.0);
+        assert_eq!(t.len(), 2, "NaN never clears a threshold");
+    }
+
+    #[test]
+    fn rank_row_matches_rank_images_and_truncates() {
+        let row = [0.5, f32::NAN, 0.9, 0.5];
+        assert_eq!(rank_row(&row, 0), vec![2, 0, 3, 1]);
+        assert_eq!(rank_row(&row, 2), vec![2, 0]);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Per-component circuit breakers with a deterministic probe schedule.
+//!
+//! One breaker guards each fallible pipeline component (the soft-prompt
+//! encoder behind the full tier, the frozen-feature cache behind the cached
+//! tier, the proximity/hard-prompt prep behind the hard tier; the zero-shot
+//! floor is unguarded by design). State machine:
+//!
+//! ```text
+//!            consecutive failures ≥ threshold
+//!   Closed ────────────────────────────────────▶ Open
+//!     ▲                                            │ cooldown ticks elapse
+//!     │ probe succeeds                             ▼
+//!     └──────────────────────────────────────── HalfOpen
+//!                    probe fails → Open (new cooldown)
+//! ```
+//!
+//! Time is the service's **fold tick** (requests folded so far), not wall
+//! clock, and each trip's cooldown is `cooldown_base` plus SplitMix64
+//! jitter over `(service seed, component, trip count)` — so the open/probe
+//! schedule replays exactly under a fixed seed.
+
+use crate::config::BreakerConfig;
+use crate::retry::splitmix64;
+
+/// The fallible pipeline components, one breaker each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Soft-prompt encoder behind [`crate::tiers::Tier::Full`].
+    SoftEncoder,
+    /// Frozen-feature cache behind [`crate::tiers::Tier::Cached`].
+    FeatureCache,
+    /// Proximity / hard-prompt preparation behind [`crate::tiers::Tier::Hard`].
+    Prep,
+}
+
+impl Component {
+    pub const COUNT: usize = 3;
+    pub const ALL: [Component; Component::COUNT] =
+        [Component::SoftEncoder, Component::FeatureCache, Component::Prep];
+
+    pub fn index(self) -> usize {
+        match self {
+            Component::SoftEncoder => 0,
+            Component::FeatureCache => 1,
+            Component::Prep => 2,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::SoftEncoder => "soft_encoder",
+            Component::FeatureCache => "feature_cache",
+            Component::Prep => "prep",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// A state change worth tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed → Open (threshold reached).
+    Tripped,
+    /// HalfOpen → Open (probe failed).
+    Reopened,
+    /// HalfOpen → Closed (probe succeeded).
+    Recovered,
+}
+
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    seed: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Fold tick at which an open breaker half-opens.
+    open_until: u64,
+    trips: u64,
+}
+
+impl CircuitBreaker {
+    pub fn new(config: BreakerConfig, seed: u64, component: Component) -> Self {
+        config.validate();
+        CircuitBreaker {
+            config,
+            seed: splitmix64(seed, component.index() as u64 + 1),
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until: 0,
+            trips: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total Closed→Open and HalfOpen→Open transitions.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Advance open→half-open when the cooldown has elapsed. Called at wave
+    /// boundaries before the snapshot is taken.
+    pub fn refresh(&mut self, tick: u64) {
+        if self.state == BreakerState::Open && tick >= self.open_until {
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+
+    /// Deterministic cooldown for the upcoming trip.
+    fn cooldown(&self) -> u64 {
+        let jitter = if self.config.cooldown_jitter == 0 {
+            0
+        } else {
+            splitmix64(self.seed, self.trips) % (self.config.cooldown_jitter + 1)
+        };
+        self.config.cooldown_base + jitter
+    }
+
+    fn trip(&mut self, tick: u64) {
+        self.open_until = tick + self.cooldown();
+        self.trips += 1;
+        self.state = BreakerState::Open;
+        self.consecutive_failures = 0;
+    }
+
+    /// Fold one component outcome (in arrival order). Outcomes folded while
+    /// the breaker is already open — stragglers from the same wave as the
+    /// trip — are ignored, keeping the trace independent of wave size.
+    pub fn record(&mut self, tick: u64, success: bool) -> Option<BreakerTransition> {
+        match (self.state, success) {
+            (BreakerState::Open, _) => None,
+            (BreakerState::Closed, true) => {
+                self.consecutive_failures = 0;
+                None
+            }
+            (BreakerState::Closed, false) => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip(tick);
+                    Some(BreakerTransition::Tripped)
+                } else {
+                    None
+                }
+            }
+            (BreakerState::HalfOpen, true) => {
+                self.state = BreakerState::Closed;
+                self.consecutive_failures = 0;
+                Some(BreakerTransition::Recovered)
+            }
+            (BreakerState::HalfOpen, false) => {
+                self.trip(tick);
+                Some(BreakerTransition::Reopened)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(
+            BreakerConfig { failure_threshold: 3, cooldown_base: 5, cooldown_jitter: 0 },
+            9,
+            Component::SoftEncoder,
+        )
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = breaker();
+        assert_eq!(b.record(1, false), None);
+        assert_eq!(b.record(2, true), None, "success resets the streak");
+        assert_eq!(b.record(3, false), None);
+        assert_eq!(b.record(4, false), None);
+        assert_eq!(b.record(5, false), Some(BreakerTransition::Tripped));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn open_ignores_stragglers_then_half_opens() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record(t, false);
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.record(3, false), None, "straggler ignored");
+        b.refresh(4);
+        assert_eq!(b.state(), BreakerState::Open, "cooldown not elapsed");
+        b.refresh(2 + 5);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_outcome_decides_the_next_state() {
+        let mut b = breaker();
+        for t in 0..3 {
+            b.record(t, false);
+        }
+        b.refresh(100);
+        assert_eq!(b.record(100, true), Some(BreakerTransition::Recovered));
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        for t in 101..104 {
+            b.record(t, false);
+        }
+        b.refresh(200);
+        assert_eq!(b.record(200, false), Some(BreakerTransition::Reopened));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 3);
+    }
+
+    #[test]
+    fn cooldown_schedule_is_seed_deterministic() {
+        let config = BreakerConfig { failure_threshold: 1, cooldown_base: 8, cooldown_jitter: 6 };
+        let run = |seed: u64| {
+            let mut b = CircuitBreaker::new(config, seed, Component::Prep);
+            let mut opens = Vec::new();
+            for t in 0..6u64 {
+                b.record(t * 100, false);
+                opens.push(b.open_until);
+                b.refresh(u64::MAX);
+            }
+            opens
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "expected seed-dependent cooldown jitter");
+    }
+}

@@ -1,0 +1,138 @@
+//! Serving policy knobs: deadlines, retry budgets, breaker thresholds, and
+//! admission control.
+//!
+//! Everything latency-like is expressed in **virtual cost units**, not wall
+//! clock: each tier attempt charges a deterministic cost, injected latency
+//! spikes add units, and retry backoff delays add units. Deadlines are
+//! budgets over this virtual clock, so the same request stream produces the
+//! same deadline/degradation decisions on any machine at any thread count
+//! (the determinism contract of DESIGN.md §11). Wall-clock latency is still
+//! *measured* per request for reporting, but never consulted for decisions.
+
+use crate::tiers::Tier;
+
+/// Bounded exponential backoff policy for transient tier failures (worker
+/// panics, attempt timeouts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Retries per tier attempt beyond the first try. `0` disables retry.
+    pub max_retries: u32,
+    /// Virtual-unit delay before the first retry; doubles per attempt.
+    pub base_delay: u64,
+    /// Hard cap on any single backoff delay (after jitter).
+    pub max_delay: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig { max_retries: 2, base_delay: 16, max_delay: 500 }
+    }
+}
+
+impl RetryConfig {
+    pub fn validate(&self) {
+        assert!(self.base_delay > 0, "retry base_delay must be positive");
+        assert!(self.max_delay >= self.base_delay, "retry max_delay below base_delay");
+    }
+}
+
+/// Circuit-breaker policy shared by the per-component breakers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (in fold order) before the breaker trips open.
+    pub failure_threshold: u32,
+    /// Requests the breaker stays open before half-opening for a probe.
+    pub cooldown_base: u64,
+    /// Upper bound on the deterministic per-trip cooldown jitter.
+    pub cooldown_jitter: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown_base: 8, cooldown_jitter: 4 }
+    }
+}
+
+impl BreakerConfig {
+    pub fn validate(&self) {
+        assert!(self.failure_threshold >= 1, "breaker failure_threshold must be positive");
+        assert!(self.cooldown_base >= 1, "breaker cooldown_base must be positive");
+    }
+}
+
+/// Full service policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Seed for every service-side deterministic schedule (breaker cooldown
+    /// jitter). Request-side jitter derives from each request's own seed.
+    pub seed: u64,
+    /// Per-request virtual budget; exceeded → `DeadlineExceeded`, checked
+    /// between pipeline stages.
+    pub deadline_units: u64,
+    /// A single tier attempt (tier cost + latency spike) exceeding this is
+    /// cancelled as a timeout — a transient, retriable failure.
+    pub attempt_timeout_units: u64,
+    /// Deterministic cost of one attempt per tier, indexed by [`Tier`].
+    /// Richer tiers cost more, mirroring their real relative latency.
+    pub tier_cost: [u64; Tier::COUNT],
+    /// Images returned per served request (ranking depth).
+    pub top_k: usize,
+    /// Requests beyond this backlog are shed at admission.
+    pub max_queue_depth: usize,
+    /// Requests executed per scheduling wave; breaker state is snapshotted
+    /// at wave boundaries and outcomes folded back in arrival order.
+    pub wave: usize,
+    pub retry: RetryConfig,
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 0,
+            deadline_units: 4_000,
+            attempt_timeout_units: 900,
+            tier_cost: [400, 120, 250, 60],
+            top_k: 10,
+            max_queue_depth: 4_096,
+            wave: 64,
+            retry: RetryConfig::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    pub fn validate(&self) {
+        assert!(self.deadline_units > 0, "deadline_units must be positive");
+        assert!(self.attempt_timeout_units > 0, "attempt_timeout_units must be positive");
+        assert!(self.tier_cost.iter().all(|&c| c > 0), "tier costs must be positive");
+        assert!(self.top_k >= 1, "top_k must be positive");
+        assert!(self.max_queue_depth >= 1, "max_queue_depth must be positive");
+        assert!(self.wave >= 1, "wave must be positive");
+        self.retry.validate();
+        self.breaker.validate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        ServeConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delay")]
+    fn inverted_retry_bounds_rejected() {
+        RetryConfig { base_delay: 100, max_delay: 10, ..RetryConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "wave")]
+    fn zero_wave_rejected() {
+        ServeConfig { wave: 0, ..ServeConfig::default() }.validate();
+    }
+}

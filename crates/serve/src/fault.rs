@@ -1,0 +1,95 @@
+//! Fault injection surface of the serving path.
+//!
+//! The service consults a [`ServeFault`] implementation before every tier
+//! attempt; production callers pass [`NoFaults`], drill harnesses pass a
+//! scripted plan (see `cem_bench::faults::ServeFaultPlan`). Faults are keyed
+//! by `(request id, tier, attempt)` so a schedule is deterministic data, not
+//! a random process — the same plan replays identically at any thread count.
+
+use crate::tiers::Tier;
+
+/// Marker embedded in every injected worker panic so the panic-hook filter
+/// and the `catch_unwind` boundary can tell drills from genuine bugs.
+pub const PANIC_MARKER: &str = "cem-serve injected worker panic";
+
+/// One injectable failure, mirroring the four chaos drills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The attempt takes `units` extra virtual cost units. A spike pushing
+    /// the attempt past `attempt_timeout_units` cancels it as a transient
+    /// timeout; a milder spike just burns deadline budget.
+    LatencySpike { units: u64 },
+    /// The scoring closure panics mid-attempt (caught at the pool boundary
+    /// via `catch_unwind`); transient, retriable.
+    WorkerPanic,
+    /// The component's feature output is NaN-poisoned — scores compute but
+    /// rank garbage. Detected by the non-finite top-score check; degrades
+    /// to the next tier immediately (retrying won't unpoison an encoder).
+    NanFeatures,
+    /// The tier's cached score row is bit-corrupted in storage. Caught by
+    /// the per-row checksum; degrades immediately.
+    CorruptCache,
+}
+
+/// A deterministic fault schedule. `Sync` because workers consult it in
+/// parallel; implementations must answer from immutable data.
+pub trait ServeFault: Sync {
+    /// The fault to inject into attempt `attempt` (0-based) of `tier` for
+    /// request `request_id`, if any.
+    fn inject(&self, request_id: u64, tier: Tier, attempt: u32) -> Option<FaultKind>;
+}
+
+/// The production schedule: nothing ever fails on purpose.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoFaults;
+
+impl ServeFault for NoFaults {
+    fn inject(&self, _request_id: u64, _tier: Tier, _attempt: u32) -> Option<FaultKind> {
+        None
+    }
+}
+
+/// Suppress the default "thread panicked" stderr noise for *injected*
+/// panics only; real panics still print through the previous hook. Safe to
+/// call from multiple tests — the hook installs once per process.
+pub fn silence_injected_panics() {
+    use std::sync::Once;
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.contains(PANIC_MARKER))
+                .or_else(|| {
+                    info.payload().downcast_ref::<String>().map(|s| s.contains(PANIC_MARKER))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_never_injects() {
+        assert_eq!(NoFaults.inject(0, Tier::Full, 0), None);
+        assert_eq!(NoFaults.inject(u64::MAX, Tier::Zero, 7), None);
+    }
+
+    #[test]
+    fn injected_panics_are_catchable_and_silent() {
+        silence_injected_panics();
+        let caught = std::panic::catch_unwind(|| panic!("{PANIC_MARKER}: drill"));
+        assert!(caught.is_err());
+        let message = caught.unwrap_err();
+        let text = message.downcast_ref::<String>().cloned().unwrap();
+        assert!(text.contains(PANIC_MARKER));
+    }
+}

@@ -1,0 +1,89 @@
+//! Bounded exponential backoff with deterministic seeded jitter.
+//!
+//! Jitter derives from the *request seed* via SplitMix64, never from wall
+//! clock or a shared RNG stream, so the full retry schedule of a request is
+//! a pure function of `(RetryConfig, request seed)` — identical across
+//! runs, machines, and thread counts.
+
+use crate::config::RetryConfig;
+
+/// SplitMix64: statistically independent streams from one seed (the same
+/// mixer the checkpoint layer uses for per-epoch shuffle seeds).
+pub fn splitmix64(seed: u64, stream: u64) -> u64 {
+    let mut z = seed.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic backoff schedule for one (request, tier) attempt chain.
+#[derive(Debug, Clone, Copy)]
+pub struct Backoff {
+    config: RetryConfig,
+    seed: u64,
+}
+
+impl Backoff {
+    pub fn new(config: RetryConfig, seed: u64) -> Self {
+        Backoff { config, seed }
+    }
+
+    /// Virtual-unit delay before retry number `retry` (1-based). The raw
+    /// delay doubles per retry from `base_delay`, gains up to +50%
+    /// seeded jitter, and is clamped to `max_delay`.
+    pub fn delay(&self, retry: u32) -> u64 {
+        assert!(retry >= 1, "retry numbering is 1-based");
+        let doublings = (retry - 1).min(63);
+        let raw = self.config.base_delay.saturating_mul(1u64 << doublings);
+        let jitter = splitmix64(self.seed, retry as u64) % (raw / 2 + 1);
+        raw.saturating_add(jitter).min(self.config.max_delay)
+    }
+
+    /// The full schedule: one delay per permitted retry.
+    pub fn schedule(&self) -> Vec<u64> {
+        (1..=self.config.max_retries).map(|r| self.delay(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_bounded() {
+        let config = RetryConfig { max_retries: 5, base_delay: 10, max_delay: 200 };
+        let a = Backoff::new(config, 42).schedule();
+        let b = Backoff::new(config, 42).schedule();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|&d| (10..=200).contains(&d)), "{a:?}");
+    }
+
+    #[test]
+    fn different_seeds_jitter_differently() {
+        let config = RetryConfig { max_retries: 8, base_delay: 64, max_delay: 100_000 };
+        let a = Backoff::new(config, 1).schedule();
+        let b = Backoff::new(config, 2).schedule();
+        assert_ne!(a, b, "expected jitter to separate seeds");
+    }
+
+    #[test]
+    fn raw_delay_doubles_until_the_cap() {
+        // Zero jitter span is impossible (raw/2+1 ≥ 1), so compare lower
+        // bounds: delay(r) ≥ base·2^(r-1) until the cap kicks in.
+        let config = RetryConfig { max_retries: 6, base_delay: 8, max_delay: 1_000_000 };
+        let backoff = Backoff::new(config, 7);
+        for r in 1..=6u32 {
+            assert!(backoff.delay(r) >= 8u64 << (r - 1));
+        }
+    }
+
+    #[test]
+    fn huge_retry_counts_saturate_instead_of_overflowing() {
+        // The call must not overflow/panic; with max_delay at the ceiling
+        // the saturated raw delay clamps to exactly u64::MAX.
+        let config = RetryConfig { max_retries: 80, base_delay: u64::MAX / 2, max_delay: u64::MAX };
+        let backoff = Backoff::new(config, 3);
+        assert_eq!(backoff.delay(80), u64::MAX);
+    }
+}

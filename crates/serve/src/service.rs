@@ -1,0 +1,675 @@
+//! The embedded matching service: admission control, wave-parallel
+//! execution, deadlines, retries, breakers, and the degradation ladder.
+//!
+//! # Execution model
+//!
+//! Admitted requests drain in **waves** of `config.wave`. At each wave
+//! boundary the breakers advance (`Open` → `HalfOpen` when their cooldown
+//! elapses) and their states are snapshotted; every request in the wave
+//! executes against that frozen snapshot on the `cem_tensor::par` worker
+//! pool. When the wave joins, each request's component observations fold
+//! into the breakers **in arrival order**. Workers therefore never mutate
+//! shared state, and the fold is a serial left-to-right reduction — which
+//! is why responses, breaker transitions, and retry traces are bit-identical
+//! at 1 and N threads.
+//!
+//! A `HalfOpen` component admits exactly one probe per wave: slot 0. Every
+//! other slot treats the component as open and degrades past its tier.
+//!
+//! # Request pipeline
+//!
+//! Each request walks the tier ladder (full → cached → hard → zero).
+//! Between stages it checks its virtual-unit deadline budget. Per tier it
+//! runs a bounded retry loop: transient failures (worker panic caught via
+//! `catch_unwind` at the pool boundary, attempt timeouts from latency
+//! spikes) back off with seeded jitter and retry; non-transient failures
+//! (NaN-poisoned scores, checksum-detected corruption) degrade to the next
+//! tier immediately. The zero-shot floor ignores injected faults and its
+//! NaN-safe ranking always returns a permutation, so every admitted request
+//! resolves as served, or deadline-exceeded — never a process abort.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use crossem::matcher::rank_row;
+
+use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker, Component};
+use crate::config::ServeConfig;
+use crate::fault::{FaultKind, ServeFault, PANIC_MARKER};
+use crate::request::{ComponentEvent, ExecOutcome, MatchRequest, Outcome, Response};
+use crate::retry::{splitmix64, Backoff};
+use crate::tiers::{ServeIndex, Tier};
+
+/// Aggregate counters over everything a service instance has processed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    pub admitted: u64,
+    pub shed: u64,
+    /// Served-response count per tier, ladder order.
+    pub served: [u64; Tier::COUNT],
+    pub deadline_exceeded: u64,
+    /// Total retries across all requests and tiers.
+    pub retries: u64,
+    /// Total breaker trips (Closed→Open and HalfOpen→Open).
+    pub breaker_trips: u64,
+}
+
+impl ServeStats {
+    pub fn served_total(&self) -> u64 {
+        self.served.iter().sum()
+    }
+}
+
+/// The embedded matching service. Owns the breakers and the fold clock;
+/// borrows the precomputed score index.
+pub struct MatchService<'a> {
+    config: ServeConfig,
+    index: &'a ServeIndex,
+    breakers: [CircuitBreaker; Component::COUNT],
+    /// Requests folded so far — the deterministic clock breakers run on.
+    tick: u64,
+    stats: ServeStats,
+    trace: Vec<String>,
+}
+
+impl<'a> MatchService<'a> {
+    pub fn new(config: ServeConfig, index: &'a ServeIndex) -> Self {
+        config.validate();
+        let breakers =
+            Component::ALL.map(|c| CircuitBreaker::new(config.breaker, config.seed, c));
+        MatchService { config, index, breakers, tick: 0, stats: ServeStats::default(), trace: Vec::new() }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The deterministic event trace: admission sheds, retries,
+    /// degradations, breaker transitions. No wall-clock content.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    pub fn breaker_state(&self, component: Component) -> BreakerState {
+        self.breakers[component.index()].state()
+    }
+
+    pub fn breaker_trips(&self, component: Component) -> u64 {
+        self.breakers[component.index()].trips()
+    }
+
+    /// Process one burst of requests. Requests beyond `max_queue_depth`
+    /// are shed at admission; the rest execute in waves. Responses come
+    /// back in request order.
+    pub fn run(&mut self, requests: &[MatchRequest], faults: &dyn ServeFault) -> Vec<Response> {
+        let admitted = requests.len().min(self.config.max_queue_depth);
+        self.stats.admitted += admitted as u64;
+        cem_obs::counter_add!("serve.admit", admitted as u64);
+        for request in &requests[admitted..] {
+            self.stats.shed += 1;
+            cem_obs::counter_add!("serve.shed", 1);
+            self.trace.push(format!(
+                "req {}: shed at admission (queue depth {})",
+                request.id, self.config.max_queue_depth
+            ));
+        }
+
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut wave_start = 0;
+        while wave_start < admitted {
+            let wave = &requests[wave_start..(wave_start + self.config.wave).min(admitted)];
+            self.run_wave(wave, faults, &mut responses);
+            wave_start += wave.len();
+        }
+
+        for request in &requests[admitted..] {
+            responses.push(Response {
+                id: request.id,
+                entity: request.entity,
+                outcome: Outcome::Shed,
+                cost_units: 0,
+                retries: 0,
+            });
+        }
+        responses
+    }
+
+    fn run_wave(
+        &mut self,
+        wave: &[MatchRequest],
+        faults: &dyn ServeFault,
+        responses: &mut Vec<Response>,
+    ) {
+        for breaker in &mut self.breakers {
+            breaker.refresh(self.tick);
+        }
+        let states: [BreakerState; Component::COUNT] =
+            std::array::from_fn(|i| self.breakers[i].state());
+
+        // Parallel execution against the frozen breaker snapshot. Slots are
+        // plain data; `par_chunks_mut` hands each worker a disjoint block.
+        let mut slots: Vec<Option<ExecOutcome>> = wave.iter().map(|_| None).collect();
+        let config = &self.config;
+        let index = self.index;
+        cem_tensor::par::par_chunks_mut(
+            &mut slots,
+            1,
+            cem_tensor::par::max_threads(),
+            |start, block| {
+                for (offset, slot) in block.iter_mut().enumerate() {
+                    let slot_idx = start + offset;
+                    let allowed: [bool; Component::COUNT] =
+                        std::array::from_fn(|c| match states[c] {
+                            BreakerState::Closed => true,
+                            BreakerState::Open => false,
+                            // One probe per wave: slot 0.
+                            BreakerState::HalfOpen => slot_idx == 0,
+                        });
+                    *slot = Some(execute_request(config, index, &wave[slot_idx], allowed, faults));
+                }
+            },
+        );
+
+        // Serial fold in arrival order: the only place breakers mutate.
+        for (slot_idx, slot) in slots.into_iter().enumerate() {
+            let exec = slot.expect("wave slot left unfilled");
+            let request = &wave[slot_idx];
+            self.tick += 1;
+            self.trace.extend(exec.trace);
+            for event in &exec.events {
+                let breaker = &mut self.breakers[event.component.index()];
+                if let Some(transition) = breaker.record(self.tick, event.success) {
+                    let verb = match transition {
+                        BreakerTransition::Tripped => "tripped",
+                        BreakerTransition::Reopened => "reopened",
+                        BreakerTransition::Recovered => "recovered",
+                    };
+                    self.trace.push(format!(
+                        "tick {}: breaker {} {}",
+                        self.tick,
+                        event.component.label(),
+                        verb
+                    ));
+                    if transition != BreakerTransition::Recovered {
+                        self.stats.breaker_trips += 1;
+                        cem_obs::counter_add!("serve.breaker_trip", 1);
+                    }
+                }
+            }
+            self.stats.retries += exec.retries as u64;
+            cem_obs::counter_add!("serve.retry", exec.retries);
+            match &exec.outcome {
+                Outcome::Served { tier, .. } => {
+                    self.stats.served[tier.index()] += 1;
+                    record_tier_span(*tier, exec.wall_nanos);
+                }
+                Outcome::DeadlineExceeded => {
+                    self.stats.deadline_exceeded += 1;
+                    cem_obs::counter_add!("serve.deadline_exceeded", 1);
+                }
+                Outcome::Shed => unreachable!("admitted requests are never shed"),
+            }
+            responses.push(Response {
+                id: request.id,
+                entity: request.entity,
+                outcome: exec.outcome,
+                cost_units: exec.cost_units,
+                retries: exec.retries,
+            });
+        }
+    }
+}
+
+/// Record a served request's wall time under its tier's span. The macro
+/// route needs one literal per call site, so the four families are named
+/// out longhand.
+fn record_tier_span(tier: Tier, nanos: u64) {
+    if !cem_obs::enabled() {
+        return;
+    }
+    let registry = cem_obs::global();
+    let stats = match tier {
+        Tier::Full => registry.span_stats("serve.match.full"),
+        Tier::Cached => registry.span_stats("serve.match.cached"),
+        Tier::Hard => registry.span_stats("serve.match.hard"),
+        Tier::Zero => registry.span_stats("serve.match.zero"),
+    };
+    stats.record(nanos);
+}
+
+/// What one tier attempt produced. `units` is the virtual cost the attempt
+/// charged (tier cost, stretched by spikes, capped at the attempt timeout).
+enum AttemptResult {
+    Success { units: u64, ranking: Vec<usize> },
+    /// Retriable: worker panic or attempt timeout.
+    Transient { units: u64, reason: &'static str },
+    /// Not retriable: degrade to the next tier.
+    Degrade { units: u64, reason: &'static str },
+}
+
+/// Scoring verdict from inside the pool boundary.
+enum TierScore {
+    Ranked(Vec<usize>),
+    Corrupt,
+    Poisoned,
+}
+
+/// Pure per-request pipeline: no shared mutable state, all decisions off
+/// the virtual clock. Runs on worker threads.
+fn execute_request(
+    config: &ServeConfig,
+    index: &ServeIndex,
+    request: &MatchRequest,
+    allowed: [bool; Component::COUNT],
+    faults: &dyn ServeFault,
+) -> ExecOutcome {
+    let started = Instant::now();
+    let mut cost: u64 = 0;
+    let mut retries: u32 = 0;
+    let mut events: Vec<ComponentEvent> = Vec::new();
+    let mut trace: Vec<String> = Vec::new();
+    let mut outcome: Option<Outcome> = None;
+
+    'ladder: for tier in Tier::ALL {
+        if let Some(component) = tier.component() {
+            if !allowed[component.index()] {
+                trace.push(format!(
+                    "req {}: skip {} (breaker {} open)",
+                    request.id,
+                    tier.label(),
+                    component.label()
+                ));
+                continue;
+            }
+        }
+        if cost >= config.deadline_units {
+            trace.push(format!(
+                "req {}: deadline before {} ({} units)",
+                request.id,
+                tier.label(),
+                cost
+            ));
+            outcome = Some(Outcome::DeadlineExceeded);
+            break 'ladder;
+        }
+
+        let backoff =
+            Backoff::new(config.retry, splitmix64(request.seed, 0x7EE5 + tier.index() as u64));
+        let mut attempt: u32 = 0;
+        loop {
+            match attempt_tier(config, index, request, tier, attempt, faults) {
+                AttemptResult::Success { units, ranking } => {
+                    cost += units;
+                    if let Some(component) = tier.component() {
+                        events.push(ComponentEvent { component, success: true });
+                    }
+                    outcome = Some(Outcome::Served { tier, ranking });
+                    break 'ladder;
+                }
+                AttemptResult::Transient { units, reason } => {
+                    cost += units;
+                    if let Some(component) = tier.component() {
+                        events.push(ComponentEvent { component, success: false });
+                    }
+                    trace.push(format!(
+                        "req {}: {} attempt {} failed ({reason})",
+                        request.id,
+                        tier.label(),
+                        attempt
+                    ));
+                    if attempt >= config.retry.max_retries {
+                        trace.push(format!(
+                            "req {}: {} retries exhausted, degrading",
+                            request.id,
+                            tier.label()
+                        ));
+                        break;
+                    }
+                    attempt += 1;
+                    retries += 1;
+                    let delay = backoff.delay(attempt);
+                    cost += delay;
+                    trace.push(format!(
+                        "req {}: {} retry {attempt} after {delay} units",
+                        request.id,
+                        tier.label()
+                    ));
+                    if cost >= config.deadline_units {
+                        trace.push(format!(
+                            "req {}: deadline during {} backoff ({} units)",
+                            request.id,
+                            tier.label(),
+                            cost
+                        ));
+                        outcome = Some(Outcome::DeadlineExceeded);
+                        break 'ladder;
+                    }
+                }
+                AttemptResult::Degrade { units, reason } => {
+                    cost += units;
+                    if let Some(component) = tier.component() {
+                        events.push(ComponentEvent { component, success: false });
+                    }
+                    trace.push(format!(
+                        "req {}: {} degraded ({reason})",
+                        request.id,
+                        tier.label()
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+
+    ExecOutcome {
+        outcome: outcome.expect("ladder must resolve: the zero-shot floor is infallible"),
+        cost_units: cost,
+        retries,
+        wall_nanos: started.elapsed().as_nanos() as u64,
+        events,
+        trace,
+    }
+}
+
+/// One tier attempt: latency accounting, the `catch_unwind` pool boundary,
+/// checksum verification, NaN-safe ranking, and the non-finite top-score
+/// check. The zero tier skips fault injection entirely — it is the floor.
+fn attempt_tier(
+    config: &ServeConfig,
+    index: &ServeIndex,
+    request: &MatchRequest,
+    tier: Tier,
+    attempt: u32,
+    faults: &dyn ServeFault,
+) -> AttemptResult {
+    let fault = if tier == Tier::Zero { None } else { faults.inject(request.id, tier, attempt) };
+
+    let base = config.tier_cost[tier.index()];
+    let stretched = match fault {
+        Some(FaultKind::LatencySpike { units }) => base.saturating_add(units),
+        _ => base,
+    };
+    if stretched > config.attempt_timeout_units {
+        // Cancelled at the timeout boundary: only the timeout is charged.
+        return AttemptResult::Transient {
+            units: config.attempt_timeout_units,
+            reason: "attempt timeout",
+        };
+    }
+
+    let scored = catch_unwind(AssertUnwindSafe(|| {
+        score_tier(index, request.entity, tier, fault, config.top_k)
+    }));
+    match scored {
+        Err(_) => AttemptResult::Transient { units: stretched, reason: "worker panic" },
+        Ok(TierScore::Corrupt) => {
+            AttemptResult::Degrade { units: stretched, reason: "row checksum mismatch" }
+        }
+        Ok(TierScore::Poisoned) => {
+            AttemptResult::Degrade { units: stretched, reason: "non-finite top score" }
+        }
+        Ok(TierScore::Ranked(ranking)) => AttemptResult::Success { units: stretched, ranking },
+    }
+}
+
+/// Score `entity` at `tier` over a local copy of the index row, realising
+/// the injected fault on the copy (the shared index stays pristine).
+fn score_tier(
+    index: &ServeIndex,
+    entity: usize,
+    tier: Tier,
+    fault: Option<FaultKind>,
+    top_k: usize,
+) -> TierScore {
+    if fault == Some(FaultKind::WorkerPanic) {
+        panic!("{PANIC_MARKER}: entity {entity} tier {}", tier.label());
+    }
+    let mut row = index.row(tier, entity).to_vec();
+    match fault {
+        // A poisoned encoder emits NaN *output*: the checksum (which covers
+        // the stored row, not the computation) has nothing to catch.
+        Some(FaultKind::NanFeatures) => {
+            for value in row.iter_mut() {
+                *value = f32::NAN;
+            }
+        }
+        // Storage damage: flip one bit of the local copy, then run the
+        // integrity check every attempt runs.
+        Some(FaultKind::CorruptCache) => {
+            row[0] = f32::from_bits(row[0].to_bits() ^ 1);
+            if !index.verify_row(tier, entity, &row) {
+                return TierScore::Corrupt;
+            }
+        }
+        _ => {
+            if !index.verify_row(tier, entity, &row) {
+                return TierScore::Corrupt;
+            }
+        }
+    }
+    let ranking = rank_row(&row, top_k);
+    if let Some(&best) = ranking.first() {
+        if !row[best].is_finite() {
+            return TierScore::Poisoned;
+        }
+    }
+    TierScore::Ranked(ranking)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{silence_injected_panics, NoFaults};
+    use cem_tensor::par::ThreadsGuard;
+
+    /// 3 entities × 4 images; each tier's best image differs so tests can
+    /// tell which tier served: full→0, cached→1, hard→2, zero→3.
+    fn index() -> ServeIndex {
+        let peaked = |best: usize| {
+            let mut m = Vec::new();
+            for e in 0..3 {
+                for i in 0..4 {
+                    m.push(if i == best { 9.0 + e as f32 } else { i as f32 * 0.1 });
+                }
+            }
+            m
+        };
+        ServeIndex::new(3, 4, [peaked(0), peaked(1), peaked(2), peaked(3)])
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig { top_k: 4, wave: 4, ..ServeConfig::default() }
+    }
+
+    /// Inject `kind` into every attempt of `tier` for request ids below
+    /// `until_id`.
+    struct TierFault {
+        tier: Tier,
+        kind: FaultKind,
+        until_id: u64,
+    }
+
+    impl ServeFault for TierFault {
+        fn inject(&self, request_id: u64, tier: Tier, _attempt: u32) -> Option<FaultKind> {
+            (tier == self.tier && request_id < self.until_id).then_some(self.kind)
+        }
+    }
+
+    #[test]
+    fn clean_traffic_serves_everything_from_the_full_tier() {
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        let requests = MatchRequest::stream(8, 3, 7);
+        let responses = service.run(&requests, &NoFaults);
+        assert_eq!(responses.len(), 8);
+        for (request, response) in requests.iter().zip(&responses) {
+            assert_eq!(response.id, request.id);
+            match &response.outcome {
+                Outcome::Served { tier, ranking } => {
+                    assert_eq!(*tier, Tier::Full);
+                    assert_eq!(ranking[0], 0, "full tier peaks at image 0");
+                }
+                other => panic!("expected served, got {other:?}"),
+            }
+        }
+        assert_eq!(service.stats().served[Tier::Full.index()], 8);
+        assert_eq!(service.stats().retries, 0);
+    }
+
+    #[test]
+    fn corruption_degrades_to_the_cached_tier_without_retrying() {
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::CorruptCache, until_id: 1 };
+        let responses = service.run(&MatchRequest::stream(1, 3, 7), &fault);
+        match &responses[0].outcome {
+            Outcome::Served { tier, ranking } => {
+                assert_eq!(*tier, Tier::Cached);
+                assert_eq!(ranking[0], 1, "cached tier peaks at image 1");
+            }
+            other => panic!("expected cached-tier serve, got {other:?}"),
+        }
+        assert_eq!(responses[0].retries, 0, "corruption must not retry");
+    }
+
+    #[test]
+    fn nan_poisoning_degrades_and_never_serves_garbage() {
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::NanFeatures, until_id: 4 };
+        for response in service.run(&MatchRequest::stream(4, 3, 7), &fault) {
+            assert_eq!(response.outcome.served_tier(), Some(Tier::Cached));
+        }
+    }
+
+    #[test]
+    fn panics_are_retried_then_degrade() {
+        silence_injected_panics();
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::WorkerPanic, until_id: 1 };
+        let responses = service.run(&MatchRequest::stream(1, 3, 7), &fault);
+        assert_eq!(responses[0].outcome.served_tier(), Some(Tier::Cached));
+        assert_eq!(responses[0].retries, config().retry.max_retries, "panic retries to the cap");
+    }
+
+    #[test]
+    fn repeated_failures_trip_the_breaker_and_skip_the_tier() {
+        silence_injected_panics();
+        let index = index();
+        let mut service = MatchService::new(
+            ServeConfig { wave: 1, ..config() },
+            &index,
+        );
+        // Enough panicking requests to blow the failure threshold, then a
+        // long clean tail so the cooldown (8..=12 ticks) can elapse and a
+        // probe can recover the tier.
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::WorkerPanic, until_id: 2 };
+        let requests = MatchRequest::stream(24, 3, 7);
+        let responses = service.run(&requests, &fault);
+        assert!(service.breaker_trips(Component::SoftEncoder) >= 1);
+        assert!(service.stats().breaker_trips >= 1);
+        // ...after which clean requests still degrade (tier skipped) until
+        // the cooldown elapses and a probe recovers the tier.
+        let skipped = service.trace().iter().any(|l| l.contains("skip full"));
+        assert!(skipped, "expected breaker-open skips in {:?}", service.trace());
+        let recovered = service.trace().iter().any(|l| l.contains("breaker soft_encoder recovered"));
+        assert!(recovered, "expected a probe recovery in {:?}", service.trace());
+        // Once recovered, the tail of the stream serves from full again.
+        assert_eq!(responses.last().unwrap().outcome.served_tier(), Some(Tier::Full));
+    }
+
+    #[test]
+    fn deadline_exhaustion_resolves_instead_of_hanging() {
+        let index = index();
+        let config = ServeConfig {
+            deadline_units: 500,
+            attempt_timeout_units: 450,
+            tier_cost: [400, 400, 400, 400],
+            ..config()
+        };
+        let mut service = MatchService::new(config, &index);
+        // Full degrades on corruption (400 units), cached costs 400 more:
+        // the deadline (500) fires before hard.
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::CorruptCache, until_id: 1 };
+        let fault_cached = TierFault { tier: Tier::Cached, kind: FaultKind::CorruptCache, until_id: 1 };
+        struct Both<'a>(&'a TierFault, &'a TierFault);
+        impl ServeFault for Both<'_> {
+            fn inject(&self, id: u64, tier: Tier, attempt: u32) -> Option<FaultKind> {
+                self.0.inject(id, tier, attempt).or_else(|| self.1.inject(id, tier, attempt))
+            }
+        }
+        let responses = service.run(&MatchRequest::stream(1, 3, 7), &Both(&fault, &fault_cached));
+        assert_eq!(responses[0].outcome, Outcome::DeadlineExceeded);
+        assert_eq!(service.stats().deadline_exceeded, 1);
+    }
+
+    #[test]
+    fn overload_sheds_the_tail_deterministically() {
+        let index = index();
+        let mut service =
+            MatchService::new(ServeConfig { max_queue_depth: 3, ..config() }, &index);
+        let responses = service.run(&MatchRequest::stream(5, 3, 7), &NoFaults);
+        assert_eq!(service.stats().shed, 2);
+        assert_eq!(service.stats().admitted, 3);
+        assert_eq!(responses[3].outcome, Outcome::Shed);
+        assert_eq!(responses[4].outcome, Outcome::Shed);
+        assert!(responses[..3].iter().all(|r| matches!(r.outcome, Outcome::Served { .. })));
+    }
+
+    #[test]
+    fn responses_and_traces_are_identical_at_one_and_four_threads() {
+        silence_injected_panics();
+        let index = index();
+        let requests = MatchRequest::stream(40, 3, 11);
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::WorkerPanic, until_id: 9 };
+        let run_with = |threads: usize| {
+            let _guard = ThreadsGuard::new(threads);
+            let mut service = MatchService::new(ServeConfig { wave: 8, ..config() }, &index);
+            let responses = service.run(&requests, &fault);
+            (responses, service.trace().to_vec(), service.stats().clone())
+        };
+        let (r1, t1, s1) = run_with(1);
+        let (r4, t4, s4) = run_with(4);
+        assert_eq!(r1, r4, "responses must be bit-identical across thread counts");
+        assert_eq!(t1, t4, "breaker/retry traces must be identical across thread counts");
+        assert_eq!(s1, s4);
+    }
+
+    #[test]
+    fn latency_spikes_time_out_and_burn_bounded_budget() {
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        let fault = TierFault {
+            tier: Tier::Full,
+            kind: FaultKind::LatencySpike { units: 10_000 },
+            until_id: 1,
+        };
+        let responses = service.run(&MatchRequest::stream(1, 3, 7), &fault);
+        // Spike exceeds the attempt timeout on every try: retried, then
+        // degraded to cached.
+        assert_eq!(responses[0].outcome.served_tier(), Some(Tier::Cached));
+        assert_eq!(responses[0].retries, config().retry.max_retries);
+        let timeout_charge = config().attempt_timeout_units
+            * (config().retry.max_retries as u64 + 1);
+        assert!(responses[0].cost_units >= timeout_charge, "timeouts must charge the clock");
+    }
+
+    #[test]
+    fn mild_spikes_slow_the_request_but_still_serve_full() {
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        let fault = TierFault {
+            tier: Tier::Full,
+            kind: FaultKind::LatencySpike { units: 100 },
+            until_id: 1,
+        };
+        let responses = service.run(&MatchRequest::stream(1, 3, 7), &fault);
+        assert_eq!(responses[0].outcome.served_tier(), Some(Tier::Full));
+        assert_eq!(responses[0].cost_units, config().tier_cost[0] + 100);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the retry/backoff schedule (DESIGN.md §11):
+//! for any policy and any request seed, the schedule must be a pure
+//! function of `(config, seed)` — replaying it yields the identical delay
+//! sequence — and every delay must respect the configured bounds.
+
+use cem_serve::{Backoff, RetryConfig};
+use proptest::prelude::*;
+
+/// Build a valid policy from raw generator draws (`max_delay ≥ base_delay`,
+/// as `validate()` requires).
+fn policy(max_retries: u32, base_delay: u64, extra: u64) -> RetryConfig {
+    let config = RetryConfig { max_retries, base_delay, max_delay: base_delay + extra };
+    config.validate();
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Same seed → bit-identical schedule; the whole point of seeding the
+    /// jitter from the request rather than wall clock or a global RNG.
+    #[test]
+    fn schedule_is_deterministic_per_seed(
+        max_retries in 0u32..8,
+        base_delay in 1u64..200,
+        extra in 0u64..2000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = policy(max_retries, base_delay, extra);
+        let a = Backoff::new(config, seed).schedule();
+        let b = Backoff::new(config, seed).schedule();
+        prop_assert_eq!(&a, &b, "replaying the same seed must reproduce the schedule");
+        // And per-delay lookups agree with the batch schedule.
+        let backoff = Backoff::new(config, seed);
+        for (i, &delay) in a.iter().enumerate() {
+            prop_assert_eq!(backoff.delay(i as u32 + 1), delay);
+        }
+    }
+
+    /// The schedule is bounded: exactly `max_retries` entries, each within
+    /// `[1, max_delay]` — a request can never back off forever, and the
+    /// virtual-clock charge per retry is capped.
+    #[test]
+    fn schedule_is_bounded(
+        max_retries in 0u32..8,
+        base_delay in 1u64..200,
+        extra in 0u64..2000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config = policy(max_retries, base_delay, extra);
+        let schedule = Backoff::new(config, seed).schedule();
+        prop_assert_eq!(schedule.len(), config.max_retries as usize);
+        for (i, &delay) in schedule.iter().enumerate() {
+            prop_assert!(delay >= 1, "retry {} has a zero delay", i + 1);
+            prop_assert!(
+                delay <= config.max_delay,
+                "retry {} delay {} exceeds max_delay {}",
+                i + 1,
+                delay,
+                config.max_delay
+            );
+        }
+    }
+
+    /// Different seeds de-synchronise retries (jitter does its job): over a
+    /// spread of seeds, more than one distinct first-retry delay appears
+    /// whenever the jitter window is non-trivial.
+    #[test]
+    fn jitter_varies_across_seeds(base in 8u64..64) {
+        let config = RetryConfig { max_retries: 1, base_delay: base, max_delay: base * 4 };
+        let distinct: std::collections::HashSet<u64> =
+            (0u64..64).map(|seed| Backoff::new(config, seed).delay(1)).collect();
+        prop_assert!(
+            distinct.len() > 1,
+            "64 seeds produced a single delay {:?} — jitter is dead",
+            distinct
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end degraded-mode serving: with every richer tier scripted to
+//! fail, the service must land on the zero-shot floor and answer *exactly*
+//! what the `cem-baselines` CLIP zero-shot baseline would — the floor is
+//! not a stub, it is Eq. 4 served under a different name.
+
+use std::rc::Rc;
+
+use cem_data::{BundleConfig, DatasetBundle, DatasetKind};
+use cem_nn::Module;
+use cem_serve::{
+    cached_proximity_scores, hard_prompt_scores, zero_shot_scores, FaultKind, MatchRequest,
+    MatchService, Outcome, ServeConfig, ServeFault, ServeIndex, Tier,
+};
+use cem_tensor::par::ThreadsGuard;
+use crossem::config::PlusConfig;
+use crossem::matcher::rank_images;
+use crossem::plus::CrossEmPlus;
+use crossem::prompt::HardPromptOptions;
+use crossem::{FeatureCache, PromptKind, TrainConfig};
+
+/// Every breaker-guarded tier fails on every attempt; only the floor is
+/// reachable.
+struct AllTiersDown;
+
+impl ServeFault for AllTiersDown {
+    fn inject(&self, _request_id: u64, tier: Tier, _attempt: u32) -> Option<FaultKind> {
+        match tier {
+            Tier::Full | Tier::Hard => Some(FaultKind::NanFeatures),
+            Tier::Cached => Some(FaultKind::CorruptCache),
+            Tier::Zero => None,
+        }
+    }
+}
+
+/// Build the four-tier index over the quickstart (smoke) bundle: frozen
+/// tiers from the pristine pre-trained towers, the full tier from a short
+/// CrossEM⁺ tuning run sharing the same feature cache.
+fn build_world() -> (DatasetBundle, ServeIndex) {
+    let bundle = DatasetBundle::prepare(BundleConfig::smoke(DatasetKind::Cub));
+    let dataset = &bundle.dataset;
+    let config = TrainConfig {
+        prompt: PromptKind::Soft,
+        hops: 1,
+        epochs: 2,
+        batch_vertices: 4,
+        batch_images: 8,
+        ..TrainConfig::default()
+    };
+
+    let zero = zero_shot_scores(&bundle.clip, &bundle.tokenizer, dataset);
+    let hard = hard_prompt_scores(
+        &bundle.clip,
+        &bundle.tokenizer,
+        dataset,
+        &HardPromptOptions { hops: config.hops, ..HardPromptOptions::default() },
+    );
+    let cache = Rc::new(FeatureCache::new());
+    let cached =
+        cached_proximity_scores(&cache, &bundle.clip, &bundle.tokenizer, dataset, config.hops);
+
+    // Tune the soft prompt for the full tier, then restore the pristine
+    // towers so the baseline comparison below sees pre-trained weights.
+    let snapshot = bundle.clip.state_dict();
+    let mut rng = bundle.stage_rng(41);
+    let trainer = CrossEmPlus::with_feature_cache(
+        &bundle.clip,
+        &bundle.tokenizer,
+        dataset,
+        config,
+        PlusConfig { vertex_subsets: 2, image_clusters: 2, ..PlusConfig::default() },
+        Rc::clone(&cache),
+        &mut rng,
+    );
+    trainer.train(&mut rng);
+    let full = trainer.matching_matrix().to_vec();
+    bundle.clip.set_trainable(true);
+    bundle.clip.load_state_dict(&snapshot);
+
+    let index = ServeIndex::new(dataset.entity_count(), dataset.image_count(), [
+        full, cached, hard, zero,
+    ]);
+    (bundle, index)
+}
+
+fn hits_at_10(rankings: &[Vec<usize>], dataset: &cem_data::EmDataset) -> f64 {
+    let hits = rankings
+        .iter()
+        .enumerate()
+        .filter(|(e, ranking)| ranking.iter().take(10).any(|&i| dataset.is_match(*e, i)))
+        .count();
+    hits as f64 / rankings.len() as f64
+}
+
+#[test]
+fn degraded_service_serves_the_zero_shot_baseline_exactly() {
+    let (bundle, index) = build_world();
+    let dataset = &bundle.dataset;
+    let entities = dataset.entity_count();
+
+    let config = ServeConfig { seed: 17, top_k: 10, wave: 4, ..ServeConfig::default() };
+    let mut service = MatchService::new(config, &index);
+    // One request per entity (the stream walks entities round-robin).
+    let requests = MatchRequest::stream(entities, entities, 17);
+    let responses = service.run(&requests, &AllTiersDown);
+
+    // Every request degrades all the way down — and resolves.
+    let mut served: Vec<Vec<usize>> = vec![Vec::new(); entities];
+    for (request, response) in requests.iter().zip(&responses) {
+        match &response.outcome {
+            Outcome::Served { tier, ranking } => {
+                assert_eq!(*tier, Tier::Zero, "req {} did not reach the floor", response.id);
+                served[request.entity] = ranking.clone();
+            }
+            other => panic!("req {} failed to resolve: {other:?}", response.id),
+        }
+    }
+    assert_eq!(service.stats().served[Tier::Zero.index()], entities as u64);
+
+    // The floor's answers are bit-identical to the cem-baselines CLIP
+    // zero-shot ranking (same pristine weights, same Eq. 4 prompt).
+    let baseline = cem_baselines::clip_zeroshot::score_matrix(
+        &bundle.clip,
+        &bundle.tokenizer,
+        dataset,
+    );
+    let expected: Vec<Vec<usize>> = rank_images(&baseline, 0)
+        .into_iter()
+        .map(|mut r| {
+            r.truncate(10);
+            r
+        })
+        .collect();
+    assert_eq!(served, expected, "degraded serving diverged from the zero-shot baseline");
+
+    // And the degraded tier's quality matches the seed baseline: identical
+    // Hits@10, well above a coin flip on the quickstart data.
+    let served_h10 = hits_at_10(&served, dataset);
+    let baseline_h10 = hits_at_10(&expected, dataset);
+    assert!((served_h10 - baseline_h10).abs() < 1e-12);
+    assert!(served_h10 > 0.5, "zero-shot floor Hits@10 {served_h10} is below tolerance");
+}
+
+#[test]
+fn degraded_service_is_thread_count_invariant() {
+    let (_bundle, index) = build_world();
+    let entities = index.entities();
+    let requests = MatchRequest::stream(3 * entities, entities, 23);
+    let run_with = |threads: usize| {
+        let _guard = ThreadsGuard::new(threads);
+        let mut service =
+            MatchService::new(ServeConfig { seed: 23, wave: 4, ..ServeConfig::default() }, &index);
+        let responses = service.run(&requests, &AllTiersDown);
+        (responses, service.trace().to_vec(), service.stats().clone())
+    };
+    let (r1, t1, s1) = run_with(1);
+    let (r4, t4, s4) = run_with(4);
+    assert_eq!(r1, r4);
+    assert_eq!(t1, t4);
+    assert_eq!(s1, s4);
+}
