@@ -80,7 +80,26 @@ struct GemmRow {
     n: usize,
     naive_ms: f64,
     blocked_ms: [f64; 3],
+    packed_ms: [f64; 3],
+    auto_tier: &'static str,
     identical: bool,
+}
+
+impl GemmRow {
+    /// t1 time of the tier the dispatching entry point actually uses.
+    fn auto_t1_ms(&self) -> f64 {
+        if self.auto_tier == "packed" {
+            self.packed_ms[0]
+        } else {
+            self.blocked_ms[0]
+        }
+    }
+
+    /// t1/t4 scaling ratio of the shipping tier (>1 means threads help).
+    fn scaling_t4(&self) -> f64 {
+        let ms = if self.auto_tier == "packed" { &self.packed_ms } else { &self.blocked_ms };
+        ms[0] / ms[2].max(1e-9)
+    }
 }
 
 fn drill_gemm(sizes: &[usize]) -> Vec<GemmRow> {
@@ -96,28 +115,69 @@ fn drill_gemm(sizes: &[usize]) -> Vec<GemmRow> {
             naive_gemm(&a, &b, &mut c_naive, n, n, n);
         });
 
+        // Both tiers at every thread budget; bit-identity is asserted
+        // within each tier (the tiers use different — both deterministic —
+        // accumulation schedules, so cross-tier bits may differ).
         let mut blocked_ms = [0.0f64; 3];
-        let mut outputs: Vec<Vec<f32>> = Vec::new();
+        let mut packed_ms = [0.0f64; 3];
+        let mut blocked_outs: Vec<Vec<f32>> = Vec::new();
+        let mut packed_outs: Vec<Vec<f32>> = Vec::new();
         for (slot, &t) in THREADS.iter().enumerate() {
             let mut c = vec![0.0f32; n * n];
             blocked_ms[slot] = bench_ms(reps, || {
                 c.fill(0.0);
-                kernels::gemm_with_threads(&a, &b, &mut c, n, n, n, t);
+                kernels::gemm_blocked_with_threads(&a, &b, &mut c, n, n, n, t);
             });
-            outputs.push(c);
+            blocked_outs.push(c);
+            let mut c = vec![0.0f32; n * n];
+            packed_ms[slot] = bench_ms(reps, || {
+                c.fill(0.0);
+                kernels::gemm_packed_with_threads(&a, &b, &mut c, n, n, n, t);
+            });
+            packed_outs.push(c);
         }
-        let identical = outputs.iter().all(|c| c == &outputs[0]);
+        let identical = blocked_outs.iter().all(|c| c == &blocked_outs[0])
+            && packed_outs.iter().all(|c| c == &packed_outs[0]);
+        let auto_tier = if kernels::uses_packed_path(n, n, n) { "packed" } else { "blocked" };
         eprintln!(
-            "[gemm] {n}x{n}x{n}: naive {naive_ms:.1} ms, blocked t1 {:.1} / t2 {:.1} / t4 {:.1} ms \
+            "[gemm] {n}x{n}x{n}: naive {naive_ms:.1} ms | blocked t1 {:.1} / t2 {:.1} / t4 {:.1} ms \
+             | packed t1 {:.1} / t2 {:.1} / t4 {:.1} ms | auto tier {auto_tier} \
              ({:.2}x vs naive), threads bit-identical: {identical}",
             blocked_ms[0],
             blocked_ms[1],
             blocked_ms[2],
-            naive_ms / blocked_ms[0],
+            packed_ms[0],
+            packed_ms[1],
+            packed_ms[2],
+            naive_ms / blocked_ms[0].min(packed_ms[0]),
         );
-        rows.push(GemmRow { n, naive_ms, blocked_ms, identical });
+        rows.push(GemmRow { n, naive_ms, blocked_ms, packed_ms, auto_tier, identical });
     }
     rows
+}
+
+/// Scaling-gate verdict for the largest drilled GEMM: t4 must beat t1 by
+/// `required` on hosts with ≥ 4 cores. On smaller hosts the gate cannot
+/// physically pass and reports not-applicable instead of lying.
+fn scaling_verdict(row: &GemmRow, required: f64) -> (bool, String) {
+    let cores = par::machine_threads();
+    let ratio = row.scaling_t4();
+    if cores < 2 {
+        (true, format!("not-applicable: single-core host ({ratio:.2}x measured)"))
+    } else if cores < 4 {
+        (true, format!("not-applicable: only {cores} cores for a t4 gate ({ratio:.2}x measured)"))
+    } else if ratio >= required {
+        (true, format!("pass: {ratio:.2}x >= {required:.1}x at {}³", row.n))
+    } else {
+        (
+            false,
+            format!(
+                "FAIL: {}³ GEMM t4 is only {ratio:.2}x over t1 (required {required:.1}x, \
+                 {cores} cores) — thread scaling regressed",
+                row.n
+            ),
+        )
+    }
 }
 
 struct TrainedEpoch {
@@ -171,9 +231,18 @@ fn bitwise_equal(runs: &[TrainedEpoch]) -> bool {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let gate_scaling = std::env::args().any(|a| a == "--gate-scaling");
     let config = if smoke { HarnessConfig::quick() } else { HarnessConfig::from_args() };
     let quick = smoke || std::env::args().any(|a| a == "--quick");
-    let gemm_sizes: &[usize] = if smoke { &[64, 128] } else { &[128, 256, 512] };
+    // --gate-scaling always drills the 512³ point the scaling gate reads,
+    // even at smoke scale.
+    let gemm_sizes: &[usize] = if gate_scaling {
+        &[512]
+    } else if smoke {
+        &[64, 128]
+    } else {
+        &[128, 256, 512]
+    };
 
     // Registry counters (cache hit/miss/evict, GEMM dispatch decisions)
     // ride along in BENCH_perf.json. Counters are observational only, so
@@ -184,17 +253,33 @@ fn main() {
     // ---------------------------------------------------------------
     // Section 1: GEMM kernels.
     // ---------------------------------------------------------------
-    eprintln!("[perf 1] GEMM: blocked kernel vs naive seed loop …");
+    eprintln!(
+        "[perf 1] GEMM tiers vs naive seed loop (machine cores: {}, simd: {}) …",
+        par::machine_threads(),
+        cem_tensor::microkernel::simd_active(),
+    );
     let gemm_rows = drill_gemm(gemm_sizes);
     let gemm_identical = gemm_rows.iter().all(|r| r.identical);
+    // CI scaling-gate mode: section 1 only; soft gate at 1.5x (the full 2x
+    // gate runs in the normal local drill below).
+    if gate_scaling {
+        let (ok, msg) = scaling_verdict(gemm_rows.last().expect("gemm sizes non-empty"), 1.5);
+        eprintln!("[perf gate] {msg}");
+        std::process::exit(if ok && gemm_identical { 0 } else { 1 });
+    }
     // Kernel-iteration mode: stop after section 1, no JSON.
     if std::env::args().any(|a| a == "--gemm-only") {
         std::process::exit(if gemm_identical { 0 } else { 1 });
     }
     let gemm_speedup = gemm_rows
         .last()
-        .map(|r| r.naive_ms / r.blocked_ms[0])
+        .map(|r| r.naive_ms / r.auto_t1_ms())
         .unwrap_or(0.0);
+    let (scaling_ok, scaling_msg) = gemm_rows
+        .last()
+        .map(|r| scaling_verdict(r, 2.0))
+        .unwrap_or((true, "not-applicable: no gemm rows".to_string()));
+    eprintln!("[perf 1] scaling gate: {scaling_msg}");
 
     // ---------------------------------------------------------------
     // Section 2: proximity construction + feature cache.
@@ -270,11 +355,21 @@ fn main() {
         counter("cache.evict"),
     );
 
-    let all_pass = gemm_identical && prox_identical && cache_consistent && em_identical && plus_identical;
+    // The 2x t4-vs-t1 scaling gate participates in the overall verdict only
+    // when the host can honestly run it (>= 4 cores); on smaller hosts the
+    // verdict string records why it was skipped.
+    let scaling_applicable = !scaling_msg.starts_with("not-applicable");
+    let all_pass = gemm_identical
+        && prox_identical
+        && cache_consistent
+        && em_identical
+        && plus_identical
+        && (!scaling_applicable || scaling_ok);
     println!(
-        "\nperf drill: blocked GEMM {gemm_speedup:.2}x vs naive at {}³, cache hit {:.0}x \
+        "\nperf drill: GEMM {gemm_speedup:.2}x vs naive at {}³ ({} tier), cache hit {:.0}x \
          cheaper than recompute, determinism {}",
         gemm_rows.last().map(|r| r.n).unwrap_or(0),
+        gemm_rows.last().map(|r| r.auto_tier).unwrap_or("?"),
         cache_miss_ms / cache_hit_ms.max(1e-6),
         if all_pass { "ALL PASS" } else { "FAILURES" },
     );
@@ -282,28 +377,53 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"harness\": \"perf_drill\",");
     let _ = writeln!(json, "  \"scale\": \"{}\",", if quick { "quick" } else { "standard" });
-    let _ = writeln!(json, "  \"machine_threads\": {},", par::max_threads());
+    let _ = writeln!(json, "  \"machine_threads\": {},", par::machine_threads());
+    let _ = writeln!(json, "  \"thread_budget\": {},", par::max_threads());
+    let _ = writeln!(json, "  \"threads_drilled\": [1, 2, 4],");
+    let _ = writeln!(
+        json,
+        "  \"simd_active\": {},",
+        cem_tensor::microkernel::simd_active()
+    );
     let _ = writeln!(json, "  \"gemm\": [");
     for (i, row) in gemm_rows.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"n\": {}, \"naive_ms\": {:.3}, \"blocked_t1_ms\": {:.3}, \
              \"blocked_t2_ms\": {:.3}, \"blocked_t4_ms\": {:.3}, \
+             \"packed_t1_ms\": {:.3}, \"packed_t2_ms\": {:.3}, \"packed_t4_ms\": {:.3}, \
+             \"auto_tier\": \"{}\", \"scaling_t4\": {:.3}, \
              \"speedup_vs_naive\": {:.3}, \"threads_bit_identical\": {}}}{}",
             row.n,
             row.naive_ms,
             row.blocked_ms[0],
             row.blocked_ms[1],
             row.blocked_ms[2],
-            row.naive_ms / row.blocked_ms[0],
+            row.packed_ms[0],
+            row.packed_ms[1],
+            row.packed_ms[2],
+            row.auto_tier,
+            row.scaling_t4(),
+            row.naive_ms / row.auto_t1_ms(),
             row.identical,
             if i + 1 < gemm_rows.len() { "," } else { "" },
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"scaling\": {{");
+    let _ = writeln!(json, "    \"required_t4_over_t1\": 2.0,");
+    let _ = writeln!(json, "    \"applicable\": {scaling_applicable},");
+    let _ = writeln!(json, "    \"pass\": {scaling_ok},");
+    let _ = writeln!(json, "    \"verdict\": \"{}\"", scaling_msg.replace('"', "'"));
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"proximity_t1_ms\": {:.3},", prox_ms[0]);
     let _ = writeln!(json, "  \"proximity_t2_ms\": {:.3},", prox_ms[1]);
     let _ = writeln!(json, "  \"proximity_t4_ms\": {:.3},", prox_ms[2]);
+    let _ = writeln!(
+        json,
+        "  \"proximity_scaling_t4\": {:.3},",
+        prox_ms[0] / prox_ms[2].max(1e-9)
+    );
     let _ = writeln!(json, "  \"proximity_bit_identical\": {prox_identical},");
     let _ = writeln!(json, "  \"cache_miss_ms\": {cache_miss_ms:.3},");
     let _ = writeln!(json, "  \"cache_hit_ms\": {cache_hit_ms:.4},");
@@ -331,6 +451,8 @@ fn main() {
         "    \"gemm_dispatch_serial_fallback\": {},",
         counter("gemm.dispatch.serial_fallback")
     );
+    let _ = writeln!(json, "    \"gemm_tier_packed\": {},", counter("gemm.tier.packed"));
+    let _ = writeln!(json, "    \"gemm_tier_blocked\": {},", counter("gemm.tier.blocked"));
     let _ = writeln!(json, "    \"cache_features_hit\": {},", counter("cache.features.hit"));
     let _ = writeln!(json, "    \"cache_features_miss\": {},", counter("cache.features.miss"));
     let _ = writeln!(json, "    \"cache_proximity_hit\": {},", counter("cache.proximity.hit"));

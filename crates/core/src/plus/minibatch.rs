@@ -24,6 +24,7 @@ use std::rc::Rc;
 use cem_clip::{Clip, Image, Tokenizer};
 use cem_data::EmDataset;
 use cem_graph::d_hop_subgraph;
+use cem_tensor::kernels::dot;
 use cem_tensor::{no_grad, par};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -110,10 +111,6 @@ pub struct Pcp {
     pub surviving_pairs: usize,
 }
 
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
 /// Phase 1 output: the frozen property features proximity is computed from.
 /// Plain `Vec<f32>` rows (no tensors), so they are `Sync` and cacheable.
 #[derive(Debug, Clone)]
@@ -186,7 +183,20 @@ pub fn proximity_from_features(
         .collect();
     let patch_features = &features.patch_features;
 
-    par::par_chunks_mut(&mut matrix.data, n_images, par::max_threads(), |first_row, block| {
+    // A row's cost is proportional to its neighbourhood size (hub entities
+    // have d-hop subgraphs orders of magnitude larger than leaves), so a
+    // uniform row split can leave one worker dragging the scope join while
+    // the rest idle. Weight the contiguous partition by neighbourhood size;
+    // boundaries depend only on the weights and thread budget, so results
+    // stay bit-identical at every thread count.
+    let weights: Vec<u64> = neighborhoods.iter().map(|nb| nb.len().max(1) as u64).collect();
+    // Gate the thread budget on actual work (Σ neighbourhood · images): tiny
+    // problems stay serial instead of paying spawn overhead per epoch.
+    let total_work =
+        weights.iter().sum::<u64>() as usize * n_images * patch_features[0].len().max(1);
+    let threads = if total_work < par::PAR_ELEMWISE_THRESHOLD { 1 } else { par::max_threads() };
+
+    par::par_chunks_mut_weighted(&mut matrix.data, n_images, &weights, threads, |first_row, block| {
         for (r, row) in block.chunks_exact_mut(n_images).enumerate() {
             let neighborhood = &neighborhoods[first_row + r];
             for (dst, patches) in row.iter_mut().zip(patch_features) {

@@ -1,0 +1,106 @@
+//! Fused vs unfused elementwise maps, and broadcast vs materialized bias.
+//!
+//! Run with `cargo bench -p cem-tensor --bench fused_elementwise`.
+//!
+//! The fused primitives (`par::map2_into` / `par::zip3_into`) compute the
+//! forward value and derivative coefficients in one sweep over the input;
+//! the unfused baseline mirrors the pre-fusion autograd, which swept the
+//! input once forward and a second time at backward to recompute the
+//! derivative. Both variants do the same arithmetic, so the delta is pure
+//! memory traffic — the quantity fusion exists to remove.
+
+use cem_tensor::{par, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn filled(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1 << 22) as f32 - 2.0
+        })
+        .collect()
+}
+
+fn sigmoid_pair(x: f32) -> (f32, f32) {
+    let y = 1.0 / (1.0 + (-x).exp());
+    (y, y * (1.0 - y))
+}
+
+fn bench_fused_map(c: &mut Criterion) {
+    const LEN: usize = 1 << 20;
+    let src = filled(LEN, 7);
+    let grad = filled(LEN, 9);
+
+    // Unfused baseline: forward sweep, then at backward recompute the
+    // derivative from the saved input while folding in the upstream grad.
+    c.bench_function("sigmoid_fwd_bwd_unfused_1m", |bench| {
+        let mut out = vec![0.0f32; LEN];
+        let mut gx = vec![0.0f32; LEN];
+        bench.iter(|| {
+            par::map_into(&src, &mut out, 1, |x| sigmoid_pair(x).0);
+            par::zip_into(&grad, &src, &mut gx, 1, |g, x| g * sigmoid_pair(x).1);
+            gx[0]
+        });
+    });
+
+    // Fused: one sweep yields value + derivative; backward is a cheap zip
+    // against the upstream grad with no transcendental recompute.
+    c.bench_function("sigmoid_fwd_bwd_fused_1m", |bench| {
+        let mut out = vec![0.0f32; LEN];
+        let mut dx = vec![0.0f32; LEN];
+        let mut gx = vec![0.0f32; LEN];
+        bench.iter(|| {
+            par::map2_into(&src, &mut out, &mut dx, 1, sigmoid_pair);
+            par::zip_into(&grad, &dx, &mut gx, 1, |g, d| g * d);
+            gx[0]
+        });
+    });
+}
+
+fn bench_autograd_chain(c: &mut Criterion) {
+    // End-to-end: a chain of fused unary ops through the tape, forward +
+    // backward. All intermediates carry precomputed derivative buffers, so
+    // backward never revisits a transcendental.
+    let (rows, cols) = (256usize, 1024usize);
+    c.bench_function("chain_sigmoid_tanh_exp_fwd_bwd_256x1024", |bench| {
+        bench.iter(|| {
+            let x = Tensor::from_vec(filled(rows * cols, 3), &[rows, cols]).requires_grad();
+            let z = x.sigmoid().tanh().exp();
+            z.backward();
+            x.grad().map(|g| g[0]).unwrap_or(0.0)
+        });
+    });
+}
+
+fn bench_broadcast_bias(c: &mut Criterion) {
+    let (rows, cols) = (512usize, 512usize);
+    let x = Tensor::from_vec(filled(rows * cols, 5), &[rows, cols]);
+    let bias = Tensor::from_vec(filled(cols, 6), &[cols]);
+
+    // Materialized baseline: tile the bias to full size, then add.
+    c.bench_function("bias_add_materialized_512x512", |bench| {
+        bench.iter(|| {
+            let mut tiled = vec![0.0f32; rows * cols];
+            let b = bias.data();
+            for r in 0..rows {
+                tiled[r * cols..(r + 1) * cols].copy_from_slice(&b);
+            }
+            let t = Tensor::from_vec(tiled, &[rows, cols]);
+            x.add(&t).data()[0]
+        });
+    });
+
+    // Broadcast path: stride-0 iteration, no full-size temporary.
+    c.bench_function("bias_add_broadcast_512x512", |bench| {
+        bench.iter(|| x.add_bcast(&bias).data()[0]);
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fused_map,
+    bench_autograd_chain,
+    bench_broadcast_bias
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Packed vs blocked GEMM tiers at matched shapes and thread counts.
+//!
+//! Run with `cargo bench -p cem-tensor --bench packed_gemm` (add
+//! `--features simd` to time the AVX micro-kernel). The packed tier should
+//! win decisively once `B` falls out of L2 (the 512³ points) and scale with
+//! threads on multi-core hosts; the blocked tier is the baseline the
+//! BENCH_perf.json `gemm` section tracks.
+
+use cem_tensor::{kernels, par};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn filled(len: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1 << 22) as f32 - 2.0
+        })
+        .collect()
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    for &(m, k, n) in &[(128usize, 512usize, 512usize), (512, 512, 512)] {
+        let a = filled(m * k, 11);
+        let b = filled(k * n, 22);
+        for &threads in &[1usize, par::machine_threads()] {
+            if threads != 1 && par::machine_threads() == 1 {
+                continue;
+            }
+            let tag = format!("{m}x{k}x{n}_t{threads}");
+            c.bench_function(&format!("gemm_blocked_{tag}"), |bench| {
+                let mut out = vec![0.0f32; m * n];
+                bench.iter(|| {
+                    out.fill(0.0);
+                    kernels::gemm_blocked_with_threads(&a, &b, &mut out, m, k, n, threads);
+                    out[0]
+                });
+            });
+            c.bench_function(&format!("gemm_packed_{tag}"), |bench| {
+                let mut out = vec![0.0f32; m * n];
+                bench.iter(|| {
+                    out.fill(0.0);
+                    kernels::gemm_packed_with_threads(&a, &b, &mut out, m, k, n, threads);
+                    out[0]
+                });
+            });
+            c.bench_function(&format!("gemm_nt_blocked_{tag}"), |bench| {
+                let bt = filled(n * k, 33);
+                let mut out = vec![0.0f32; m * n];
+                bench.iter(|| {
+                    out.fill(0.0);
+                    kernels::gemm_nt_blocked_with_threads(&a, &bt, &mut out, m, k, n, threads);
+                    out[0]
+                });
+            });
+            c.bench_function(&format!("gemm_nt_packed_{tag}"), |bench| {
+                let bt = filled(n * k, 33);
+                let mut out = vec![0.0f32; m * n];
+                bench.iter(|| {
+                    out.fill(0.0);
+                    kernels::gemm_nt_packed_with_threads(&a, &bt, &mut out, m, k, n, threads);
+                    out[0]
+                });
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -7,18 +7,31 @@
 //!
 //! Design (see DESIGN.md §9):
 //!
-//! * **Register tiling** — `gemm`/`gemm_tn` process four output rows per
-//!   sweep of the shared right-operand row (4× fewer passes over `b`), and
-//!   `gemm_nt` uses a four-accumulator unrolled dot product. Inner loops
-//!   are bounds-check-free iterator zips, which the compiler vectorises.
+//! * **Two tiers, dispatched on shape alone.** Work at or above
+//!   [`PACKED_MIN_WORK`] multiply-adds goes through the *packed* stack:
+//!   `B` is packed once into cache-aligned `KC × NR` panel strips
+//!   ([`crate::pack`]) and an [`MR`]`×`[`NR`] register micro-kernel
+//!   ([`crate::microkernel`]) streams them. Smaller work keeps the original
+//!   *blocked* kernels (packing overhead would dominate). The dispatch
+//!   predicate sees only `(m, k, n)` — never the thread budget — so a given
+//!   problem takes the same path, hence the same arithmetic schedule, at
+//!   every thread count.
+//! * **Register tiling** — the blocked `gemm`/`gemm_tn` process four output
+//!   rows per sweep of the shared right-operand row, `gemm_nt` uses a
+//!   four-accumulator unrolled dot product, and the packed micro-kernel
+//!   retires a 4×16 tile per k step with 8-lane groups the compiler (or the
+//!   `simd` feature's AVX path) maps onto vector registers.
 //! * **No sparsity branches** — the seed kernels skipped `a[i,k] == 0.0`;
 //!   that branch defeats vectorisation on dense data and only helped
 //!   degenerate sparse inputs, so it is gone.
 //! * **Row-parallel** — output rows are partitioned over
-//!   [`par::par_chunks_mut`]. Each element accumulates in the same `k` (or
-//!   `m`) order at every thread count, so results are bit-identical to the
-//!   serial path.
+//!   [`par::par_chunks_mut`] (packed paths use the [`MR`]-aligned variant so
+//!   block seams fall on tile boundaries). Each element accumulates in the
+//!   same fixed order at every thread count, so results are bit-identical
+//!   to the serial path.
 
+use crate::microkernel::{AutoTiles, ScalarTiles, Tiles};
+use crate::pack::{self, PackedB, KC, MR, NR};
 use crate::par;
 
 /// Four-accumulator unrolled dot product. The accumulation schedule is
@@ -55,10 +68,37 @@ fn count_gemm_dispatch(threads: usize) {
     }
 }
 
+/// Multiply-add count (`m·k·n`) at which the packed-panel stack takes over
+/// from the blocked kernels. Below this, packing `B` costs more than the
+/// strided reads it saves; above it, the packed panels stay cache-resident
+/// across row sweeps and the micro-kernel's register tile dominates.
+///
+/// The predicate is a pure function of the problem shape so that dispatch —
+/// and therefore the floating-point schedule — is identical at every thread
+/// count.
+pub const PACKED_MIN_WORK: usize = 1 << 20;
+
+/// True when `(m, k, n)` routes through the packed stack.
+#[inline]
+pub fn uses_packed_path(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= PACKED_MIN_WORK
+}
+
+/// Record which kernel tier a dispatching entry point chose.
+#[inline]
+fn count_gemm_tier(m: usize, k: usize, n: usize) {
+    if uses_packed_path(m, k, n) {
+        cem_obs::counter_add!("gemm.tier.packed", 1);
+    } else {
+        cem_obs::counter_add!("gemm.tier.blocked", 1);
+    }
+}
+
 /// `c[m,n] += a[m,k] @ b[k,n]`, auto thread count.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let threads = par::auto_threads_gemm(m * k * n);
     count_gemm_dispatch(threads);
+    count_gemm_tier(m, k, n);
     gemm_with_threads(a, b, c, m, k, n, threads);
 }
 
@@ -66,6 +106,7 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
 pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let threads = par::auto_threads_gemm(m * k * n);
     count_gemm_dispatch(threads);
+    count_gemm_tier(m, k, n);
     gemm_nt_with_threads(a, b, c, m, k, n, threads);
 }
 
@@ -73,11 +114,32 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     let threads = par::auto_threads_gemm(m * k * n);
     count_gemm_dispatch(threads);
+    count_gemm_tier(m, k, n);
     gemm_tn_with_threads(a, b, c, m, k, n, threads);
 }
 
-/// `c[m,n] += a[m,k] @ b[k,n]` with an explicit thread budget.
+/// `c[m,n] += a[m,k] @ b[k,n]` with an explicit thread budget. Dispatches
+/// to the packed stack for large work (see [`PACKED_MIN_WORK`]), the
+/// blocked kernel otherwise.
 pub fn gemm_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    if uses_packed_path(m, k, n) {
+        gemm_packed_with_threads(a, b, c, m, k, n, threads);
+    } else {
+        gemm_blocked_with_threads(a, b, c, m, k, n, threads);
+    }
+}
+
+/// The blocked (non-packing) `gemm` tier, public so the benches can compare
+/// tiers directly at any size.
+pub fn gemm_blocked_with_threads(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -93,6 +155,141 @@ pub fn gemm_with_threads(
         return;
     }
     par::par_chunks_mut(c, n, threads, |row0, block| gemm_row_block(a, b, block, row0, k, n));
+}
+
+/// The packed `gemm` tier: pack `B`, then run the panel macro-kernel.
+/// Public so benches/tests can force this tier at any size.
+pub fn gemm_packed_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let packed = pack::pack_b(b, k, n);
+    packed_gemm_with_threads::<AutoTiles>(a, &packed, c, m, threads);
+}
+
+/// Packed `gemm` forced through the always-scalar micro-kernel — the
+/// bit-exact reference the `simd` path is checked against.
+pub fn gemm_packed_scalar_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let packed = pack::pack_b(b, k, n);
+    packed_gemm_with_threads::<ScalarTiles>(a, &packed, c, m, threads);
+}
+
+/// Row block size of the packed macro-kernel: rows of `a` re-swept against
+/// one resident panel strip before moving on. `MC · KC · 4` bytes of `a`
+/// (64 KiB) plus one 16 KiB strip fit comfortably in L2.
+const MC: usize = 64;
+
+/// Panel macro-kernel over a pre-packed `B`: `c[m,n] += a[m,k] @ B` where
+/// `k = packed.k()`, `n = packed.n()`. Generic over the micro-kernel tile
+/// set so the auto (possibly SIMD) and always-scalar variants share one
+/// loop nest.
+///
+/// Determinism invariant (shared with the micro-kernel, see
+/// [`crate::microkernel`]): each `c` element accumulates one register value
+/// per `KC` panel, panels in ascending `k` order, `+=` once per panel. The
+/// panel grid depends only on `k`; the `MC`/strip iteration order only
+/// reorders *which elements* are computed when, never the schedule *within*
+/// an element. Thread partitioning is `MR`-aligned so block seams fall on
+/// tile boundaries, but even remainder rows use the same per-element
+/// schedule (`tile1` ≡ one row of `tile4`).
+fn packed_gemm_with_threads<T: Tiles>(
+    a: &[f32],
+    packed: &PackedB,
+    c: &mut [f32],
+    m: usize,
+    threads: usize,
+) {
+    let n = packed.n();
+    let k = packed.k();
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    par::par_chunks_mut_aligned(c, n, MR, threads, |row0, block| {
+        packed_row_block::<T>(a, k, packed, block, row0);
+    });
+}
+
+/// One thread's contiguous row block of the packed macro-kernel.
+fn packed_row_block<T: Tiles>(
+    a: &[f32],
+    k: usize,
+    packed: &PackedB,
+    c_block: &mut [f32],
+    row0: usize,
+) {
+    let n = packed.n();
+    let rows = c_block.len() / n;
+    let n_strips = packed.n_strips();
+    let mut kk0 = 0usize;
+    while kk0 < k {
+        let h = KC.min(k - kk0);
+        let mut ic = 0usize;
+        while ic < rows {
+            let ic_end = (ic + MC).min(rows);
+            for s in 0..n_strips {
+                let strip = packed.strip(kk0, h, s);
+                let j0 = s * NR;
+                let w = NR.min(n - j0);
+                let mut r = ic;
+                while ic_end - r >= MR {
+                    let i = row0 + r;
+                    let acc = T::tile4(
+                        &a[i * k..(i + 1) * k],
+                        &a[(i + 1) * k..(i + 2) * k],
+                        &a[(i + 2) * k..(i + 3) * k],
+                        &a[(i + 3) * k..(i + 4) * k],
+                        kk0,
+                        strip,
+                    );
+                    for (dr, acc_row) in acc.iter().enumerate() {
+                        let base = (r + dr) * n + j0;
+                        for (dst, &v) in c_block[base..base + w].iter_mut().zip(&acc_row[..w]) {
+                            *dst += v;
+                        }
+                    }
+                    r += MR;
+                }
+                while r < ic_end {
+                    let i = row0 + r;
+                    let acc = T::tile1(&a[i * k..(i + 1) * k], kk0, strip);
+                    let base = r * n + j0;
+                    for (dst, &v) in c_block[base..base + w].iter_mut().zip(&acc[..w]) {
+                        *dst += v;
+                    }
+                    r += 1;
+                }
+            }
+            ic = ic_end;
+        }
+        kk0 += KC;
+    }
 }
 
 /// Serial kernel for a contiguous block of output rows starting at `row0`.
@@ -249,8 +446,47 @@ fn gemm_row_block_panel(
 }
 
 /// `c[m,n] += a[m,k] @ b[n,k]^T` (`c[i,j] = Σ_k a[i,k]·b[j,k]`) with an
-/// explicit thread budget — the similarity-matrix workhorse.
+/// explicit thread budget — the similarity-matrix workhorse. Large work is
+/// transpose-packed (no materialised `B^T`) and runs the same packed
+/// macro-kernel as `gemm`.
 pub fn gemm_nt_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    if uses_packed_path(m, k, n) {
+        gemm_nt_packed_with_threads(a, b, c, m, k, n, threads);
+    } else {
+        gemm_nt_blocked_with_threads(a, b, c, m, k, n, threads);
+    }
+}
+
+/// Packed `gemm_nt` tier, public for benches/tests.
+pub fn gemm_nt_packed_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let packed = pack::pack_b_t(b, n, k);
+    packed_gemm_with_threads::<AutoTiles>(a, &packed, c, m, threads);
+}
+
+/// The dot-product `gemm_nt` tier, public for benches/tests.
+pub fn gemm_nt_blocked_with_threads(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -277,10 +513,52 @@ pub fn gemm_nt_with_threads(
 }
 
 /// `c[k,n] += a[m,k]^T @ b[m,n]` (`c[p,q] = Σ_i a[i,p]·b[i,q]`) with an
-/// explicit thread budget. Workers own disjoint blocks of `c`'s rows (the
-/// `p` dimension) and sweep all of `a`/`b`, so each element accumulates in
-/// `i` order at every thread count.
+/// explicit thread budget. Large work transposes `a` into a fresh `k × m`
+/// buffer and runs the packed macro-kernel (left rows become contiguous);
+/// the rest keeps the streaming blocked kernel.
 pub fn gemm_tn_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    if uses_packed_path(m, k, n) {
+        gemm_tn_packed_with_threads(a, b, c, m, k, n, threads);
+    } else {
+        gemm_tn_blocked_with_threads(a, b, c, m, k, n, threads);
+    }
+}
+
+/// Packed `gemm_tn` tier, public for benches/tests. Note the packed
+/// reduction runs over `i` in `KC` panels with a register accumulator —
+/// the same schedule as the other packed variants.
+pub fn gemm_tn_packed_with_threads(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), m * n);
+    debug_assert_eq!(c.len(), k * n);
+    if k == 0 || n == 0 {
+        return;
+    }
+    // c[k,n] = a^T[k,m] @ b[m,n]: transpose a once, then it is a plain gemm
+    // with (M, K, N) = (k, m, n).
+    let at = pack::transpose_mk(a, m, k);
+    let packed = pack::pack_b(b, m, n);
+    packed_gemm_with_threads::<AutoTiles>(&at, &packed, c, k, threads);
+}
+
+/// The streaming blocked `gemm_tn` tier, public for benches/tests.
+pub fn gemm_tn_blocked_with_threads(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -403,6 +681,144 @@ mod tests {
             gemm_tn_with_threads(&a, &b_tn, &mut ep, m, k, n, threads);
             assert_eq!(e1, ep, "gemm_tn threads={threads}");
         }
+    }
+
+    /// Shapes that exercise panel boundaries (k > KC), strip padding
+    /// (n % NR ≠ 0), MC seams, and row remainders — small enough to run in
+    /// tests, forced through the packed tier explicitly.
+    fn packed_probe_shapes() -> Vec<(usize, usize, usize)> {
+        vec![
+            (1, 1, 1),
+            (5, 7, 3),
+            (MR, KC, NR),
+            (MR + 3, KC + 19, NR + 5),
+            (MC + 9, 2 * KC + 1, 2 * NR + 11),
+            (3, 40, 70),
+        ]
+    }
+
+    #[test]
+    fn packed_gemm_matches_reference() {
+        for (m, k, n) in packed_probe_shapes() {
+            let a = filled(m * k, 31);
+            let b = filled(k * n, 47);
+            let mut c = vec![0.0f32; m * n];
+            gemm_packed_with_threads(&a, &b, &mut c, m, k, n, 1);
+            let want = reference_gemm(&a, &b, m, k, n);
+            for (idx, (x, y)) in c.iter().zip(&want).enumerate() {
+                assert!(
+                    (x - y).abs() < 2e-3 * y.abs().max(1.0),
+                    "({m},{k},{n}) idx={idx}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_nt_tn_match_blocked_numerically() {
+        for (m, k, n) in packed_probe_shapes() {
+            let a = filled(m * k, 3);
+            let bt = filled(n * k, 5);
+            let b_tn = filled(m * n, 9);
+
+            let mut nt_packed = vec![0.0f32; m * n];
+            let mut nt_blocked = vec![0.0f32; m * n];
+            gemm_nt_packed_with_threads(&a, &bt, &mut nt_packed, m, k, n, 1);
+            gemm_nt_blocked_with_threads(&a, &bt, &mut nt_blocked, m, k, n, 1);
+            for (x, y) in nt_packed.iter().zip(&nt_blocked) {
+                assert!((x - y).abs() < 2e-3 * y.abs().max(1.0), "nt ({m},{k},{n}): {x} vs {y}");
+            }
+
+            let mut tn_packed = vec![0.0f32; k * n];
+            let mut tn_blocked = vec![0.0f32; k * n];
+            gemm_tn_packed_with_threads(&a, &b_tn, &mut tn_packed, m, k, n, 1);
+            gemm_tn_blocked_with_threads(&a, &b_tn, &mut tn_blocked, m, k, n, 1);
+            for (x, y) in tn_packed.iter().zip(&tn_blocked) {
+                assert!((x - y).abs() < 2e-3 * y.abs().max(1.0), "tn ({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_kernels_are_bit_identical_across_thread_counts() {
+        // Spans two k panels and two strips so seams are exercised.
+        let (m, k, n) = (MC + 5, KC + 37, NR + 9);
+        let a = filled(m * k, 13);
+        let b = filled(k * n, 17);
+        let bt = filled(n * k, 19);
+        let b_tn = filled(m * n, 23);
+        for threads in [2usize, 3, 4, 8] {
+            let mut c1 = vec![0.0f32; m * n];
+            let mut cp = vec![0.0f32; m * n];
+            gemm_packed_with_threads(&a, &b, &mut c1, m, k, n, 1);
+            gemm_packed_with_threads(&a, &b, &mut cp, m, k, n, threads);
+            assert_eq!(c1, cp, "packed gemm threads={threads}");
+
+            let mut d1 = vec![0.0f32; m * n];
+            let mut dp = vec![0.0f32; m * n];
+            gemm_nt_packed_with_threads(&a, &bt, &mut d1, m, k, n, 1);
+            gemm_nt_packed_with_threads(&a, &bt, &mut dp, m, k, n, threads);
+            assert_eq!(d1, dp, "packed gemm_nt threads={threads}");
+
+            let mut e1 = vec![0.0f32; k * n];
+            let mut ep = vec![0.0f32; k * n];
+            gemm_tn_packed_with_threads(&a, &b_tn, &mut e1, m, k, n, 1);
+            gemm_tn_packed_with_threads(&a, &b_tn, &mut ep, m, k, n, threads);
+            assert_eq!(e1, ep, "packed gemm_tn threads={threads}");
+        }
+    }
+
+    #[test]
+    fn packed_gemm_accumulates_into_c() {
+        let (m, k, n) = (2, 3, 2);
+        let a = vec![1.0f32; m * k];
+        let b = vec![1.0f32; k * n];
+        let mut c = vec![10.0f32; m * n];
+        gemm_packed_with_threads(&a, &b, &mut c, m, k, n, 1);
+        assert_eq!(c, vec![13.0; 4]);
+    }
+
+    #[test]
+    fn dispatch_is_shape_only_and_consistent() {
+        // Above the work threshold the dispatching entry point and the
+        // forced packed tier must produce identical bits (same path).
+        let (m, k, n) = (128, 128, 64); // 1,048,576 = PACKED_MIN_WORK
+        assert!(uses_packed_path(m, k, n));
+        assert!(!uses_packed_path(m, k, n - 1));
+        let a = filled(m * k, 41);
+        let b = filled(k * n, 43);
+        let mut via_dispatch = vec![0.0f32; m * n];
+        let mut via_packed = vec![0.0f32; m * n];
+        gemm_with_threads(&a, &b, &mut via_dispatch, m, k, n, 2);
+        gemm_packed_with_threads(&a, &b, &mut via_packed, m, k, n, 2);
+        assert_eq!(via_dispatch, via_packed);
+    }
+
+    /// The scalar-forced packed path is the reference; without the `simd`
+    /// feature AutoTiles *is* scalar, with it this asserts AVX bit-equality.
+    #[test]
+    fn packed_auto_tiles_bit_match_scalar_reference() {
+        let (m, k, n) = (MR * 3 + 1, KC + 53, NR * 2 + 3);
+        let a = filled(m * k, 61);
+        let b = filled(k * n, 67);
+        let mut auto_c = vec![0.0f32; m * n];
+        let mut scalar_c = vec![0.0f32; m * n];
+        gemm_packed_with_threads(&a, &b, &mut auto_c, m, k, n, 2);
+        gemm_packed_scalar_with_threads(&a, &b, &mut scalar_c, m, k, n, 2);
+        let auto_bits: Vec<u32> = auto_c.iter().map(|v| v.to_bits()).collect();
+        let scalar_bits: Vec<u32> = scalar_c.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(auto_bits, scalar_bits);
+    }
+
+    #[test]
+    fn packed_empty_dims_are_noops() {
+        let mut c = vec![0.0f32; 0];
+        gemm_packed_with_threads(&[], &[], &mut c, 0, 4, 0, 4);
+        gemm_nt_packed_with_threads(&[], &[], &mut c, 0, 4, 0, 4);
+        gemm_tn_packed_with_threads(&[], &[], &mut c, 4, 0, 0, 4);
+        let mut c1 = vec![5.0f32; 6];
+        gemm_packed_with_threads(&[], &[], &mut c1, 2, 0, 3, 4); // k = 0
+        assert_eq!(c1, vec![5.0; 6]);
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub mod init;
 pub mod io;
 pub mod kernels;
 pub mod memory;
+pub mod microkernel;
+pub mod pack;
 pub mod ops;
 pub mod optim;
 pub mod par;

@@ -1,0 +1,311 @@
+//! GEMM micro-kernels: the innermost register tile of the packed stack.
+//!
+//! A micro-kernel consumes one packed B strip ([`pack::NR`] columns of one
+//! k panel, k-major — see [`crate::pack`]) against 1 or [`pack::MR`] rows of
+//! `A` and returns the per-panel accumulators. The caller (the macro-kernel
+//! in [`crate::kernels`]) adds them into `c`.
+//!
+//! ## The canonical schedule
+//!
+//! Bit-identity across thread counts *and* across the scalar/SIMD variants
+//! hinges on every output element seeing the identical sequence of f32
+//! operations. The contract, per element `c[i,j]` and per k panel
+//! `kk0..kk0+h`:
+//!
+//! ```text
+//! acc = 0.0
+//! for kk in kk0..kk0+h (ascending): acc += a[i,kk] * b[kk,j]   // mul, then add
+//! c[i,j] += acc                                                 // one add per panel
+//! ```
+//!
+//! The SIMD variant vectorises across `j` — output columns are independent
+//! lanes, so each lane executes exactly the scalar sequence and IEEE-754
+//! lane-wise `mul`/`add` produce the same bits. FMA is deliberately **not**
+//! used: it would skip the intermediate rounding of the multiply and change
+//! results. The `simd` feature is therefore an optimisation flag, never a
+//! semantics flag; `tests` under `--features simd` assert scalar/AVX
+//! equality to the bit.
+
+use crate::pack::NR;
+
+/// Per-panel accumulators for an MR×NR tile.
+pub type Acc4 = [[f32; NR]; 4];
+
+/// Dispatch table for the macro-kernel: generic over tile implementation so
+/// the packed driver can be monomorphised for the auto (possibly SIMD) path
+/// and the always-scalar reference path without duplicating loop nests.
+pub(crate) trait Tiles {
+    fn tile4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], kk0: usize, strip: &[f32]) -> Acc4;
+    fn tile1(a: &[f32], kk0: usize, strip: &[f32]) -> [f32; NR];
+}
+
+/// Always-scalar tiles: the bit-exact reference implementation.
+pub(crate) struct ScalarTiles;
+
+impl Tiles for ScalarTiles {
+    #[inline]
+    fn tile4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], kk0: usize, strip: &[f32]) -> Acc4 {
+        tile4_scalar(a0, a1, a2, a3, kk0, strip)
+    }
+
+    #[inline]
+    fn tile1(a: &[f32], kk0: usize, strip: &[f32]) -> [f32; NR] {
+        tile1_scalar(a, kk0, strip)
+    }
+}
+
+/// Runtime-dispatching tiles: AVX when the `simd` feature is on and the CPU
+/// supports it, scalar otherwise.
+pub(crate) struct AutoTiles;
+
+impl Tiles for AutoTiles {
+    #[inline]
+    fn tile4(a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32], kk0: usize, strip: &[f32]) -> Acc4 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if simd_active() {
+            // SAFETY: simd_active() verified AVX support at runtime.
+            return unsafe { avx::tile4(a0, a1, a2, a3, kk0, strip) };
+        }
+        tile4_scalar(a0, a1, a2, a3, kk0, strip)
+    }
+
+    #[inline]
+    fn tile1(a: &[f32], kk0: usize, strip: &[f32]) -> [f32; NR] {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        if simd_active() {
+            // SAFETY: simd_active() verified AVX support at runtime.
+            return unsafe { avx::tile1(a, kk0, strip) };
+        }
+        tile1_scalar(a, kk0, strip)
+    }
+}
+
+/// True when the AVX micro-kernel is compiled in *and* the CPU supports it.
+/// Reported by `perf_drill` so BENCH_perf.json records which path ran.
+pub fn simd_active() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static AVX: OnceLock<bool> = OnceLock::new();
+        *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Scalar MR×NR tile. The lane loop is a fixed-trip `NR`-wide sweep split
+/// into two 8-lane halves, written so the autovectoriser can keep each half
+/// in one vector register — and so the AVX variant below is a transparent
+/// transcription of the same operation order.
+#[inline]
+pub(crate) fn tile4_scalar(
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    kk0: usize,
+    strip: &[f32],
+) -> Acc4 {
+    debug_assert_eq!(strip.len() % NR, 0);
+    let h = strip.len() / NR;
+    // Fixed-length views: the axpy helper runs over `[f32; NR]`, so the
+    // compiler fully unrolls the lane sweep and keeps each 8-lane half in
+    // one vector register; subslices of `a` keep the k loop free of bounds
+    // checks. Rows are four separate axpy calls (not a 4-element array
+    // loop) so the vectoriser packs lanes, not rows.
+    let (a0, a1) = (&a0[kk0..kk0 + h], &a1[kk0..kk0 + h]);
+    let (a2, a3) = (&a2[kk0..kk0 + h], &a3[kk0..kk0 + h]);
+    let mut acc: Acc4 = [[0.0; NR]; 4];
+    let [acc0, acc1, acc2, acc3] = &mut acc;
+    for (step, bv) in strip.chunks_exact(NR).enumerate() {
+        let bv: &[f32; NR] = bv.try_into().expect("chunks_exact(NR)");
+        axpy_nr(acc0, a0[step], bv);
+        axpy_nr(acc1, a1[step], bv);
+        axpy_nr(acc2, a2[step], bv);
+        axpy_nr(acc3, a3[step], bv);
+    }
+    acc
+}
+
+/// `acc[j] += x * b[j]` over all NR lanes: one IEEE mul then one IEEE add
+/// per lane, lanes independent — the unit the SIMD variant transcribes.
+#[inline(always)]
+fn axpy_nr(acc: &mut [f32; NR], x: f32, b: &[f32; NR]) {
+    for j in 0..NR {
+        acc[j] += x * b[j];
+    }
+}
+
+/// Scalar 1×NR tile for row remainders.
+#[inline]
+pub(crate) fn tile1_scalar(a: &[f32], kk0: usize, strip: &[f32]) -> [f32; NR] {
+    debug_assert_eq!(strip.len() % NR, 0);
+    let h = strip.len() / NR;
+    let a = &a[kk0..kk0 + h];
+    let mut acc = [0.0f32; NR];
+    for (step, bv) in strip.chunks_exact(NR).enumerate() {
+        let bv: &[f32; NR] = bv.try_into().expect("chunks_exact(NR)");
+        axpy_nr(&mut acc, a[step], bv);
+    }
+    acc
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx {
+    //! AVX transcription of the scalar tiles. Each 256-bit register holds 8
+    //! output lanes; `_mm256_mul_ps` + `_mm256_add_ps` are lane-wise IEEE
+    //! single rounding steps, identical to the scalar `x * b` then `+=`.
+
+    use super::{Acc4, NR};
+    use std::arch::x86_64::*;
+
+    #[target_feature(enable = "avx")]
+    pub unsafe fn tile4(
+        a0: &[f32],
+        a1: &[f32],
+        a2: &[f32],
+        a3: &[f32],
+        kk0: usize,
+        strip: &[f32],
+    ) -> Acc4 {
+        debug_assert_eq!(strip.len() % NR, 0);
+        let h = strip.len() / NR;
+        let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+        for step in 0..h {
+            let kk = kk0 + step;
+            let base = strip.as_ptr().add(step * NR);
+            let b_lo = _mm256_loadu_ps(base);
+            let b_hi = _mm256_loadu_ps(base.add(8));
+            let xs = [
+                _mm256_set1_ps(*a0.get_unchecked(kk)),
+                _mm256_set1_ps(*a1.get_unchecked(kk)),
+                _mm256_set1_ps(*a2.get_unchecked(kk)),
+                _mm256_set1_ps(*a3.get_unchecked(kk)),
+            ];
+            for (row, x) in acc.iter_mut().zip(xs) {
+                row[0] = _mm256_add_ps(row[0], _mm256_mul_ps(x, b_lo));
+                row[1] = _mm256_add_ps(row[1], _mm256_mul_ps(x, b_hi));
+            }
+        }
+        let mut out: Acc4 = [[0.0; NR]; 4];
+        for (dst, row) in out.iter_mut().zip(acc) {
+            _mm256_storeu_ps(dst.as_mut_ptr(), row[0]);
+            _mm256_storeu_ps(dst.as_mut_ptr().add(8), row[1]);
+        }
+        out
+    }
+
+    #[target_feature(enable = "avx")]
+    pub unsafe fn tile1(a: &[f32], kk0: usize, strip: &[f32]) -> [f32; NR] {
+        debug_assert_eq!(strip.len() % NR, 0);
+        let h = strip.len() / NR;
+        let mut lo = _mm256_setzero_ps();
+        let mut hi = _mm256_setzero_ps();
+        for step in 0..h {
+            let base = strip.as_ptr().add(step * NR);
+            let x = _mm256_set1_ps(*a.get_unchecked(kk0 + step));
+            lo = _mm256_add_ps(lo, _mm256_mul_ps(x, _mm256_loadu_ps(base)));
+            hi = _mm256_add_ps(hi, _mm256_mul_ps(x, _mm256_loadu_ps(base.add(8))));
+        }
+        let mut out = [0.0f32; NR];
+        _mm256_storeu_ps(out.as_mut_ptr(), lo);
+        _mm256_storeu_ps(out.as_mut_ptr().add(8), hi);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{pack_b, KC};
+
+    fn filled(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 9) as f32 / (1 << 21) as f32 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tile4_matches_naive_panel_product() {
+        let (k, n) = (KC + 19, NR);
+        let rows: Vec<Vec<f32>> = (0..4).map(|r| filled(k, 100 + r)).collect();
+        let b = filled(k * n, 7);
+        let packed = pack_b(&b, k, n);
+        // Accumulate across panels exactly as the macro-kernel does.
+        let mut c = [[0.0f32; NR]; 4];
+        let mut kk0 = 0;
+        while kk0 < k {
+            let h = KC.min(k - kk0);
+            let acc = tile4_scalar(&rows[0], &rows[1], &rows[2], &rows[3], kk0, packed.strip(kk0, h, 0));
+            for (c_row, acc_row) in c.iter_mut().zip(acc) {
+                for (dst, v) in c_row.iter_mut().zip(acc_row) {
+                    *dst += v;
+                }
+            }
+            kk0 += KC;
+        }
+        for (r, row) in rows.iter().enumerate() {
+            for j in 0..n {
+                let mut kk0 = 0;
+                let mut want = 0.0f32;
+                while kk0 < k {
+                    let h = KC.min(k - kk0);
+                    let mut acc = 0.0f32;
+                    for kk in kk0..kk0 + h {
+                        acc += row[kk] * b[kk * n + j];
+                    }
+                    want += acc;
+                    kk0 += KC;
+                }
+                assert_eq!(c[r][j].to_bits(), want.to_bits(), "r={r} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile1_matches_tile4_rows() {
+        let k = 37;
+        let rows: Vec<Vec<f32>> = (0..4).map(|r| filled(k, 200 + r)).collect();
+        let packed = pack_b(&filled(k * NR, 3), k, NR);
+        let strip = packed.strip(0, k, 0);
+        let four = tile4_scalar(&rows[0], &rows[1], &rows[2], &rows[3], 0, strip);
+        for (r, row) in rows.iter().enumerate() {
+            let one = tile1_scalar(row, 0, strip);
+            assert_eq!(one, four[r], "row {r}");
+        }
+    }
+
+    #[cfg(feature = "simd")]
+    #[test]
+    fn avx_tiles_bit_match_scalar() {
+        if !simd_active() {
+            eprintln!("avx not available on this CPU; skipping");
+            return;
+        }
+        let k = KC + 11;
+        let rows: Vec<Vec<f32>> = (0..4).map(|r| filled(k, 300 + r)).collect();
+        let packed = pack_b(&filled(k * NR, 13), k, NR);
+        let mut kk0 = 0;
+        while kk0 < k {
+            let h = KC.min(k - kk0);
+            let strip = packed.strip(kk0, h, 0);
+            let scalar = tile4_scalar(&rows[0], &rows[1], &rows[2], &rows[3], kk0, strip);
+            let simd = <AutoTiles as Tiles>::tile4(&rows[0], &rows[1], &rows[2], &rows[3], kk0, strip);
+            for r in 0..4 {
+                for l in 0..NR {
+                    assert_eq!(scalar[r][l].to_bits(), simd[r][l].to_bits(), "kk0={kk0} r={r} l={l}");
+                }
+            }
+            let s1 = tile1_scalar(&rows[0], kk0, strip);
+            let v1 = <AutoTiles as Tiles>::tile1(&rows[0], kk0, strip);
+            assert_eq!(s1.map(f32::to_bits), v1.map(f32::to_bits));
+            kk0 += KC;
+        }
+    }
+}

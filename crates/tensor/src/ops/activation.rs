@@ -1,5 +1,10 @@
 //! Activations, row-wise softmax family, and cross-entropy.
+//!
+//! The pointwise activations route through the fused maps in
+//! [`super::fused`]: the forward sweep produces value + derivative in one
+//! (parallel) pass, and backward is a single `g ⊙ d` zip.
 
+use super::fused::unary_map;
 use super::{out_grad, result};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -7,69 +12,33 @@ use crate::tensor::Tensor;
 impl Tensor {
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|x| x.max(0.0)).collect();
-        let a = self.clone();
-        result(data, *self.shape(), vec![self.clone()], "relu", move |out| {
-            if a.tracks_grad() {
-                let g: Vec<f32> = out_grad(out)
-                    .iter()
-                    .zip(a.data().iter())
-                    .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
-                    .collect();
-                a.accumulate_grad(&g);
-            }
-        })
+        unary_map(self, "relu", |x| (x.max(0.0), if x > 0.0 { 1.0 } else { 0.0 }))
     }
 
     /// Tanh-approximated GELU (as in GPT-2 / the CLIP text transformer).
     pub fn gelu(&self) -> Tensor {
         const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        let fwd = |x: f32| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh());
-        let data: Vec<f32> = self.data().iter().map(|&x| fwd(x)).collect();
-        let a = self.clone();
-        result(data, *self.shape(), vec![self.clone()], "gelu", move |out| {
-            if a.tracks_grad() {
-                let g: Vec<f32> = out_grad(out)
-                    .iter()
-                    .zip(a.data().iter())
-                    .map(|(g, &x)| {
-                        let u = C * (x + 0.044715 * x * x * x);
-                        let t = u.tanh();
-                        let du = C * (1.0 + 3.0 * 0.044715 * x * x);
-                        let d = 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du;
-                        g * d
-                    })
-                    .collect();
-                a.accumulate_grad(&g);
-            }
+        unary_map(self, "gelu", |x| {
+            let u = C * (x + 0.044715 * x * x * x);
+            let t = u.tanh();
+            let du = C * (1.0 + 3.0 * 0.044715 * x * x);
+            (0.5 * x * (1.0 + t), 0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du)
         })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&self) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
-        let a = self.clone();
-        let saved = data.clone();
-        result(data, *self.shape(), vec![self.clone()], "sigmoid", move |out| {
-            if a.tracks_grad() {
-                let g: Vec<f32> =
-                    out_grad(out).iter().zip(&saved).map(|(g, y)| g * y * (1.0 - y)).collect();
-                a.accumulate_grad(&g);
-            }
+        unary_map(self, "sigmoid", |x| {
+            let y = 1.0 / (1.0 + (-x).exp());
+            (y, y * (1.0 - y))
         })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&self) -> Tensor {
-        let data: Vec<f32> = self.data().iter().map(|x| x.tanh()).collect();
-        let a = self.clone();
-        let saved = data.clone();
-        result(data, *self.shape(), vec![self.clone()], "tanh", move |out| {
-            if a.tracks_grad() {
-                let g: Vec<f32> =
-                    out_grad(out).iter().zip(&saved).map(|(g, y)| g * (1.0 - y * y)).collect();
-                a.accumulate_grad(&g);
-            }
+        unary_map(self, "tanh", |x| {
+            let y = x.tanh();
+            (y, 1.0 - y * y)
         })
     }
 

@@ -1,0 +1,297 @@
+//! Broadcast-aware elementwise ops (numeric-style shape compatibility).
+//!
+//! Compatibility rule (the NumPy convention): shapes are compared
+//! right-aligned, axis by axis; a pair of axis lengths is compatible when
+//! they are equal or either is 1. Missing leading axes count as 1. The
+//! broadcast result takes the max of each pair.
+//!
+//! Neither operand is ever materialised at the broadcast shape: iteration
+//! walks the output row-major with an odometer while each operand advances
+//! by its own stride — 0 along broadcast axes. Backward reduces the output
+//! gradient over the broadcast axes of each parent by accumulating in
+//! ascending row-major output order, serially, so gradients are exactly
+//! reproducible (and independent of thread count by construction).
+//!
+//! The pre-existing row/column helpers ([`Tensor::add_row`],
+//! [`Tensor::mul_row`], [`Tensor::mul_col`]) are thin wrappers over these
+//! ops — they keep their historical shape panics but share this kernel.
+
+use super::{out_grad, result};
+use crate::shape::{Shape, MAX_RANK};
+use crate::tensor::Tensor;
+
+/// True when `a` and `b` broadcast together (numeric semantics).
+pub fn compatible(a: &Shape, b: &Shape) -> bool {
+    broadcast_shape(a, b).is_some()
+}
+
+/// The broadcast result shape, or `None` when incompatible.
+pub fn broadcast_shape(a: &Shape, b: &Shape) -> Option<Shape> {
+    let rank = a.rank().max(b.rank());
+    let mut dims = [1usize; MAX_RANK];
+    for (axis, dim) in dims.iter_mut().enumerate().take(rank) {
+        // Right-aligned: axis counted from the trailing end.
+        let da = aligned_dim(a, rank, axis);
+        let db = aligned_dim(b, rank, axis);
+        if da != db && da != 1 && db != 1 {
+            return None;
+        }
+        *dim = da.max(db);
+    }
+    Some(Shape::new(&dims[..rank]))
+}
+
+/// Dim of `s` at `axis` of a rank-`rank` right-aligned frame (1 if absent).
+fn aligned_dim(s: &Shape, rank: usize, axis: usize) -> usize {
+    let offset = rank - s.rank();
+    if axis < offset {
+        1
+    } else {
+        s.dim(axis - offset)
+    }
+}
+
+/// Row-major strides of `s` inside the broadcast frame `out`: 0 along axes
+/// where `s` has length 1 but `out` does not.
+fn bcast_strides(s: &Shape, out: &Shape) -> [usize; MAX_RANK] {
+    let rank = out.rank();
+    let own = s.strides();
+    let offset = rank - s.rank();
+    let mut strides = [0usize; MAX_RANK];
+    for axis in 0..rank {
+        if axis >= offset && s.dim(axis - offset) == out.dim(axis) {
+            strides[axis] = own[axis - offset];
+        }
+        // Axes where s is absent or length-1 against a longer out axis keep
+        // stride 0; a length-1 axis matching a length-1 out axis also gets
+        // its true stride via the branch above (they're equal).
+    }
+    strides
+}
+
+/// Walk `out` row-major, handing each step `(out_index, a_offset, b_offset)`.
+fn for_each_bcast(
+    out: &Shape,
+    a: &Shape,
+    b: &Shape,
+    mut f: impl FnMut(usize, usize, usize),
+) {
+    let rank = out.rank();
+    let numel = out.numel();
+    if rank == 0 {
+        f(0, 0, 0);
+        return;
+    }
+    let sa = bcast_strides(a, out);
+    let sb = bcast_strides(b, out);
+    let mut idx = [0usize; MAX_RANK];
+    let (mut ao, mut bo) = (0usize, 0usize);
+    for i in 0..numel {
+        f(i, ao, bo);
+        // Odometer increment from the innermost axis.
+        for axis in (0..rank).rev() {
+            idx[axis] += 1;
+            ao += sa[axis];
+            bo += sb[axis];
+            if idx[axis] < out.dim(axis) {
+                break;
+            }
+            idx[axis] = 0;
+            ao -= sa[axis] * out.dim(axis);
+            bo -= sb[axis] * out.dim(axis);
+        }
+    }
+}
+
+fn require_bcast(a: &Shape, b: &Shape, op: &str) -> Shape {
+    broadcast_shape(a, b)
+        .unwrap_or_else(|| panic!("{op}: shapes {a} and {b} are not broadcast-compatible"))
+}
+
+impl Tensor {
+    /// Broadcasting `self + other`.
+    pub fn add_bcast(&self, other: &Tensor) -> Tensor {
+        let shape = require_bcast(self.shape(), other.shape(), "add_bcast");
+        let mut data = vec![0.0f32; shape.numel()];
+        {
+            let (av, bv) = (self.data(), other.data());
+            for_each_bcast(&shape, self.shape(), other.shape(), |i, ao, bo| {
+                data[i] = av[ao] + bv[bo];
+            });
+        }
+        let (a, b) = (self.clone(), other.clone());
+        result(data, shape, vec![self.clone(), other.clone()], "add_bcast", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                let mut da = vec![0.0f32; a.numel()];
+                for_each_bcast(out.shape(), a.shape(), b.shape(), |i, ao, _| da[ao] += g[i]);
+                a.accumulate_grad(&da);
+            }
+            if b.tracks_grad() {
+                let mut db = vec![0.0f32; b.numel()];
+                for_each_bcast(out.shape(), a.shape(), b.shape(), |i, _, bo| db[bo] += g[i]);
+                b.accumulate_grad(&db);
+            }
+        })
+    }
+
+    /// Broadcasting `self ⊙ other`.
+    pub fn mul_bcast(&self, other: &Tensor) -> Tensor {
+        let shape = require_bcast(self.shape(), other.shape(), "mul_bcast");
+        let mut data = vec![0.0f32; shape.numel()];
+        {
+            let (av, bv) = (self.data(), other.data());
+            for_each_bcast(&shape, self.shape(), other.shape(), |i, ao, bo| {
+                data[i] = av[ao] * bv[bo];
+            });
+        }
+        let (a, b) = (self.clone(), other.clone());
+        result(data, shape, vec![self.clone(), other.clone()], "mul_bcast", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                let bv = b.data();
+                let mut da = vec![0.0f32; a.numel()];
+                for_each_bcast(out.shape(), a.shape(), b.shape(), |i, ao, bo| {
+                    da[ao] += g[i] * bv[bo];
+                });
+                a.accumulate_grad(&da);
+            }
+            if b.tracks_grad() {
+                let av = a.data();
+                let mut db = vec![0.0f32; b.numel()];
+                for_each_bcast(out.shape(), a.shape(), b.shape(), |i, ao, bo| {
+                    db[bo] += g[i] * av[ao];
+                });
+                b.accumulate_grad(&db);
+            }
+        })
+    }
+
+    /// Broadcasting `self - other` (`a + (-1)·b` without the temporary:
+    /// same kernel, negated accumulation).
+    pub fn sub_bcast(&self, other: &Tensor) -> Tensor {
+        let shape = require_bcast(self.shape(), other.shape(), "sub_bcast");
+        let mut data = vec![0.0f32; shape.numel()];
+        {
+            let (av, bv) = (self.data(), other.data());
+            for_each_bcast(&shape, self.shape(), other.shape(), |i, ao, bo| {
+                data[i] = av[ao] - bv[bo];
+            });
+        }
+        let (a, b) = (self.clone(), other.clone());
+        result(data, shape, vec![self.clone(), other.clone()], "sub_bcast", move |out| {
+            let g = out_grad(out);
+            if a.tracks_grad() {
+                let mut da = vec![0.0f32; a.numel()];
+                for_each_bcast(out.shape(), a.shape(), b.shape(), |i, ao, _| da[ao] += g[i]);
+                a.accumulate_grad(&da);
+            }
+            if b.tracks_grad() {
+                let mut db = vec![0.0f32; b.numel()];
+                for_each_bcast(out.shape(), a.shape(), b.shape(), |i, _, bo| db[bo] -= g[i]);
+                b.accumulate_grad(&db);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(dims: &[usize]) -> Shape {
+        Shape::new(dims)
+    }
+
+    type BcastCase = (&'static [usize], &'static [usize], Option<&'static [usize]>);
+
+    #[test]
+    fn compatibility_matrix_mirrors_numeric_semantics() {
+        // (a, b, expected broadcast dims or None)
+        let cases: &[BcastCase] = &[
+            (&[3], &[3], Some(&[3])),
+            (&[2, 3], &[3], Some(&[2, 3])),
+            (&[2, 3], &[1], Some(&[2, 3])),
+            (&[2, 1], &[1, 3], Some(&[2, 3])),
+            (&[4, 1, 5], &[3, 1], Some(&[4, 3, 5])),
+            (&[], &[2, 2], Some(&[2, 2])),
+            (&[1], &[7], Some(&[7])),
+            (&[2, 3], &[2], None),
+            (&[3, 2], &[2, 3], None),
+            (&[4, 5], &[5, 4], None),
+        ];
+        for (da, db, want) in cases {
+            let (a, b) = (shape(da), shape(db));
+            match want {
+                Some(dims) => {
+                    assert!(compatible(&a, &b), "{a} vs {b} should be compatible");
+                    assert_eq!(broadcast_shape(&a, &b).unwrap().dims(), *dims, "{a} vs {b}");
+                    // Symmetry.
+                    assert_eq!(broadcast_shape(&b, &a).unwrap().dims(), *dims);
+                }
+                None => {
+                    assert!(!compatible(&a, &b), "{a} vs {b} should be rejected");
+                    assert!(!compatible(&b, &a));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_bcast_row_and_col_vectors() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let row = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]);
+        assert_eq!(m.add_bcast(&row).to_vec(), vec![11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        let col = Tensor::from_vec(vec![100.0, 200.0], &[2, 1]);
+        assert_eq!(m.add_bcast(&col).to_vec(), vec![101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+    }
+
+    #[test]
+    fn mul_bcast_outer_product_via_broadcast() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2, 1]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0], &[1, 3]);
+        let y = a.mul_bcast(&b);
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(y.to_vec(), vec![3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn bcast_backward_reduces_over_broadcast_axes() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).requires_grad();
+        let row = Tensor::from_vec(vec![10.0, 20.0, 30.0], &[3]).requires_grad();
+        m.mul_bcast(&row).sum().backward();
+        // d/d m = row broadcast; d/d row = column sums of m.
+        assert_eq!(m.grad().unwrap(), vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0]);
+        assert_eq!(row.grad().unwrap(), vec![1.0 + 4.0, 2.0 + 5.0, 3.0 + 6.0]);
+    }
+
+    #[test]
+    fn sub_bcast_negates_broadcast_side() {
+        let m = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).requires_grad();
+        let v = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        let y = m.sub_bcast(&v);
+        assert_eq!(y.to_vec(), vec![4.0, 4.0, 6.0, 6.0]);
+        y.sum().backward();
+        assert_eq!(m.grad().unwrap(), vec![1.0; 4]);
+        assert_eq!(v.grad().unwrap(), vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn scalar_broadcasts_against_anything() {
+        let s = Tensor::scalar(2.0).requires_grad();
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).requires_grad();
+        let y = m.mul_bcast(&s);
+        assert_eq!(y.to_vec(), vec![2.0, 4.0, 6.0, 8.0]);
+        y.sum().backward();
+        assert_eq!(s.grad().unwrap(), vec![10.0]);
+        assert_eq!(m.grad().unwrap(), vec![2.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not broadcast-compatible")]
+    fn incompatible_shapes_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2]);
+        let _ = a.add_bcast(&b);
+    }
+}

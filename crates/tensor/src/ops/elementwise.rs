@@ -3,7 +3,16 @@
 //! Large buffers (≥ [`par::PAR_ELEMWISE_THRESHOLD`]) are partitioned over
 //! the scoped thread pool; each element is computed independently, so the
 //! parallel path is bit-identical to the serial one.
+//!
+//! Ops with non-trivial local derivatives (`div`, `exp`, `ln`, `sqrt`,
+//! `abs`, `clamp`) route through the fused maps in [`super::fused`]: one
+//! forward sweep produces both the value and the derivative coefficients,
+//! and backward is a single `g ⊙ d` zip instead of re-reading inputs.
+//! `add`/`sub`/`mul` stay unfused deliberately — their derivatives are
+//! constants or the parent buffers themselves, so a fused derivative buffer
+//! would only *add* memory traffic.
 
+use super::fused::{binary_map, unary_map};
 use super::{out_grad, result};
 use crate::par;
 use crate::tensor::Tensor;
@@ -83,17 +92,9 @@ impl Tensor {
     /// Elementwise `self / other` (same shape).
     pub fn div(&self, other: &Tensor) -> Tensor {
         self.assert_same_shape(other, "div");
-        let data = map2(&self.data(), &other.data(), |a, b| a / b);
-        let (a, b) = (self.clone(), other.clone());
-        result(data, *self.shape(), vec![self.clone(), other.clone()], "div", move |out| {
-            let g = out_grad(out);
-            if a.tracks_grad() {
-                a.accumulate_grad(&map2(&g, &b.data(), |g, b| g / b));
-            }
-            if b.tracks_grad() {
-                let gq = map2(&g, &a.data(), |g, a| -g * a);
-                b.accumulate_grad(&map2(&gq, &b.data(), |gq, b| gq / (b * b)));
-            }
+        binary_map(self, other, "div", |x, y| {
+            let r = 1.0 / y;
+            (x / y, r, -(x * r) * r)
         })
     }
 
@@ -126,43 +127,22 @@ impl Tensor {
 
     /// Elementwise `exp`.
     pub fn exp(&self) -> Tensor {
-        let data = map1(&self.data(), |a| a.exp());
-        let a = self.clone();
-        let saved = data.clone();
-        result(data, *self.shape(), vec![self.clone()], "exp", move |out| {
-            if a.tracks_grad() {
-                a.accumulate_grad(&map2(&out_grad(out), &saved, |g, y| g * y));
-            }
+        unary_map(self, "exp", |x| {
+            let y = x.exp();
+            (y, y)
         })
     }
 
     /// Elementwise natural log (inputs must be positive).
     pub fn ln(&self) -> Tensor {
-        let data = map1(&self.data(), |a| a.ln());
-        let a = self.clone();
-        result(data, *self.shape(), vec![self.clone()], "ln", move |out| {
-            if a.tracks_grad() {
-                a.accumulate_grad(&map2(&out_grad(out), &a.data(), |g, x| g / x));
-            }
-        })
+        unary_map(self, "ln", |x| (x.ln(), 1.0 / x))
     }
 
     /// Elementwise square root.
     pub fn sqrt(&self) -> Tensor {
-        let data = map1(&self.data(), |a| a.sqrt());
-        let a = self.clone();
-        let saved = data.clone();
-        result(data, *self.shape(), vec![self.clone()], "sqrt", move |out| {
-            if a.tracks_grad() {
-                let g = map2(&out_grad(out), &saved, |g, y| {
-                    if y > 0.0 {
-                        g / (2.0 * y)
-                    } else {
-                        0.0
-                    }
-                });
-                a.accumulate_grad(&g);
-            }
+        unary_map(self, "sqrt", |x| {
+            let y = x.sqrt();
+            (y, if y > 0.0 { 1.0 / (2.0 * y) } else { 0.0 })
         })
     }
 
@@ -173,40 +153,23 @@ impl Tensor {
 
     /// Elementwise absolute value (subgradient 0 at the kink).
     pub fn abs(&self) -> Tensor {
-        let data = map1(&self.data(), |a| a.abs());
-        let a = self.clone();
-        result(data, *self.shape(), vec![self.clone()], "abs", move |out| {
-            if a.tracks_grad() {
-                let g = map2(&out_grad(out), &a.data(), |g, x| {
-                    if x > 0.0 {
-                        g
-                    } else if x < 0.0 {
-                        -g
-                    } else {
-                        0.0
-                    }
-                });
-                a.accumulate_grad(&g);
-            }
+        unary_map(self, "abs", |x| {
+            let d = if x > 0.0 {
+                1.0
+            } else if x < 0.0 {
+                -1.0
+            } else {
+                0.0
+            };
+            (x.abs(), d)
         })
     }
 
     /// Elementwise clamp into `[lo, hi]` (zero gradient outside the range).
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         assert!(lo <= hi, "clamp: lo > hi");
-        let data = map1(&self.data(), |a| a.clamp(lo, hi));
-        let a = self.clone();
-        result(data, *self.shape(), vec![self.clone()], "clamp", move |out| {
-            if a.tracks_grad() {
-                let g = map2(&out_grad(out), &a.data(), |g, x| {
-                    if x >= lo && x <= hi {
-                        g
-                    } else {
-                        0.0
-                    }
-                });
-                a.accumulate_grad(&g);
-            }
+        unary_map(self, "clamp", move |x| {
+            (x.clamp(lo, hi), if x >= lo && x <= hi { 1.0 } else { 0.0 })
         })
     }
 
@@ -237,118 +200,31 @@ impl Tensor {
     }
 
     /// Broadcast-add a rank-1 `bias` of length `last_dim` to every row of a
-    /// rank-≥1 tensor (the standard linear-layer bias).
+    /// rank-≥1 tensor (the standard linear-layer bias). Thin wrapper over
+    /// [`Tensor::add_bcast`].
     pub fn add_row(&self, bias: &Tensor) -> Tensor {
         let d = self.shape().last_dim();
         assert_eq!(bias.numel(), d, "add_row: bias length {} != last dim {}", bias.numel(), d);
-        let rows = self.shape().leading();
-        let mut data = self.to_vec();
-        {
-            let b = bias.data();
-            for r in 0..rows {
-                for (dst, src) in data[r * d..(r + 1) * d].iter_mut().zip(b.iter()) {
-                    *dst += *src;
-                }
-            }
-        }
-        let (a, b) = (self.clone(), bias.clone());
-        result(data, *self.shape(), vec![self.clone(), bias.clone()], "add_row", move |out| {
-            let g = out_grad(out);
-            if a.tracks_grad() {
-                a.accumulate_grad(&g);
-            }
-            if b.tracks_grad() {
-                let mut db = vec![0.0f32; d];
-                for r in 0..rows {
-                    for (dst, src) in db.iter_mut().zip(&g[r * d..(r + 1) * d]) {
-                        *dst += *src;
-                    }
-                }
-                b.accumulate_grad(&db);
-            }
-        })
+        self.add_bcast(&bias.reshape(&[d]))
     }
 
     /// Broadcast-multiply every row of a rank-≥1 tensor elementwise by a
     /// rank-1 `scale` of length `last_dim` (the multiplicative sibling of
-    /// [`Tensor::add_row`], e.g. gated fusion).
+    /// [`Tensor::add_row`], e.g. gated fusion). Thin wrapper over
+    /// [`Tensor::mul_bcast`].
     pub fn mul_row(&self, scale: &Tensor) -> Tensor {
         let d = self.shape().last_dim();
         assert_eq!(scale.numel(), d, "mul_row: scale length {} != last dim {}", scale.numel(), d);
-        let rows = self.shape().leading();
-        let mut data = self.to_vec();
-        {
-            let s = scale.data();
-            for r in 0..rows {
-                for (dst, sv) in data[r * d..(r + 1) * d].iter_mut().zip(s.iter()) {
-                    *dst *= *sv;
-                }
-            }
-        }
-        let (a, s) = (self.clone(), scale.clone());
-        result(data, *self.shape(), vec![self.clone(), scale.clone()], "mul_row", move |out| {
-            let g = out_grad(out);
-            if a.tracks_grad() {
-                let sv = s.data();
-                let mut da = vec![0.0f32; rows * d];
-                for r in 0..rows {
-                    for j in 0..d {
-                        da[r * d + j] = g[r * d + j] * sv[j];
-                    }
-                }
-                a.accumulate_grad(&da);
-            }
-            if s.tracks_grad() {
-                let av = a.data();
-                let mut ds = vec![0.0f32; d];
-                for r in 0..rows {
-                    for j in 0..d {
-                        ds[j] += g[r * d + j] * av[r * d + j];
-                    }
-                }
-                s.accumulate_grad(&ds);
-            }
-        })
+        self.mul_bcast(&scale.reshape(&[d]))
     }
 
     /// Broadcast-multiply each row `r` of a rank-2 tensor by `scale[r]`
-    /// (rank-1, length = number of rows).
+    /// (rank-1, length = number of rows). Thin wrapper over
+    /// [`Tensor::mul_bcast`] with `scale` viewed as a column.
     pub fn mul_col(&self, scale: &Tensor) -> Tensor {
-        let (rows, cols) = self.shape().as_matrix();
+        let (rows, _cols) = self.shape().as_matrix();
         assert_eq!(scale.numel(), rows, "mul_col: scale length {} != rows {}", scale.numel(), rows);
-        let mut data = self.to_vec();
-        {
-            let s = scale.data();
-            for r in 0..rows {
-                for v in data[r * cols..(r + 1) * cols].iter_mut() {
-                    *v *= s[r];
-                }
-            }
-        }
-        let (a, s) = (self.clone(), scale.clone());
-        result(data, *self.shape(), vec![self.clone(), scale.clone()], "mul_col", move |out| {
-            let g = out_grad(out);
-            if a.tracks_grad() {
-                let sv = s.data();
-                let mut da = vec![0.0f32; rows * cols];
-                for r in 0..rows {
-                    for c in 0..cols {
-                        da[r * cols + c] = g[r * cols + c] * sv[r];
-                    }
-                }
-                a.accumulate_grad(&da);
-            }
-            if s.tracks_grad() {
-                let av = a.data();
-                let mut ds = vec![0.0f32; rows];
-                for r in 0..rows {
-                    for c in 0..cols {
-                        ds[r] += g[r * cols + c] * av[r * cols + c];
-                    }
-                }
-                s.accumulate_grad(&ds);
-            }
-        })
+        self.mul_bcast(&scale.reshape(&[rows, 1]))
     }
 }
 

@@ -1,0 +1,143 @@
+//! Fused forward+derivative elementwise maps (dfdx-style `unary_map` /
+//! `binary_map`).
+//!
+//! The unfused pattern costs extra sweeps and allocations: forward computes
+//! the value, then backward re-reads the saved input (or a cloned output)
+//! and runs another elementwise pass to build each parent's gradient chain.
+//! The fused pattern computes the value *and* the local derivative
+//! coefficients in one parallel sweep at forward time; backward collapses
+//! to a single `g ⊙ d` zip per parent.
+//!
+//! Autograd contract:
+//!
+//! * Derivative buffers are only materialised when grad mode is on and a
+//!   parent tracks gradients — inference (`no_grad`) pays one sweep and
+//!   zero extra memory.
+//! * The closure `f` must return derivatives evaluated at the *input*
+//!   point; the backward closure never re-reads parent data, so the op
+//!   stays correct even if a parent's buffer is later mutated in-place by
+//!   an optimiser step.
+//! * Both sweeps run through [`par`] with the usual size threshold, so
+//!   results are bit-identical at every thread count.
+
+use super::{out_grad, result};
+use crate::grad;
+use crate::par;
+use crate::tensor::Tensor;
+
+/// Fused unary op: `f(x) -> (value, dvalue/dx)`.
+pub(crate) fn unary_map(
+    x: &Tensor,
+    name: &'static str,
+    f: impl Fn(f32) -> (f32, f32) + Sync,
+) -> Tensor {
+    let n = x.numel();
+    let threads = par::auto_threads(n);
+    let mut out = vec![0.0f32; n];
+    if grad::grad_enabled() && x.tracks_grad() {
+        let mut dx = vec![0.0f32; n];
+        par::map2_into(&x.data(), &mut out, &mut dx, threads, &f);
+        let xin = x.clone();
+        result(out, *x.shape(), vec![x.clone()], name, move |o| {
+            if xin.tracks_grad() {
+                let g = out_grad(o);
+                let mut gx = vec![0.0f32; g.len()];
+                par::zip_into(&g, &dx, &mut gx, par::auto_threads(g.len()), |g, d| g * d);
+                xin.accumulate_grad(&gx);
+            }
+        })
+    } else {
+        par::map_into(&x.data(), &mut out, threads, |v| f(v).0);
+        result(out, *x.shape(), vec![x.clone()], name, |_| {})
+    }
+}
+
+/// Fused binary op over same-shape operands:
+/// `f(a, b) -> (value, dvalue/da, dvalue/db)`.
+pub(crate) fn binary_map(
+    a: &Tensor,
+    b: &Tensor,
+    name: &'static str,
+    f: impl Fn(f32, f32) -> (f32, f32, f32) + Sync,
+) -> Tensor {
+    debug_assert!(a.shape().same_as(b.shape()), "{name}: binary_map requires same shapes");
+    let n = a.numel();
+    let threads = par::auto_threads(n);
+    let mut out = vec![0.0f32; n];
+    if grad::grad_enabled() && (a.tracks_grad() || b.tracks_grad()) {
+        let mut da = vec![0.0f32; n];
+        let mut db = vec![0.0f32; n];
+        par::zip3_into(&a.data(), &b.data(), &mut out, &mut da, &mut db, threads, &f);
+        let (ai, bi) = (a.clone(), b.clone());
+        result(out, *a.shape(), vec![a.clone(), b.clone()], name, move |o| {
+            let g = out_grad(o);
+            let threads = par::auto_threads(g.len());
+            if ai.tracks_grad() {
+                let mut gx = vec![0.0f32; g.len()];
+                par::zip_into(&g, &da, &mut gx, threads, |g, d| g * d);
+                ai.accumulate_grad(&gx);
+            }
+            if bi.tracks_grad() {
+                let mut gx = vec![0.0f32; g.len()];
+                par::zip_into(&g, &db, &mut gx, threads, |g, d| g * d);
+                bi.accumulate_grad(&gx);
+            }
+        })
+    } else {
+        par::zip_into(&a.data(), &b.data(), &mut out, threads, |x, y| f(x, y).0);
+        result(out, *a.shape(), vec![a.clone(), b.clone()], name, |_| {})
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad::no_grad;
+
+    #[test]
+    fn unary_map_forward_and_grad() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).requires_grad();
+        // y = x², dy/dx = 2x
+        let y = unary_map(&x, "square_test", |v| (v * v, 2.0 * v));
+        assert_eq!(y.to_vec(), vec![1.0, 4.0, 9.0]);
+        y.sum().backward();
+        assert_eq!(x.grad().unwrap(), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn binary_map_forward_and_both_grads() {
+        let a = Tensor::from_vec(vec![2.0, 3.0], &[2]).requires_grad();
+        let b = Tensor::from_vec(vec![5.0, 7.0], &[2]).requires_grad();
+        let y = binary_map(&a, &b, "mul_test", |x, y| (x * y, y, x));
+        assert_eq!(y.to_vec(), vec![10.0, 21.0]);
+        y.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![5.0, 7.0]);
+        assert_eq!(b.grad().unwrap(), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn no_grad_skips_derivative_buffers_but_matches_values() {
+        let x = Tensor::from_vec(vec![0.5, 1.5], &[2]);
+        let with = unary_map(&x, "exp_test", |v| {
+            let e = v.exp();
+            (e, e)
+        });
+        let without = no_grad(|| {
+            unary_map(&x, "exp_test", |v| {
+                let e = v.exp();
+                (e, e)
+            })
+        });
+        assert_eq!(with.to_vec(), without.to_vec());
+    }
+
+    #[test]
+    fn partial_grad_tracking_only_touches_tracked_parent() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).requires_grad();
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[2]); // untracked
+        let y = binary_map(&a, &b, "mul_test", |x, y| (x * y, y, x));
+        y.sum().backward();
+        assert_eq!(a.grad().unwrap(), vec![3.0, 4.0]);
+        assert!(b.grad().is_none());
+    }
+}

@@ -5,7 +5,9 @@
 //! [`crate::grad::record`]. Ops are exposed as methods on [`Tensor`].
 
 pub mod activation;
+pub mod broadcast;
 pub mod elementwise;
+pub mod fused;
 pub mod matmul;
 pub mod norm;
 pub mod reduce;

@@ -1,0 +1,333 @@
+//! B-panel packing for the packed GEMM stack (see DESIGN.md §9).
+//!
+//! The blocked kernels stream the right operand `B` row by row with stride
+//! `n`; once `B` outgrows L2 every micro-kernel sweep walks strided memory.
+//! Packing rewrites `B` once — panel by panel — into a contiguous,
+//! cache-line-aligned buffer laid out exactly in the order the micro-kernel
+//! consumes it, so the inner loop reads a single forward-moving stream:
+//!
+//! * The reduction dimension `k` is cut into panels of [`KC`] rows
+//!   (`KC · NR · 4` bytes per strip — L1-resident).
+//! * Within a panel, columns are grouped into strips of [`NR`] (the
+//!   micro-kernel width). A strip stores its panel k-major: the `NR`
+//!   column values for consecutive `kk` are adjacent, which is one aligned
+//!   64-byte load pair per k step.
+//! * The last strip of a row is zero-padded to `NR`. Padding lanes are
+//!   computed and discarded at writeback; they never touch `c`, so the
+//!   per-element schedule of valid lanes is unchanged.
+//!
+//! Packing is a pure, deterministic data movement (no arithmetic), so it
+//! cannot change results — property-tested by the pack→unpack round-trip
+//! in `crates/tensor/tests/proptest_pack.rs`.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+
+/// Micro-kernel width: output columns processed per tile (two 8-lane
+/// groups, matching a pair of 256-bit vector registers).
+pub const NR: usize = 16;
+
+/// Rows per k panel. A strip of a panel is `KC × NR` floats = 16 KiB, which
+/// stays L1-resident while the macro-kernel re-sweeps it for every row
+/// group. A multiple of 8 so panel edges never split an unrolled group.
+pub const KC: usize = 256;
+
+/// Micro-kernel height: output rows processed per tile.
+pub const MR: usize = 4;
+
+/// Cache-line-aligned, zero-initialised f32 buffer. `Vec<f32>` only
+/// guarantees 4-byte alignment; packed panels want their 64-byte strips on
+/// cache-line boundaries so every k step of the micro-kernel touches
+/// exactly two lines.
+pub struct AlignedBuf {
+    ptr: NonNull<f32>,
+    len: usize,
+}
+
+/// Alignment of [`AlignedBuf`] allocations (one x86 cache line).
+pub const BUF_ALIGN: usize = 64;
+
+impl AlignedBuf {
+    /// Zeroed buffer of `len` floats, 64-byte aligned.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBuf { ptr: NonNull::dangling(), len: 0 };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<f32>()) else {
+            std::alloc::handle_alloc_error(layout);
+        };
+        AlignedBuf { ptr, len }
+    }
+
+    fn layout(len: usize) -> Layout {
+        Layout::from_size_align(len * std::mem::size_of::<f32>(), BUF_ALIGN)
+            .expect("AlignedBuf: layout overflow")
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: ptr is valid for len floats (or dangling with len 0,
+        // where from_raw_parts of a dangling pointer with len 0 is fine).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as above, plus &mut self guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: allocated in `zeroed` with the identical layout.
+            unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+        }
+    }
+}
+
+impl std::ops::Deref for AlignedBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        self.as_slice()
+    }
+}
+
+// SAFETY: AlignedBuf is a plain owned f32 buffer with no interior
+// mutability; sharing &AlignedBuf across scoped threads is as safe as
+// sharing &[f32].
+unsafe impl Send for AlignedBuf {}
+unsafe impl Sync for AlignedBuf {}
+
+/// A `k × n` right operand packed into k-panels of `NR`-wide column strips.
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    buf: AlignedBuf,
+}
+
+impl PackedB {
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of `NR`-wide column strips (last one may be padded).
+    pub fn n_strips(&self) -> usize {
+        self.n.div_ceil(NR)
+    }
+
+    /// Bytes resident in the packed buffer (for perf accounting).
+    pub fn packed_bytes(&self) -> usize {
+        self.buf.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The packed block for strip `s` of the panel starting at row `kk0`
+    /// with height `h`: a contiguous `h × NR` slab, k-major.
+    #[inline]
+    pub fn strip(&self, kk0: usize, h: usize, s: usize) -> &[f32] {
+        debug_assert_eq!(kk0 % KC, 0, "panel start must be a KC multiple");
+        debug_assert!(s < self.n_strips());
+        let base = kk0 * self.n_strips() * NR + s * h * NR;
+        &self.buf[base..base + h * NR]
+    }
+
+    fn alloc(k: usize, n: usize) -> PackedB {
+        let strips = n.div_ceil(NR);
+        PackedB { k, n, buf: AlignedBuf::zeroed(k * strips * NR) }
+    }
+}
+
+/// Pack a row-major `k × n` matrix.
+pub fn pack_b(b: &[f32], k: usize, n: usize) -> PackedB {
+    assert_eq!(b.len(), k * n, "pack_b: buffer/shape mismatch");
+    let mut packed = PackedB::alloc(k, n);
+    let strips = packed.n_strips();
+    let dst = packed.buf.as_mut_slice();
+    let mut kk0 = 0usize;
+    while kk0 < k {
+        let h = KC.min(k - kk0);
+        let panel_base = kk0 * strips * NR;
+        for s in 0..strips {
+            let j0 = s * NR;
+            let w = NR.min(n - j0);
+            let strip_base = panel_base + s * h * NR;
+            for kk in 0..h {
+                let src = &b[(kk0 + kk) * n + j0..(kk0 + kk) * n + j0 + w];
+                dst[strip_base + kk * NR..strip_base + kk * NR + w].copy_from_slice(src);
+                // Lanes w..NR stay zero from allocation.
+            }
+        }
+        kk0 += KC;
+    }
+    packed
+}
+
+/// Pack the *transpose* of a row-major `n × k` matrix — i.e. the logical
+/// right operand of `gemm_nt` (`c[i,j] = Σ_kk a[i,kk] · bt[j,kk]`) in the
+/// same layout [`pack_b`] produces, without materialising the transpose.
+pub fn pack_b_t(bt: &[f32], n: usize, k: usize) -> PackedB {
+    assert_eq!(bt.len(), n * k, "pack_b_t: buffer/shape mismatch");
+    let mut packed = PackedB::alloc(k, n);
+    let strips = packed.n_strips();
+    let dst = packed.buf.as_mut_slice();
+    let mut kk0 = 0usize;
+    while kk0 < k {
+        let h = KC.min(k - kk0);
+        let panel_base = kk0 * strips * NR;
+        for s in 0..strips {
+            let j0 = s * NR;
+            let w = NR.min(n - j0);
+            let strip_base = panel_base + s * h * NR;
+            for l in 0..w {
+                let col = &bt[(j0 + l) * k..(j0 + l) * k + k];
+                for kk in 0..h {
+                    dst[strip_base + kk * NR + l] = col[kk0 + kk];
+                }
+            }
+        }
+        kk0 += KC;
+    }
+    packed
+}
+
+/// Unpack back to a row-major `k × n` matrix — the inverse of [`pack_b`]
+/// (padding lanes dropped). Exists for the round-trip property tests; the
+/// kernels never unpack.
+pub fn unpack(packed: &PackedB) -> Vec<f32> {
+    let (k, n) = (packed.k, packed.n);
+    let mut out = vec![0.0f32; k * n];
+    let strips = packed.n_strips();
+    let mut kk0 = 0usize;
+    while kk0 < k {
+        let h = KC.min(k - kk0);
+        for s in 0..strips {
+            let j0 = s * NR;
+            let w = NR.min(n - j0);
+            let strip = packed.strip(kk0, h, s);
+            for kk in 0..h {
+                out[(kk0 + kk) * n + j0..(kk0 + kk) * n + j0 + w]
+                    .copy_from_slice(&strip[kk * NR..kk * NR + w]);
+            }
+        }
+        kk0 += KC;
+    }
+    out
+}
+
+/// Transpose a row-major `m × k` matrix into a fresh row-major `k × m`
+/// buffer (`out[p·m + i] = a[i·k + p]`) — the `gemm_tn` front end, so the
+/// TN variant can reuse the same packed macro-kernel with contiguous left
+/// rows. Pure data movement, no arithmetic.
+pub fn transpose_mk(a: &[f32], m: usize, k: usize) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "transpose_mk: buffer/shape mismatch");
+    let mut out = vec![0.0f32; m * k];
+    // Blocked 32×32 transpose keeps both source and destination tiles
+    // cache-resident for large operands.
+    const TB: usize = 32;
+    let mut i0 = 0usize;
+    while i0 < m {
+        let i1 = (i0 + TB).min(m);
+        let mut p0 = 0usize;
+        while p0 < k {
+            let p1 = (p0 + TB).min(k);
+            for i in i0..i1 {
+                for p in p0..p1 {
+                    out[p * m + i] = a[i * k + p];
+                }
+            }
+            p0 = p1;
+        }
+        i0 = i1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(len: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 8) as f32 / (1 << 22) as f32 - 2.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_spot_sizes() {
+        for (k, n) in [(1, 1), (3, 5), (16, 16), (17, 33), (KC + 3, NR * 2 + 7), (2 * KC, 1)] {
+            let b = filled(k * n, (k * 31 + n) as u32);
+            let packed = pack_b(&b, k, n);
+            assert_eq!(unpack(&packed), b, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_transposed_matches_explicit_transpose() {
+        for (n, k) in [(3, 5), (17, 9), (NR + 1, KC + 5)] {
+            let bt = filled(n * k, 77);
+            // Explicit transpose then pack.
+            let mut b = vec![0.0f32; k * n];
+            for j in 0..n {
+                for kk in 0..k {
+                    b[kk * n + j] = bt[j * k + kk];
+                }
+            }
+            let via_t = pack_b_t(&bt, n, k);
+            let direct = pack_b(&b, k, n);
+            assert_eq!(via_t.buf.as_slice(), direct.buf.as_slice(), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn strips_are_zero_padded() {
+        let (k, n) = (4, 5); // one full strip would be 16 wide; 11 padded lanes
+        let b = filled(k * n, 3);
+        let packed = pack_b(&b, k, n);
+        let strip = packed.strip(0, k, 0);
+        for kk in 0..k {
+            for l in n..NR {
+                assert_eq!(strip[kk * NR + l], 0.0, "pad lane ({kk},{l}) not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_buffer_is_cache_line_aligned() {
+        let packed = pack_b(&filled(64 * 64, 9), 64, 64);
+        assert_eq!(packed.buf.as_slice().as_ptr() as usize % BUF_ALIGN, 0);
+    }
+
+    #[test]
+    fn transpose_mk_roundtrip() {
+        let (m, k) = (37, 53);
+        let a = filled(m * k, 5);
+        let at = transpose_mk(&a, m, k);
+        let back = transpose_mk(&at, k, m);
+        assert_eq!(back, a);
+        assert_eq!(at[7 * m + 3], a[3 * k + 7]);
+    }
+
+    #[test]
+    fn empty_dims_pack_to_empty() {
+        assert_eq!(pack_b(&[], 0, 7).packed_bytes(), 0);
+        assert!(unpack(&pack_b(&[], 5, 0)).is_empty());
+    }
+}

@@ -15,6 +15,24 @@
 //!   **bit-identical** to the serial path, which preserves the bit-faithful
 //!   checkpoint/resume guarantee of the resilience layer.
 //!
+//! Partitioning comes in three flavours, all built on the same scoped
+//! splitter:
+//!
+//! * [`par_chunks_mut`] — uniform contiguous blocks, one per worker.
+//! * [`par_chunks_mut_aligned`] — uniform blocks whose chunk counts are
+//!   rounded up to a multiple of an alignment (so the packed GEMM's 4-row
+//!   micro-kernel never straddles a worker boundary mid-group).
+//! * [`par_chunks_mut_weighted`] — contiguous blocks balanced by a
+//!   per-chunk cost estimate instead of chunk count (so heterogeneous rows
+//!   — e.g. proximity rows whose cost scales with the entity's
+//!   neighbourhood size — stop serialising behind the most expensive
+//!   block).
+//!
+//! The fused multi-output maps ([`map2_into`], [`zip3_into`]) drive the
+//! fused forward+derivative elementwise ops: one parallel sweep fills the
+//! op output *and* its derivative coefficient buffers, instead of one pass
+//! per buffer.
+//!
 //! Thread count resolution order: [`set_threads`]/[`ThreadsGuard`] override
 //! → `CEM_THREADS` environment variable → [`std::thread::available_parallelism`].
 //! A resolved count of `1` short-circuits into the exact serial code path
@@ -35,6 +53,12 @@ fn env_threads() -> usize {
     })
 }
 
+/// Physical core count, resolved once (1 if unknown).
+pub fn machine_threads() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 /// The thread budget kernels may use for sufficiently large work.
 pub fn max_threads() -> usize {
     let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
@@ -45,7 +69,7 @@ pub fn max_threads() -> usize {
     if env > 0 {
         return env;
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    machine_threads()
 }
 
 /// Set the process-wide thread budget (`0` clears the override, falling
@@ -98,6 +122,59 @@ pub fn auto_threads_gemm(work: usize) -> usize {
     }
 }
 
+/// Core splitter shared by every partition flavour: split `data` into
+/// contiguous blocks of whole chunks at the given boundaries (chunk
+/// indices, strictly increasing, exclusive of 0 and the final chunk count)
+/// and run `f(first_chunk_index, block)` on each block, all but the last on
+/// scoped worker threads. With no boundaries the closure runs once on the
+/// calling thread — the exact serial code path.
+fn run_blocks<T, F>(data: &mut [T], chunk_len: usize, boundaries: &[usize], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if boundaries.is_empty() {
+        cem_obs::counter_add!("par.serial", 1);
+        f(0, data);
+        return;
+    }
+    cem_obs::counter_add!("par.scopes", 1);
+    cem_obs::counter_add!("par.threads_spawned", boundaries.len() as u64);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest: &mut [T] = data;
+        let mut first_chunk = 0usize;
+        for &cut in boundaries {
+            let take = (cut - first_chunk) * chunk_len;
+            let (block, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let start = first_chunk;
+            scope.spawn(move || f(start, block));
+            first_chunk = cut;
+        }
+        // The final block runs on the calling thread; scope joins the rest.
+        f(first_chunk, rest);
+    });
+}
+
+/// Uniform block boundaries for `chunks` chunks over `threads` workers,
+/// with per-worker chunk counts rounded up to a multiple of `align`.
+fn uniform_boundaries(chunks: usize, threads: usize, align: usize) -> Vec<usize> {
+    let threads = threads.min(chunks).max(1);
+    if threads <= 1 {
+        return Vec::new();
+    }
+    let align = align.max(1);
+    let per_block = chunks.div_ceil(threads).next_multiple_of(align);
+    let mut cuts = Vec::new();
+    let mut at = per_block;
+    while at < chunks {
+        cuts.push(at);
+        at += per_block;
+    }
+    cuts
+}
+
 /// Row-partition primitive: split `data` into contiguous blocks of whole
 /// `chunk_len`-element chunks, one block per worker, and call
 /// `f(first_chunk_index, block)` on each. `data.len()` must be a multiple
@@ -109,33 +186,85 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    par_chunks_mut_aligned(data, chunk_len, 1, threads, f);
+}
+
+/// [`par_chunks_mut`] with per-worker chunk counts rounded up to a multiple
+/// of `align`: every block except possibly the last holds `align·q` chunks.
+/// The packed GEMM partitions output rows with `align = MR` so no worker's
+/// block starts mid-way through a 4-row micro-kernel group and every worker
+/// sweeps whole cache-resident row groups.
+pub fn par_chunks_mut_aligned<T, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    align: usize,
+    threads: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
     assert_eq!(data.len() % chunk_len, 0, "par_chunks_mut: data not a whole number of chunks");
     let chunks = data.len() / chunk_len;
+    run_blocks(data, chunk_len, &uniform_boundaries(chunks, threads, align), f);
+}
+
+/// Weighted row partition: split `data` into one contiguous block per
+/// worker, with boundaries chosen so every block carries roughly
+/// `total_weight / threads` of the per-chunk cost estimate in `weights`
+/// (len = chunk count). Heterogeneous rows (proximity rows scale with the
+/// entity's neighbourhood size) would otherwise leave the worker holding
+/// the expensive block as the straggler every wave.
+///
+/// Boundaries depend only on `weights` and `threads` — never on timing —
+/// and each chunk is still processed by the same serial per-chunk code, so
+/// results remain bit-identical at every thread count.
+pub fn par_chunks_mut_weighted<T, F>(
+    data: &mut [T],
+    chunk_len: usize,
+    weights: &[u64],
+    threads: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "par_chunks_mut_weighted: chunk_len must be positive");
+    assert_eq!(
+        data.len() % chunk_len,
+        0,
+        "par_chunks_mut_weighted: data not a whole number of chunks"
+    );
+    let chunks = data.len() / chunk_len;
+    assert_eq!(weights.len(), chunks, "par_chunks_mut_weighted: one weight per chunk required");
     let threads = threads.min(chunks).max(1);
-    if threads <= 1 {
-        cem_obs::counter_add!("par.serial", 1);
-        f(0, data);
+    let total: u64 = weights.iter().sum();
+    if threads <= 1 || total == 0 {
+        run_blocks(data, chunk_len, &uniform_boundaries(chunks, threads, 1), f);
         return;
     }
-    let per_block = chunks.div_ceil(threads);
-    cem_obs::counter_add!("par.scopes", 1);
-    // Workers beyond the calling thread (the last block runs inline).
-    cem_obs::counter_add!("par.threads_spawned", (chunks.div_ceil(per_block) - 1) as u64);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest: &mut [T] = data;
-        let mut first_chunk = 0usize;
-        while rest.len() > per_block * chunk_len {
-            let (block, tail) = std::mem::take(&mut rest).split_at_mut(per_block * chunk_len);
-            rest = tail;
-            let start = first_chunk;
-            scope.spawn(move || f(start, block));
-            first_chunk += per_block;
+    // Greedy prefix cut: close a block once its weight reaches the ideal
+    // share of the *remaining* weight over the remaining workers, which
+    // keeps late blocks from starving when early weights are lumpy.
+    let mut cuts = Vec::with_capacity(threads - 1);
+    let mut remaining = total;
+    let mut block_weight = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        block_weight += w;
+        remaining -= w;
+        let blocks_left = threads - cuts.len();
+        let target = remaining.div_ceil(blocks_left.saturating_sub(1).max(1) as u64);
+        let chunks_left = chunks - (i + 1);
+        if cuts.len() + 1 < threads
+            && chunks_left > 0
+            && (block_weight >= target.max(1) || chunks_left < threads - cuts.len())
+        {
+            cuts.push(i + 1);
+            block_weight = 0;
         }
-        // The final block runs on the calling thread; scope joins the rest.
-        f(first_chunk, rest);
-    });
+    }
+    run_blocks(data, chunk_len, &cuts, f);
 }
 
 /// Parallel unary map `out[i] = f(src[i])`.
@@ -164,6 +293,123 @@ pub fn zip_into(
         for ((dst, &x), &y) in block.iter_mut().zip(&a[start..end]).zip(&b[start..end]) {
             *dst = f(x, y);
         }
+    });
+}
+
+/// Fused unary map with two outputs: `(out[i], out2[i]) = f(src[i])` in a
+/// single parallel sweep. The fused elementwise ops use this to fill the
+/// forward value and its derivative coefficient without a second pass over
+/// the input.
+pub fn map2_into(
+    src: &[f32],
+    out: &mut [f32],
+    out2: &mut [f32],
+    threads: usize,
+    f: impl Fn(f32) -> (f32, f32) + Sync,
+) {
+    assert_eq!(src.len(), out.len(), "map2_into: output length mismatch");
+    assert_eq!(src.len(), out2.len(), "map2_into: second output length mismatch");
+    let threads = threads.min(src.len()).max(1);
+    let boundaries = uniform_boundaries(src.len(), threads, 1);
+    scope_zip2(out, out2, &boundaries, |start, o1, o2| {
+        for ((dst, dst2), &x) in o1.iter_mut().zip(o2.iter_mut()).zip(&src[start..]) {
+            let (a, b) = f(x);
+            *dst = a;
+            *dst2 = b;
+        }
+    });
+}
+
+/// Fused binary map with three outputs:
+/// `(out[i], da[i], db[i]) = f(a[i], b[i])` in a single parallel sweep —
+/// the forward value plus both partial-derivative coefficients, one pass.
+pub fn zip3_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    da: &mut [f32],
+    db: &mut [f32],
+    threads: usize,
+    f: impl Fn(f32, f32) -> (f32, f32, f32) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "zip3_into: operand length mismatch");
+    assert_eq!(a.len(), out.len(), "zip3_into: output length mismatch");
+    assert_eq!(a.len(), da.len(), "zip3_into: da length mismatch");
+    assert_eq!(a.len(), db.len(), "zip3_into: db length mismatch");
+    let threads = threads.min(a.len()).max(1);
+    let boundaries = uniform_boundaries(a.len(), threads, 1);
+    scope_zip3(out, da, db, &boundaries, |start, o, d1, d2| {
+        for (i, ((dst, dda), ddb)) in o.iter_mut().zip(d1.iter_mut()).zip(d2.iter_mut()).enumerate()
+        {
+            let (v, ga, gb) = f(a[start + i], b[start + i]);
+            *dst = v;
+            *dda = ga;
+            *ddb = gb;
+        }
+    });
+}
+
+/// Scoped splitter over two equally-long output slices cut at the same
+/// boundaries (element indices).
+fn scope_zip2<F>(x: &mut [f32], y: &mut [f32], boundaries: &[usize], f: F)
+where
+    F: Fn(usize, &mut [f32], &mut [f32]) + Sync,
+{
+    if boundaries.is_empty() {
+        cem_obs::counter_add!("par.serial", 1);
+        f(0, x, y);
+        return;
+    }
+    cem_obs::counter_add!("par.scopes", 1);
+    cem_obs::counter_add!("par.threads_spawned", boundaries.len() as u64);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut rx, mut ry): (&mut [f32], &mut [f32]) = (x, y);
+        let mut first = 0usize;
+        for &cut in boundaries {
+            let take = cut - first;
+            let (bx, tx) = std::mem::take(&mut rx).split_at_mut(take);
+            let (by, ty) = std::mem::take(&mut ry).split_at_mut(take);
+            rx = tx;
+            ry = ty;
+            let start = first;
+            scope.spawn(move || f(start, bx, by));
+            first = cut;
+        }
+        f(first, rx, ry);
+    });
+}
+
+/// Scoped splitter over three equally-long output slices cut at the same
+/// boundaries (element indices).
+fn scope_zip3<F>(x: &mut [f32], y: &mut [f32], z: &mut [f32], boundaries: &[usize], f: F)
+where
+    F: Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
+{
+    if boundaries.is_empty() {
+        cem_obs::counter_add!("par.serial", 1);
+        f(0, x, y, z);
+        return;
+    }
+    cem_obs::counter_add!("par.scopes", 1);
+    cem_obs::counter_add!("par.threads_spawned", boundaries.len() as u64);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut rx, mut ry, mut rz): (&mut [f32], &mut [f32], &mut [f32]) = (x, y, z);
+        let mut first = 0usize;
+        for &cut in boundaries {
+            let take = cut - first;
+            let (bx, tx) = std::mem::take(&mut rx).split_at_mut(take);
+            let (by, ty) = std::mem::take(&mut ry).split_at_mut(take);
+            let (bz, tz) = std::mem::take(&mut rz).split_at_mut(take);
+            rx = tx;
+            ry = ty;
+            rz = tz;
+            let start = first;
+            scope.spawn(move || f(start, bx, by, bz));
+            first = cut;
+        }
+        f(first, rx, ry, rz);
     });
 }
 
@@ -200,6 +446,73 @@ mod tests {
     }
 
     #[test]
+    fn aligned_partitions_start_on_multiples() {
+        for threads in [2usize, 3, 4] {
+            for chunks in [5usize, 8, 9, 13, 16] {
+                let mut data = vec![0usize; chunks];
+                let starts = std::sync::Mutex::new(Vec::new());
+                par_chunks_mut_aligned(&mut data, 1, 4, threads, |first, block| {
+                    starts.lock().unwrap().push((first, block.len()));
+                });
+                let mut starts = starts.into_inner().unwrap();
+                starts.sort_unstable();
+                let covered: usize = starts.iter().map(|&(_, len)| len).sum();
+                assert_eq!(covered, chunks, "threads={threads} chunks={chunks}");
+                for &(first, _) in &starts {
+                    assert_eq!(first % 4, 0, "block start {first} not 4-aligned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_partition_covers_and_balances() {
+        // One expensive chunk at the front: the uniform split would give
+        // worker 0 chunks {0,1} (weight 101) and worker 1 chunks {2,3}
+        // (weight 2); the weighted split isolates the heavy chunk.
+        let weights = [100u64, 1, 1, 1];
+        let mut data = vec![0u8; 4];
+        let blocks = std::sync::Mutex::new(Vec::new());
+        par_chunks_mut_weighted(&mut data, 1, &weights, 2, |first, block| {
+            blocks.lock().unwrap().push((first, block.len()));
+        });
+        let mut blocks = blocks.into_inner().unwrap();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![(0, 1), (1, 3)]);
+    }
+
+    #[test]
+    fn weighted_partition_matches_serial_results() {
+        let weights: Vec<u64> = (0..40).map(|i| (i % 7) + 1).collect();
+        let run = |threads: usize| {
+            let mut data = vec![0.0f32; 40 * 3];
+            par_chunks_mut_weighted(&mut data, 3, &weights, threads, |first, block| {
+                for (c, chunk) in block.chunks_exact_mut(3).enumerate() {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = ((first + c) * 3 + j) as f32 * 0.5;
+                    }
+                }
+            });
+            data
+        };
+        let serial = run(1);
+        for threads in [2usize, 3, 5, 8] {
+            assert_eq!(serial, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn weighted_partition_zero_and_degenerate_weights() {
+        let mut data = vec![0u8; 5];
+        par_chunks_mut_weighted(&mut data, 1, &[0, 0, 0, 0, 0], 3, |first, block| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = (first + i) as u8 + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
     fn maps_match_serial() {
         // Keep exp() finite: sin(inf) is NaN and NaN != NaN would mask the
         // bit-identity this test is about.
@@ -216,6 +529,36 @@ mod tests {
         zip_into(&src, &b, &mut zs, 1, |x, y| x / y);
         zip_into(&src, &b, &mut zp, 3, |x, y| x / y);
         assert_eq!(zs, zp);
+    }
+
+    #[test]
+    fn fused_maps_match_unfused_and_are_thread_invariant() {
+        let src: Vec<f32> = (0..777).map(|i| i as f32 * 0.03 - 9.0).collect();
+        let b: Vec<f32> = (0..777).map(|i| (i % 13) as f32 + 0.25).collect();
+
+        for threads in [1usize, 2, 5] {
+            let mut out = vec![0.0f32; src.len()];
+            let mut dx = vec![0.0f32; src.len()];
+            map2_into(&src, &mut out, &mut dx, threads, |x| (x.exp(), x.exp()));
+            let mut want = vec![0.0f32; src.len()];
+            map_into(&src, &mut want, 1, |x| x.exp());
+            assert_eq!(out, want, "map2 forward threads={threads}");
+            assert_eq!(dx, want, "map2 derivative threads={threads}");
+
+            let mut o = vec![0.0f32; src.len()];
+            let mut da = vec![0.0f32; src.len()];
+            let mut db = vec![0.0f32; src.len()];
+            zip3_into(&src, &b, &mut o, &mut da, &mut db, threads, |x, y| {
+                (x / y, 1.0 / y, -(x / y) / y)
+            });
+            let mut wo = vec![0.0f32; src.len()];
+            zip_into(&src, &b, &mut wo, 1, |x, y| x / y);
+            assert_eq!(o, wo, "zip3 forward threads={threads}");
+            for i in 0..10 {
+                assert_eq!(da[i], 1.0 / b[i]);
+                assert_eq!(db[i], -(src[i] / b[i]) / b[i]);
+            }
+        }
     }
 
     #[test]

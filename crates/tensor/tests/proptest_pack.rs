@@ -1,0 +1,168 @@
+//! Property tests for the packed-GEMM support layer and broadcast shape
+//! rules.
+//!
+//! Packing invariants: `pack_b` followed by `unpack` must reproduce the
+//! source matrix exactly (the pack layout reorders, never transforms), the
+//! transpose-pack must agree with transpose-then-pack, and the packed GEMM
+//! tier must stay bit-identical across thread counts just like the blocked
+//! tier.
+//!
+//! Broadcast invariants mirror numeric-library semantics: shapes align from
+//! the trailing dimension, and each aligned pair must be equal or contain
+//! a 1. The accept/reject decision is checked against an independent oracle
+//! written straight from that rule.
+
+use cem_tensor::pack;
+use cem_tensor::ops::broadcast;
+use cem_tensor::{kernels, Shape};
+use proptest::prelude::*;
+
+/// Deterministic xorshift fill, same scheme as proptest_par.rs.
+fn seeded(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 40) as f32 / (1 << 24) as f32 - 0.5
+        })
+        .collect()
+}
+
+/// Reference implementation of the trailing-aligned broadcast rule.
+fn oracle_compatible(a: &[usize], b: &[usize]) -> bool {
+    let rank = a.len().max(b.len());
+    for i in 0..rank {
+        let da = if i < a.len() { a[a.len() - 1 - i] } else { 1 };
+        let db = if i < b.len() { b[b.len() - 1 - i] } else { 1 };
+        if da != db && da != 1 && db != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The vendored proptest has no `prop_oneof`/`prop_map`; generate small
+/// codes and decode them into dimension sizes that make both 1s (broadcast
+/// axes) and mismatched sizes likely.
+fn dims_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..6, 1..4)
+}
+
+fn decode_dims(codes: &[usize]) -> Vec<usize> {
+    codes.iter().map(|&c| [1, 1, 2, 3, 4, 7][c]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pack_unpack_is_identity(
+        k in 1usize..300,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let b = seeded(seed, k * n);
+        let packed = pack::pack_b(&b, k, n);
+        prop_assert_eq!(&pack::unpack(&packed), &b);
+    }
+
+    #[test]
+    fn pack_bt_matches_transpose_then_pack(
+        k in 1usize..80,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        // bt is the [n, k] row-major transpose of a [k, n] matrix b.
+        let bt = seeded(seed, n * k);
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let via_t = pack::pack_b_t(&bt, n, k);
+        let direct = pack::pack_b(&b, k, n);
+        prop_assert_eq!(pack::unpack(&via_t), pack::unpack(&direct));
+    }
+
+    #[test]
+    fn packed_gemm_is_thread_count_invariant(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Force the packed tier regardless of problem size so small shapes
+        // exercise the packed schedule too.
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 0x5a5a, k * n);
+        let mut serial = vec![0.0f32; m * n];
+        kernels::gemm_packed_with_threads(&a, &b, &mut serial, m, k, n, 1);
+        for threads in 2..=5 {
+            let mut parallel = vec![0.0f32; m * n];
+            kernels::gemm_packed_with_threads(&a, &b, &mut parallel, m, k, n, threads);
+            prop_assert_eq!(
+                &serial,
+                &parallel,
+                "packed tier: thread count {} changed the result bitwise",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn packed_tier_matches_scalar_reference_bitwise(
+        m in 1usize..16,
+        k in 1usize..32,
+        n in 1usize..32,
+        seed in 0u64..1000,
+    ) {
+        // The auto tier (SIMD when the `simd` feature + AVX are present)
+        // must be bit-identical to the always-scalar reference tier.
+        let a = seeded(seed, m * k);
+        let b = seeded(seed ^ 0x33cc, k * n);
+        let mut auto_c = vec![0.0f32; m * n];
+        let mut scalar_c = vec![0.0f32; m * n];
+        kernels::gemm_packed_with_threads(&a, &b, &mut auto_c, m, k, n, 1);
+        kernels::gemm_packed_scalar_with_threads(&a, &b, &mut scalar_c, m, k, n, 1);
+        let auto_bits: Vec<u32> = auto_c.iter().map(|v| v.to_bits()).collect();
+        let scalar_bits: Vec<u32> = scalar_c.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(auto_bits, scalar_bits);
+    }
+
+    #[test]
+    fn broadcast_compat_matches_oracle(ca in dims_strategy(), cb in dims_strategy()) {
+        let a = decode_dims(&ca);
+        let b = decode_dims(&cb);
+        let sa = Shape::new(&a);
+        let sb = Shape::new(&b);
+        let expect = oracle_compatible(&a, &b);
+        prop_assert_eq!(broadcast::compatible(&sa, &sb), expect);
+        // Symmetry, and broadcast_shape agrees with the accept/reject verdict.
+        prop_assert_eq!(broadcast::compatible(&sb, &sa), expect);
+        prop_assert_eq!(broadcast::broadcast_shape(&sa, &sb).is_some(), expect);
+    }
+
+    #[test]
+    fn broadcast_shape_takes_elementwise_max(ca in dims_strategy(), cb in dims_strategy()) {
+        let a = decode_dims(&ca);
+        let b = decode_dims(&cb);
+        if let Some(out) = broadcast_shape_of(&a, &b) {
+            let rank = a.len().max(b.len());
+            prop_assert_eq!(out.len(), rank);
+            for i in 0..rank {
+                let da = if i < a.len() { a[a.len() - 1 - i] } else { 1 };
+                let db = if i < b.len() { b[b.len() - 1 - i] } else { 1 };
+                prop_assert_eq!(out[rank - 1 - i], da.max(db));
+            }
+        } else {
+            prop_assert!(!oracle_compatible(&a, &b));
+        }
+    }
+}
+
+fn broadcast_shape_of(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    broadcast::broadcast_shape(&Shape::new(a), &Shape::new(b)).map(|s| s.dims().to_vec())
+}
