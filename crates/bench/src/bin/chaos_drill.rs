@@ -22,7 +22,7 @@
 //!
 //! Per-tier wall latency (p50/p99 from the `serve.match.<tier>` spans),
 //! shed rate, breaker trips, and degraded-tier accuracy vs. the full tier
-//! are written to `BENCH_serving.json`. Honours `--quick` / `--smoke`.
+//! are written to `BENCH_chaos.json`. Honours `--quick` / `--smoke`.
 
 use std::fmt::Write as _;
 use std::rc::Rc;
@@ -69,13 +69,16 @@ fn served_tier(response: &Response) -> Option<Tier> {
     response.outcome.served_tier()
 }
 
-/// Every response must resolve: served, shed, or deadline-exceeded. (The
-/// enum makes this structural; the assertion documents the invariant and
-/// counts the terminal states.)
+/// Every response must resolve to a terminal state. (The enum makes this
+/// structural; the assertion documents the invariant, and burst-mode
+/// drills must additionally never see the open-loop-only or internal-error
+/// outcomes.)
 fn assert_all_resolved(tag: &str, responses: &[Response]) {
     for r in responses {
         match &r.outcome {
             Outcome::Served { .. } | Outcome::Shed | Outcome::DeadlineExceeded => {}
+            Outcome::Expired => panic!("[{tag}] req {}: queue expiry in burst mode", r.id),
+            Outcome::InternalError => panic!("[{tag}] req {}: internal error", r.id),
         }
     }
     eprintln!("[{tag}] {} requests, all resolved", responses.len());
@@ -328,7 +331,7 @@ fn main() {
     println!("[determinism] 1 vs 4 threads → {}", verdict(determinism_pass));
 
     // ---------------------------------------------------------------
-    // Summary + BENCH_serving.json
+    // Summary + BENCH_chaos.json
     // ---------------------------------------------------------------
     let obs_after = cem_obs::global().snapshot();
     let window = obs_after.delta_since(&obs_before);
@@ -366,9 +369,18 @@ fn main() {
         let _ = writeln!(json, "      \"served\": {},", total.served[tier.index()]);
         let _ = writeln!(json, "      \"latency_p50_ms\": {:.4},", latency_ms(*tier, 0.5));
         let _ = writeln!(json, "      \"latency_p99_ms\": {:.4},", latency_ms(*tier, 0.99));
-        let _ = writeln!(json, "      \"hits_at_1\": {:.4},", m.hits_at_1);
-        let _ = writeln!(json, "      \"mrr\": {:.4},", m.mrr);
-        let _ = writeln!(json, "      \"mrr_vs_full\": {:.4}", m.mrr as f64 / full_mrr.max(1e-9));
+        if total.served[tier.index()] == 0 {
+            // A tier that served nothing has no accuracy sample; null beats
+            // a fabricated 0.0 that downstream dashboards would average in.
+            let _ = writeln!(json, "      \"hits_at_1\": null,");
+            let _ = writeln!(json, "      \"mrr\": null,");
+            let _ = writeln!(json, "      \"mrr_vs_full\": null");
+        } else {
+            let _ = writeln!(json, "      \"hits_at_1\": {:.4},", m.hits_at_1);
+            let _ = writeln!(json, "      \"mrr\": {:.4},", m.mrr);
+            let _ =
+                writeln!(json, "      \"mrr_vs_full\": {:.4}", m.mrr as f64 / full_mrr.max(1e-9));
+        }
         let _ = writeln!(json, "    }}{}", if i + 1 < Tier::COUNT { "," } else { "" });
     }
     let _ = writeln!(json, "  }},");
@@ -384,8 +396,8 @@ fn main() {
     let _ = writeln!(json, "  \"determinism_pass\": {determinism_pass},");
     let _ = writeln!(json, "  \"all_pass\": {all_pass}");
     json.push_str("}\n");
-    std::fs::write("BENCH_serving.json", &json).expect("write BENCH_serving.json");
-    println!("wrote BENCH_serving.json");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
 
     if !all_pass {
         std::process::exit(1);
@@ -395,12 +407,18 @@ fn main() {
 fn total_add(total: &mut ServeStats, stats: &ServeStats) {
     total.admitted += stats.admitted;
     total.shed += stats.shed;
+    total.expired += stats.expired;
     for t in 0..Tier::COUNT {
         total.served[t] += stats.served[t];
+        total.brownout_waves[t] += stats.brownout_waves[t];
     }
     total.deadline_exceeded += stats.deadline_exceeded;
+    total.internal_errors += stats.internal_errors;
     total.retries += stats.retries;
     total.breaker_trips += stats.breaker_trips;
+    total.waves += stats.waves;
+    total.hotswap_promotes += stats.hotswap_promotes;
+    total.hotswap_rejects += stats.hotswap_rejects;
 }
 
 fn verdict(pass: bool) -> &'static str {

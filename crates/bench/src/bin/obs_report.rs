@@ -279,6 +279,20 @@ fn report(path: &Path, min_coverage: Option<f64>) -> Result<(), String> {
         }
     }
 
+    // Gauges are levels: the summary line carries the last value each gauge
+    // held when the session closed (e.g. the final `serve.queue_depth`).
+    let gauges: Vec<(&str, f64)> = events
+        .iter()
+        .filter(|e| e.str("type") == Some("gauge_summary"))
+        .filter_map(|e| Some((e.str("gauge")?, e.num("value")?)))
+        .collect();
+    if !gauges.is_empty() {
+        println!("\n== gauges ==");
+        for (name, value) in &gauges {
+            println!("{name:<32} {value}");
+        }
+    }
+
     match wall {
         Some(wall) if wall > 0.0 => {
             let coverage = leaf_total / wall;

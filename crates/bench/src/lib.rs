@@ -16,7 +16,8 @@
 //! | `table5_casestudy` | Table V — MKG integration case study |
 //! | `run_all` | everything above in sequence |
 //! | `fault_drill` | resilience drills: crash/resume equivalence, NaN-injection rollback, checkpoint corruption rejection, torn-rotation fallback (writes `BENCH_robustness.json`) |
-//! | `chaos_drill` | serving chaos drills: latency spikes, worker panics, NaN features, corrupt cache rows, overload shedding, thread-count determinism (writes `BENCH_serving.json`) |
+//! | `chaos_drill` | serving chaos drills: latency spikes, worker panics, NaN features, corrupt cache rows, overload shedding, thread-count determinism (writes `BENCH_chaos.json`) |
+//! | `load_drill` | open-loop overload drills: admission queue + brownout under Poisson/burst/diurnal/hot-key arrivals, mid-run generation hot-swap, thread-count determinism (writes `BENCH_serving.json`) |
 //!
 //! All harnesses honour `--quick` (smaller data/epochs) and print both
 //! measured numbers and the paper's reference values so shape comparisons
@@ -268,4 +269,5 @@ pub fn metric_cells(m: &Metrics) -> Vec<String> {
     ]
 }
 pub mod faults;
+pub mod load;
 pub mod tables;

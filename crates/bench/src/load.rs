@@ -1,0 +1,208 @@
+//! Open-loop load generation for the serving drills (DESIGN.md §12).
+//!
+//! Every generator produces a sorted [`Arrival`] schedule on the virtual
+//! clock, fully determined by its `(parameters, seed)` — inter-arrival
+//! gaps come from a splitmix64-driven uniform stream, never from wall
+//! clock or a global RNG, so a schedule replays bit-identically and two
+//! runs (e.g. brownout on vs. off) can face the *same* traffic.
+//!
+//! Shapes:
+//!
+//! * [`poisson`] — a homogeneous Poisson process: exponential gaps at a
+//!   constant `rate` (requests per virtual unit), the canonical open-loop
+//!   arrival model.
+//! * [`bursty`] — a base Poisson rate with a multiplied window
+//!   ([`BurstSpec`]): the saturation drill that brownout must survive.
+//! * [`diurnal`] — a sinusoidally modulated rate (period ≫ wave), the
+//!   slow ramp-up/ramp-down shape of daily traffic.
+//! * [`with_hot_keys`] — a post-pass that skews entity choice so a small
+//!   set of hot entities absorbs most requests.
+
+use cem_serve::{splitmix64, Arrival, MatchRequest};
+
+/// Uniform in `(0, 1]` from the `i`-th draw of a splitmix64 stream. The
+/// `+1` keeps `ln` finite.
+fn uniform(seed: u64, i: u64) -> f64 {
+    ((splitmix64(seed, i) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// Core inhomogeneous generator: `n` arrivals whose gap at virtual time
+/// `t` is exponential with rate `rate_at(t)` (requests per virtual unit).
+/// Request ids are the arrival sequence `0..n`, entities round-robin, and
+/// per-request seeds derive from `seed` — the same convention as
+/// [`MatchRequest::stream`].
+fn open_loop(
+    n: usize,
+    entities: usize,
+    seed: u64,
+    mut rate_at: impl FnMut(u64) -> f64,
+) -> Vec<Arrival> {
+    assert!(entities > 0, "open_loop: empty catalogue");
+    let gap_seed = splitmix64(seed, 0x4_AA7);
+    let mut at: u64 = 0;
+    (0..n)
+        .map(|i| {
+            let rate = rate_at(at);
+            assert!(rate > 0.0, "open_loop: non-positive rate {rate} at t={at}");
+            let gap = -uniform(gap_seed, i as u64).ln() / rate;
+            at = at.saturating_add(gap.round() as u64);
+            Arrival {
+                at,
+                request: MatchRequest {
+                    id: i as u64,
+                    entity: i % entities,
+                    seed: splitmix64(seed, i as u64),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Homogeneous Poisson arrivals at `rate` requests per virtual unit.
+pub fn poisson(n: usize, rate: f64, entities: usize, seed: u64) -> Vec<Arrival> {
+    open_loop(n, entities, seed, |_| rate)
+}
+
+/// A rate-multiplied window inside an otherwise steady schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstSpec {
+    /// Virtual tick the burst starts at.
+    pub start: u64,
+    /// Virtual tick the burst ends at (exclusive).
+    pub end: u64,
+    /// Rate multiplier inside the window (e.g. `4.0` turns a half-
+    /// saturation base load into 2× saturation).
+    pub multiplier: f64,
+}
+
+/// Poisson arrivals at `base_rate`, multiplied by `burst.multiplier`
+/// inside the burst window.
+pub fn bursty(
+    n: usize,
+    base_rate: f64,
+    burst: BurstSpec,
+    entities: usize,
+    seed: u64,
+) -> Vec<Arrival> {
+    assert!(burst.start < burst.end, "bursty: empty burst window");
+    open_loop(n, entities, seed, |t| {
+        if (burst.start..burst.end).contains(&t) {
+            base_rate * burst.multiplier
+        } else {
+            base_rate
+        }
+    })
+}
+
+/// Sinusoidally modulated arrivals: `rate(t) = base_rate · (1 + amplitude
+/// · sin(2πt / period))`. `amplitude` must stay below 1 so the rate is
+/// always positive.
+pub fn diurnal(
+    n: usize,
+    base_rate: f64,
+    amplitude: f64,
+    period: u64,
+    entities: usize,
+    seed: u64,
+) -> Vec<Arrival> {
+    assert!((0.0..1.0).contains(&amplitude), "diurnal: amplitude must be in [0, 1)");
+    assert!(period > 0, "diurnal: zero period");
+    open_loop(n, entities, seed, |t| {
+        let phase = 2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64;
+        base_rate * (1.0 + amplitude * phase.sin())
+    })
+}
+
+/// Skew entity choice in place: with probability `hot_fraction` a request
+/// targets one of the first `hot_keys` entities, otherwise any of
+/// `entities`. Timing is untouched, so a skewed schedule is directly
+/// comparable to its round-robin original.
+pub fn with_hot_keys(
+    arrivals: &mut [Arrival],
+    entities: usize,
+    hot_keys: usize,
+    hot_fraction: f64,
+    seed: u64,
+) {
+    assert!(hot_keys >= 1 && hot_keys <= entities, "with_hot_keys: bad hot set size");
+    assert!((0.0..=1.0).contains(&hot_fraction), "with_hot_keys: bad fraction");
+    let pick_seed = splitmix64(seed, 0x407);
+    for arrival in arrivals.iter_mut() {
+        let id = arrival.request.id;
+        let pool = if uniform(pick_seed, id) <= hot_fraction { hot_keys } else { entities };
+        arrival.request.entity = (splitmix64(pick_seed, id ^ 0x5EED) % pool as u64) as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_sorted_and_deterministic() {
+        let a = poisson(500, 0.01, 7, 42);
+        let b = poisson(500, 0.01, 7, 42);
+        assert_eq!(a, b, "same seed must reproduce the schedule");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "arrivals must be sorted");
+        assert_ne!(a, poisson(500, 0.01, 7, 43), "seed must matter");
+        for (i, arrival) in a.iter().enumerate() {
+            assert_eq!(arrival.request.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn rate_controls_the_span() {
+        let slow = poisson(1000, 0.005, 3, 1);
+        let fast = poisson(1000, 0.05, 3, 1);
+        assert!(
+            fast.last().unwrap().at < slow.last().unwrap().at,
+            "10× the rate must compress the schedule"
+        );
+        // And the mean gap lands near 1/rate.
+        let span = slow.last().unwrap().at as f64;
+        let mean_gap = span / 1000.0;
+        assert!((120.0..280.0).contains(&mean_gap), "mean gap {mean_gap} far from 1/rate = 200");
+    }
+
+    #[test]
+    fn burst_window_packs_arrivals_densely() {
+        let burst = BurstSpec { start: 10_000, end: 30_000, multiplier: 8.0 };
+        let schedule = bursty(2000, 0.01, burst, 3, 5);
+        let in_window =
+            schedule.iter().filter(|a| (burst.start..burst.end).contains(&a.at)).count();
+        let window_units = (burst.end - burst.start) as f64;
+        let window_rate = in_window as f64 / window_units;
+        assert!(
+            window_rate > 0.04,
+            "burst window rate {window_rate:.4} should be far above the 0.01 base"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_oscillates_but_stays_sorted() {
+        let schedule = diurnal(2000, 0.01, 0.8, 20_000, 3, 9);
+        assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at));
+        // Density over the first half-period (rate up) beats the second
+        // (rate down).
+        let half = 10_000;
+        let first = schedule.iter().filter(|a| a.at < half).count();
+        let second = schedule.iter().filter(|a| (half..2 * half).contains(&a.at)).count();
+        assert!(first > second, "up-phase {first} should outnumber down-phase {second}");
+    }
+
+    #[test]
+    fn hot_keys_concentrate_traffic() {
+        let mut schedule = poisson(4000, 0.01, 100, 11);
+        with_hot_keys(&mut schedule, 100, 4, 0.9, 11);
+        let hot = schedule.iter().filter(|a| a.request.entity < 4).count();
+        assert!(
+            hot as f64 / 4000.0 > 0.8,
+            "90% hot fraction landed only {hot}/4000 on the hot set"
+        );
+        assert!(schedule.iter().all(|a| a.request.entity < 100));
+        // Replaying the skew is deterministic too.
+        let mut again = poisson(4000, 0.01, 100, 11);
+        with_hot_keys(&mut again, 100, 4, 0.9, 11);
+        assert_eq!(schedule, again);
+    }
+}

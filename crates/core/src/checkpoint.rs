@@ -185,6 +185,41 @@ impl CheckpointManager {
             None => Ok(None),
         }
     }
+
+    /// Load exactly one of the rotating pair, with **no** fallback: a
+    /// damaged file is an error even when its sibling is intact. Generation
+    /// hot-swap uses this to distinguish "the incoming generation is
+    /// corrupt" (reject, keep serving the old one) from "fall back to
+    /// whatever loads" (the resume path above).
+    pub fn load_source(
+        &self,
+        source: ResumeSource,
+    ) -> Result<Option<StateDict>, CheckpointError> {
+        let path = match source {
+            ResumeSource::Latest => self.latest_path(),
+            ResumeSource::Previous => self.prev_path(),
+        };
+        if !path.exists() {
+            return Ok(None);
+        }
+        StateDict::load(&path).map(Some)
+    }
+}
+
+/// Metadata key under which rotating artefact stores (checkpoints, serving
+/// indexes) record their monotonic generation number.
+pub const GENERATION_KEY: &str = "generation";
+
+/// Stamp `dict` with a monotonic generation number. Consumers that rotate
+/// artefacts through a [`CheckpointManager`] use this to tell a freshly
+/// promoted generation from the one it displaced.
+pub fn stamp_generation(dict: &mut StateDict, generation: u64) {
+    dict.insert_meta(GENERATION_KEY, generation);
+}
+
+/// The generation number stamped on `dict`, if any.
+pub fn generation_of(dict: &StateDict) -> Option<u64> {
+    dict.meta(GENERATION_KEY)
 }
 
 /// Resume cursor decoded from a checkpoint.
@@ -337,6 +372,33 @@ mod tests {
         let (dict, source) = mgr.load().unwrap().unwrap();
         assert_eq!(source, ResumeSource::Previous);
         assert_eq!(dict.meta("gen"), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_source_is_strict_about_its_file() {
+        let dir = tmp_dir("strict");
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        assert!(mgr.load_source(ResumeSource::Latest).unwrap().is_none());
+
+        let mut a = StateDict::new();
+        stamp_generation(&mut a, 1);
+        mgr.save(&a).unwrap();
+        let mut b = StateDict::new();
+        stamp_generation(&mut b, 2);
+        mgr.save(&b).unwrap();
+
+        let latest = mgr.load_source(ResumeSource::Latest).unwrap().unwrap();
+        assert_eq!(generation_of(&latest), Some(2));
+        let prev = mgr.load_source(ResumeSource::Previous).unwrap().unwrap();
+        assert_eq!(generation_of(&prev), Some(1));
+
+        // Unlike load(), a damaged latest is an error — never a silent
+        // fallback to prev.
+        let bytes = std::fs::read(mgr.latest_path()).unwrap();
+        std::fs::write(mgr.latest_path(), &bytes[..bytes.len() / 2]).unwrap();
+        assert!(mgr.load_source(ResumeSource::Latest).is_err());
+        assert!(mgr.load_source(ResumeSource::Previous).is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

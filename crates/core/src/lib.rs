@@ -40,7 +40,9 @@ pub mod prompt;
 pub mod trainer;
 
 pub use cache::FeatureCache;
-pub use checkpoint::{CheckpointManager, ResumeError, ResumeSource};
+pub use checkpoint::{
+    generation_of, stamp_generation, CheckpointManager, ResumeError, ResumeSource,
+};
 pub use config::{GuardConfig, PromptKind, TrainConfig};
 pub use guard::{DivergenceGuard, EpochAction, FaultInjector, GuardVerdict};
 pub use matcher::{rank_images, rank_row, score_cmp, MatchingSet};

@@ -187,6 +187,14 @@ impl ObsSession {
                 Event::new("counter_summary").field("counter", name.as_str()).field_u64("value", *value),
             );
         }
+        // Gauges are levels, not rates: the summary reports the last value
+        // each gauge held (e.g. the final `serve.queue_depth`), which is
+        // what a dashboard resuming from this stream should display.
+        for (name, value) in &window.gauges {
+            self.sink.write(
+                Event::new("gauge_summary").field("gauge", name.as_str()).field("value", *value),
+            );
+        }
         let mut end = Event::new("run_end")
             .field("wall_seconds", self.start.elapsed().as_secs_f64());
         for (key, value) in extras {
@@ -244,6 +252,8 @@ mod tests {
         let session = ObsSession::begin(&path, &RunManifest::new("test")).unwrap();
         assert!(crate::enabled(), "session force-enables telemetry");
         crate::counter_add!("test.manifest.counter", 3);
+        crate::gauge_set!("test.manifest.gauge", 4.5);
+        crate::gauge_set!("test.manifest.gauge", 1.5);
         {
             crate::span!("test.manifest.span");
         }
@@ -264,6 +274,12 @@ mod tests {
             .any(|l| l.str("type") == Some("counter_summary")
                 && l.str("counter") == Some("test.manifest.counter")
                 && l.num("value") == Some(3.0)));
+        assert!(
+            lines.iter().any(|l| l.str("type") == Some("gauge_summary")
+                && l.str("gauge") == Some("test.manifest.gauge")
+                && l.num("value") == Some(1.5)),
+            "gauge summary must report the last value the gauge held"
+        );
         std::fs::remove_file(&path).ok();
     }
 

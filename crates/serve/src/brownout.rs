@@ -1,0 +1,262 @@
+//! Adaptive brownout: deterministically cap the richest reachable tier
+//! under sustained pressure, before breakers trip and deadlines blow.
+//!
+//! CrossEM's tier ladder (soft prompt → cached proximity → hard prompt →
+//! zero-shot, DESIGN.md §11) is a natural brownout ladder: each rung costs
+//! fewer virtual units per request, so capping the ladder at a cheaper rung
+//! raises the throughput a wave's work budget can sustain — trading ranking
+//! quality for survival, deliberately, instead of by timeout.
+//!
+//! The controller runs once per wave boundary on the open-loop clock. It
+//! watches two pressure signals:
+//!
+//! * **queue occupancy** — admission-queue depth over capacity at the wave
+//!   boundary, and
+//! * **deadline-miss rate** — (expired + deadline-exceeded) over completed
+//!   requests, summed over a sliding window of recent waves.
+//!
+//! Either signal above its high watermark **demotes** one rung (Full →
+//! Cached → Hard → Zero), clearing the miss window so stale misses from the
+//! pre-demotion regime cannot cascade straight to the floor. Recovery has
+//! hysteresis: only after `recovery_waves` *consecutive* calm waves
+//! (occupancy at or under the low watermark, window miss rate under the
+//! threshold) does the controller **promote** one rung back, so a borderline
+//! load cannot flap between tiers wave-to-wave. Everything is integer/IEEE
+//! arithmetic over deterministic inputs — replays are bit-identical at any
+//! thread count.
+
+use std::collections::VecDeque;
+
+use crate::tiers::Tier;
+
+/// Brownout policy knobs. All thresholds compare deterministic quantities,
+/// so the demotion/promotion schedule replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutConfig {
+    /// Master switch: disabled keeps the cap pinned at [`Tier::Full`].
+    pub enabled: bool,
+    /// Waves in the sliding deadline-miss window.
+    pub window_waves: usize,
+    /// Queue occupancy (depth / capacity) at or above which a wave counts
+    /// as pressured.
+    pub high_watermark: f32,
+    /// Occupancy at or below which a wave can count as calm.
+    pub low_watermark: f32,
+    /// Window miss rate at or above which a wave counts as pressured.
+    pub miss_high: f32,
+    /// Consecutive calm waves required before one rung is re-promoted.
+    pub recovery_waves: u32,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enabled: true,
+            window_waves: 8,
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            miss_high: 0.05,
+            recovery_waves: 4,
+        }
+    }
+}
+
+impl BrownoutConfig {
+    pub fn validate(&self) {
+        assert!(self.window_waves >= 1, "brownout window_waves must be positive");
+        assert!(
+            0.0 < self.low_watermark && self.low_watermark < self.high_watermark,
+            "brownout watermarks must satisfy 0 < low < high"
+        );
+        assert!(self.high_watermark <= 1.0, "brownout high_watermark above 1.0");
+        assert!(self.miss_high > 0.0, "brownout miss_high must be positive");
+        assert!(self.recovery_waves >= 1, "brownout recovery_waves must be positive");
+    }
+}
+
+/// What the controller saw at one wave boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveObservation {
+    /// Admission-queue depth after this boundary's arrivals were admitted.
+    pub queue_depth: usize,
+    pub queue_capacity: usize,
+    /// Requests of the previous wave that missed their deadline (expired in
+    /// the queue or resolved `DeadlineExceeded`).
+    pub missed: u64,
+    /// Requests the previous wave completed (served + missed).
+    pub completed: u64,
+}
+
+/// A cap change worth tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutShift {
+    /// Pressure pushed the cap one rung down the ladder.
+    Demoted { from: Tier, to: Tier },
+    /// A sustained calm streak re-promoted one rung.
+    Promoted { from: Tier, to: Tier },
+}
+
+/// The per-service brownout state machine. `level` indexes [`Tier::ALL`]:
+/// the richest tier the ladder may start at this wave.
+#[derive(Debug, Clone)]
+pub struct BrownoutController {
+    config: BrownoutConfig,
+    level: usize,
+    calm_streak: u32,
+    /// Per-wave `(missed, completed)` samples, newest last.
+    window: VecDeque<(u64, u64)>,
+}
+
+impl BrownoutController {
+    pub fn new(config: BrownoutConfig) -> Self {
+        config.validate();
+        BrownoutController { config, level: 0, calm_streak: 0, window: VecDeque::new() }
+    }
+
+    /// The richest tier the ladder may currently start at.
+    pub fn cap(&self) -> Tier {
+        Tier::ALL[self.level]
+    }
+
+    /// Whether any brownout is currently in force.
+    pub fn active(&self) -> bool {
+        self.level > 0
+    }
+
+    /// Miss rate over the current window (0 when nothing completed yet).
+    pub fn window_miss_rate(&self) -> f32 {
+        let (missed, completed) =
+            self.window.iter().fold((0u64, 0u64), |(m, c), &(wm, wc)| (m + wm, c + wc));
+        if completed == 0 {
+            0.0
+        } else {
+            missed as f32 / completed as f32
+        }
+    }
+
+    /// Fold one wave-boundary observation; returns the cap change, if any.
+    /// At most one rung moves per wave, in either direction.
+    pub fn observe(&mut self, obs: WaveObservation) -> Option<BrownoutShift> {
+        if !self.config.enabled {
+            return None;
+        }
+        self.window.push_back((obs.missed, obs.completed));
+        while self.window.len() > self.config.window_waves {
+            self.window.pop_front();
+        }
+        let occupancy = obs.queue_depth as f32 / obs.queue_capacity.max(1) as f32;
+        let miss_rate = self.window_miss_rate();
+
+        let pressured =
+            occupancy >= self.config.high_watermark || miss_rate >= self.config.miss_high;
+        let calm = occupancy <= self.config.low_watermark && miss_rate < self.config.miss_high;
+
+        if pressured {
+            self.calm_streak = 0;
+            if self.level + 1 < Tier::COUNT {
+                let from = self.cap();
+                self.level += 1;
+                // Misses accrued under the old cap say nothing about the
+                // new one; a stale window must not cascade demotions.
+                self.window.clear();
+                return Some(BrownoutShift::Demoted { from, to: self.cap() });
+            }
+        } else if calm {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.config.recovery_waves && self.level > 0 {
+                let from = self.cap();
+                self.level -= 1;
+                self.calm_streak = 0;
+                return Some(BrownoutShift::Promoted { from, to: self.cap() });
+            }
+        } else {
+            // Middling pressure: neither demote nor let the calm streak grow.
+            self.calm_streak = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> BrownoutController {
+        BrownoutController::new(BrownoutConfig { recovery_waves: 2, ..BrownoutConfig::default() })
+    }
+
+    fn quiet(depth: usize) -> WaveObservation {
+        WaveObservation { queue_depth: depth, queue_capacity: 100, missed: 0, completed: 50 }
+    }
+
+    #[test]
+    fn occupancy_pressure_demotes_one_rung_per_wave() {
+        let mut c = controller();
+        assert_eq!(c.cap(), Tier::Full);
+        assert_eq!(
+            c.observe(quiet(80)),
+            Some(BrownoutShift::Demoted { from: Tier::Full, to: Tier::Cached })
+        );
+        assert_eq!(
+            c.observe(quiet(90)),
+            Some(BrownoutShift::Demoted { from: Tier::Cached, to: Tier::Hard })
+        );
+        assert_eq!(c.cap(), Tier::Hard);
+    }
+
+    #[test]
+    fn miss_rate_pressure_demotes_and_window_clears() {
+        let mut c = controller();
+        let missing =
+            WaveObservation { queue_depth: 10, queue_capacity: 100, missed: 10, completed: 50 };
+        assert_eq!(
+            c.observe(missing),
+            Some(BrownoutShift::Demoted { from: Tier::Full, to: Tier::Cached })
+        );
+        // The window was cleared: one clean wave shows a zero miss rate, so
+        // the stale 20% cannot push the cap further down.
+        assert_eq!(c.observe(quiet(10)), None);
+        assert_eq!(c.cap(), Tier::Cached);
+    }
+
+    #[test]
+    fn recovery_needs_a_consecutive_calm_streak() {
+        let mut c = controller();
+        c.observe(quiet(80)); // demote to cached
+        assert_eq!(c.observe(quiet(5)), None, "first calm wave only starts the streak");
+        // A middling wave (between watermarks) resets the streak.
+        assert_eq!(c.observe(quiet(50)), None);
+        assert_eq!(c.observe(quiet(5)), None);
+        assert_eq!(
+            c.observe(quiet(5)),
+            Some(BrownoutShift::Promoted { from: Tier::Cached, to: Tier::Full })
+        );
+        assert!(!c.active());
+    }
+
+    #[test]
+    fn floor_and_ceiling_are_absorbing() {
+        let mut c = controller();
+        for _ in 0..10 {
+            c.observe(quiet(100));
+        }
+        assert_eq!(c.cap(), Tier::Zero, "demotion stops at the floor");
+        for _ in 0..20 {
+            c.observe(quiet(0));
+        }
+        assert_eq!(c.cap(), Tier::Full, "promotion stops at the ceiling");
+        assert_eq!(c.observe(quiet(0)), None);
+    }
+
+    #[test]
+    fn disabled_controller_never_moves() {
+        let mut c = BrownoutController::new(BrownoutConfig {
+            enabled: false,
+            ..BrownoutConfig::default()
+        });
+        for _ in 0..10 {
+            assert_eq!(c.observe(quiet(100)), None);
+        }
+        assert_eq!(c.cap(), Tier::Full);
+    }
+}

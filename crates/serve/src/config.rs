@@ -9,6 +9,7 @@
 //! (the determinism contract of DESIGN.md §11). Wall-clock latency is still
 //! *measured* per request for reporting, but never consulted for decisions.
 
+use crate::brownout::BrownoutConfig;
 use crate::tiers::Tier;
 
 /// Bounded exponential backoff policy for transient tier failures (worker
@@ -77,13 +78,25 @@ pub struct ServeConfig {
     pub tier_cost: [u64; Tier::COUNT],
     /// Images returned per served request (ranking depth).
     pub top_k: usize,
-    /// Requests beyond this backlog are shed at admission.
+    /// Requests beyond this backlog are shed at admission (closed-loop
+    /// burst mode, [`crate::MatchService::run`]).
     pub max_queue_depth: usize,
     /// Requests executed per scheduling wave; breaker state is snapshotted
     /// at wave boundaries and outcomes folded back in arrival order.
     pub wave: usize,
+    /// Open-loop admission queue bound ([`crate::MatchService::run_open_loop`]);
+    /// arrivals past this depth are shed as queue-full.
+    pub queue_capacity: usize,
+    /// Virtual units one open-loop wave slot represents: the clock advances
+    /// by this much per wave, and arrivals are admitted against it.
+    pub wave_units: u64,
+    /// Parallel service lanes the open-loop wave budget models: one wave
+    /// can spend up to `wave_units × lanes` cost units, so capping the
+    /// ladder at a cheaper tier fits more requests per wave.
+    pub lanes: usize,
     pub retry: RetryConfig,
     pub breaker: BreakerConfig,
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for ServeConfig {
@@ -96,8 +109,12 @@ impl Default for ServeConfig {
             top_k: 10,
             max_queue_depth: 4_096,
             wave: 64,
+            queue_capacity: 512,
+            wave_units: 400,
+            lanes: 8,
             retry: RetryConfig::default(),
             breaker: BreakerConfig::default(),
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -110,8 +127,27 @@ impl ServeConfig {
         assert!(self.top_k >= 1, "top_k must be positive");
         assert!(self.max_queue_depth >= 1, "max_queue_depth must be positive");
         assert!(self.wave >= 1, "wave must be positive");
+        assert!(self.queue_capacity >= 1, "queue_capacity must be positive");
+        assert!(self.wave_units >= 1, "wave_units must be positive");
+        assert!(self.lanes >= 1, "lanes must be positive");
+        assert!(
+            self.deadline_units >= self.cheapest_tier_cost(),
+            "deadline_units below the cheapest tier cost: nothing could ever serve"
+        );
         self.retry.validate();
         self.breaker.validate();
+        self.brownout.validate();
+    }
+
+    /// The cheapest single-attempt cost on the ladder — the floor an aged
+    /// queued request must still be able to afford.
+    pub fn cheapest_tier_cost(&self) -> u64 {
+        *self.tier_cost.iter().min().expect("tier_cost is non-empty")
+    }
+
+    /// Cost units one open-loop wave may spend executing requests.
+    pub fn wave_budget_units(&self) -> u64 {
+        self.wave_units.saturating_mul(self.lanes as u64)
     }
 }
 
@@ -134,5 +170,18 @@ mod tests {
     #[should_panic(expected = "wave")]
     fn zero_wave_rejected() {
         ServeConfig { wave: 0, ..ServeConfig::default() }.validate();
+    }
+
+    #[test]
+    fn wave_budget_and_cheapest_tier_derive_from_the_knobs() {
+        let config = ServeConfig::default();
+        assert_eq!(config.cheapest_tier_cost(), 60, "zero tier is the cheapest by default");
+        assert_eq!(config.wave_budget_units(), 400 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes")]
+    fn zero_lanes_rejected() {
+        ServeConfig { lanes: 0, ..ServeConfig::default() }.validate();
     }
 }

@@ -1,0 +1,281 @@
+//! Zero-downtime model-generation hot-swap.
+//!
+//! A [`Generation`] is one complete serving artefact: a generation number
+//! plus the four-tier [`ServeIndex`] scored by that model. Generations
+//! round-trip through the CEMT container ([`cem_tensor::io::StateDict`]),
+//! which CRC-checks every entry on load — a torn or bit-rotted generation
+//! file fails to parse instead of serving garbage.
+//!
+//! [`GenerationStore`] keeps generations durable with the same
+//! `latest`/`prev` rotation discipline the training checkpoints use
+//! ([`crossem::checkpoint::CheckpointManager`]): publishing a new
+//! generation displaces the old `latest` to `prev` only after the incoming
+//! file is fsynced, so a crash mid-publish always leaves one loadable
+//! generation on disk, and a corrupt `latest` falls back to `prev`.
+//!
+//! The swap protocol on the serving side (see `service.rs`):
+//!
+//! 1. load the incoming generation (CRC + schema + shape verified here);
+//! 2. [`MatchService::stage`](crate::MatchService) the result — a failed
+//!    load is **rejected** on the spot (`serve.hotswap.reject`) and the old
+//!    generation keeps serving;
+//! 3. a staged generation **promotes at the next wave boundary**
+//!    (`serve.hotswap.promote`). Waves execute against one frozen index
+//!    borrow, so in-flight requests are never dropped or mixed: every
+//!    response carries the generation id it was scored against, and a wave
+//!    is entirely one generation.
+
+use std::fmt;
+use std::path::Path;
+
+use cem_tensor::io::{CheckpointError, StateDict};
+use cem_tensor::Tensor;
+use crossem::checkpoint::{generation_of, stamp_generation, CheckpointManager};
+
+use crate::tiers::{ServeIndex, Tier};
+
+/// Schema version of the generation layout inside the CEMT container.
+pub const GENERATION_SCHEMA: u64 = 1;
+
+/// Why an incoming generation could not be promoted.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The container failed to read (CRC mismatch, torn file, IO error).
+    Checkpoint(CheckpointError),
+    /// The container parsed but lacks a required entry or metadata key.
+    MissingEntry(String),
+    /// The container was written by a different generation schema.
+    Schema { expected: u64, found: u64 },
+    /// The incoming index does not match the serving catalogue shape.
+    ShapeMismatch { expected: (usize, usize), found: (usize, usize) },
+    /// The incoming generation is not newer than the one serving.
+    StaleGeneration { current: u64, incoming: u64 },
+    /// The store holds no generation at all.
+    Empty,
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Checkpoint(e) => write!(f, "generation container unreadable: {e}"),
+            SwapError::MissingEntry(name) => {
+                write!(f, "generation is missing required entry {name:?}")
+            }
+            SwapError::Schema { expected, found } => {
+                write!(f, "generation schema {found} does not match this build ({expected})")
+            }
+            SwapError::ShapeMismatch { expected, found } => write!(
+                f,
+                "generation shape {}x{} does not match the serving catalogue {}x{}",
+                found.0, found.1, expected.0, expected.1
+            ),
+            SwapError::StaleGeneration { current, incoming } => {
+                write!(f, "generation {incoming} is not newer than the serving generation {current}")
+            }
+            SwapError::Empty => write!(f, "the generation store is empty"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwapError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for SwapError {
+    fn from(e: CheckpointError) -> Self {
+        SwapError::Checkpoint(e)
+    }
+}
+
+/// One promotable serving artefact: a monotonically numbered model
+/// generation and its four-tier score index.
+pub struct Generation {
+    pub id: u64,
+    pub index: ServeIndex,
+}
+
+impl Generation {
+    pub fn new(id: u64, index: ServeIndex) -> Self {
+        Generation { id, index }
+    }
+
+    /// Serialise into a CEMT state dict: one `[entities × images]` tensor
+    /// per tier plus schema/shape/generation metadata.
+    pub fn to_state_dict(&self) -> StateDict {
+        let mut dict = StateDict::new();
+        for tier in Tier::ALL {
+            dict.insert(
+                format!("tier.{}", tier.label()),
+                Tensor::from_vec(
+                    self.index.tier_rows(tier).to_vec(),
+                    &[self.index.entities(), self.index.images()],
+                ),
+            );
+        }
+        dict.insert_meta("schema", GENERATION_SCHEMA);
+        dict.insert_meta("entities", self.index.entities() as u64);
+        dict.insert_meta("images", self.index.images() as u64);
+        stamp_generation(&mut dict, self.id);
+        dict
+    }
+
+    /// Decode a generation, verifying schema, metadata, and per-tier
+    /// shapes. (Per-entry CRCs were already verified by the CEMT reader.)
+    pub fn from_state_dict(dict: &StateDict) -> Result<Generation, SwapError> {
+        let meta = |name: &str| {
+            dict.meta(name).ok_or_else(|| SwapError::MissingEntry(name.to_string()))
+        };
+        let schema = meta("schema")?;
+        if schema != GENERATION_SCHEMA {
+            return Err(SwapError::Schema { expected: GENERATION_SCHEMA, found: schema });
+        }
+        let id = generation_of(dict).ok_or_else(|| SwapError::MissingEntry("generation".into()))?;
+        let entities = meta("entities")? as usize;
+        let images = meta("images")? as usize;
+        let mut matrices: [Vec<f32>; Tier::COUNT] = std::array::from_fn(|_| Vec::new());
+        for tier in Tier::ALL {
+            let name = format!("tier.{}", tier.label());
+            let tensor = dict.get(&name).ok_or(SwapError::MissingEntry(name))?;
+            let rows = tensor.to_vec();
+            if rows.len() != entities * images {
+                return Err(SwapError::ShapeMismatch {
+                    expected: (entities, images),
+                    found: (tensor.dims().first().copied().unwrap_or(0),
+                            tensor.dims().get(1).copied().unwrap_or(0)),
+                });
+            }
+            matrices[tier.index()] = rows;
+        }
+        Ok(Generation { id, index: ServeIndex::new(entities, images, matrices) })
+    }
+
+    /// Load a generation from one specific CEMT file — no fallback. This is
+    /// the strict path the swap drills use to show a corrupt incoming file
+    /// being rejected at the CRC.
+    pub fn load_path(path: impl AsRef<Path>) -> Result<Generation, SwapError> {
+        let dict = StateDict::load(path)?;
+        Generation::from_state_dict(&dict)
+    }
+}
+
+/// Durable generation store: `latest`/`prev` rotation over CEMT files,
+/// reusing the checkpoint manager's crash-safe publish ordering.
+pub struct GenerationStore {
+    manager: CheckpointManager,
+}
+
+impl GenerationStore {
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Result<Self, CheckpointError> {
+        Ok(GenerationStore { manager: CheckpointManager::new(dir)? })
+    }
+
+    /// Durably publish `generation` as the new `latest`, demoting the
+    /// current `latest` to `prev` only after the incoming file is fsynced.
+    pub fn publish(&self, generation: &Generation) -> Result<(), CheckpointError> {
+        self.manager.save(&generation.to_state_dict())
+    }
+
+    /// Load the freshest intact generation, falling back from a damaged
+    /// `latest` to `prev`. `Err(SwapError::Empty)` when nothing is stored.
+    pub fn load(&self) -> Result<Generation, SwapError> {
+        match self.manager.load()? {
+            Some((dict, _source)) => Generation::from_state_dict(&dict),
+            None => Err(SwapError::Empty),
+        }
+    }
+
+    /// Path of the `latest` generation file (corruption drills damage it).
+    pub fn latest_path(&self) -> std::path::PathBuf {
+        self.manager.latest_path()
+    }
+
+    pub fn prev_path(&self) -> std::path::PathBuf {
+        self.manager.prev_path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index(base: f32) -> ServeIndex {
+        let m = |b: f32| (0..6).map(|i| b + i as f32).collect::<Vec<f32>>();
+        ServeIndex::new(2, 3, [m(base), m(base + 10.0), m(base + 20.0), m(base + 30.0)])
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cem_hotswap_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generation_round_trips_through_the_container() {
+        let generation = Generation::new(7, index(1.0));
+        let decoded = Generation::from_state_dict(&generation.to_state_dict()).unwrap();
+        assert_eq!(decoded.id, 7);
+        assert_eq!(decoded.index.entities(), 2);
+        for tier in Tier::ALL {
+            assert_eq!(decoded.index.tier_rows(tier), generation.index.tier_rows(tier));
+            for e in 0..2 {
+                assert_eq!(
+                    decoded.index.row_crc(tier, e),
+                    generation.index.row_crc(tier, e),
+                    "row checksums must be rebuilt identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_rotates_and_falls_back_from_a_corrupt_latest() {
+        let dir = tmp_dir("rotate");
+        let store = GenerationStore::new(&dir).unwrap();
+        assert!(matches!(store.load(), Err(SwapError::Empty)));
+
+        store.publish(&Generation::new(1, index(0.0))).unwrap();
+        store.publish(&Generation::new(2, index(5.0))).unwrap();
+        assert_eq!(store.load().unwrap().id, 2);
+
+        // Bit-rot the latest file: the strict path rejects it at the CRC,
+        // the fallback path serves the previous generation.
+        let bytes = std::fs::read(store.latest_path()).unwrap();
+        let mut damaged = bytes.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x40;
+        std::fs::write(store.latest_path(), &damaged).unwrap();
+        assert!(matches!(
+            Generation::load_path(store.latest_path()),
+            Err(SwapError::Checkpoint(_))
+        ));
+        assert_eq!(store.load().unwrap().id, 1, "fallback must serve prev");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_tier_and_wrong_schema_are_rejected() {
+        let generation = Generation::new(3, index(2.0));
+        let mut dict = generation.to_state_dict();
+        dict.insert_meta("schema", GENERATION_SCHEMA + 1);
+        assert!(matches!(
+            Generation::from_state_dict(&dict),
+            Err(SwapError::Schema { .. })
+        ));
+
+        let mut dict = StateDict::new();
+        dict.insert_meta("schema", GENERATION_SCHEMA);
+        dict.insert_meta("generation", 3);
+        dict.insert_meta("entities", 2);
+        dict.insert_meta("images", 3);
+        assert!(matches!(
+            Generation::from_state_dict(&dict),
+            Err(SwapError::MissingEntry(_))
+        ));
+    }
+}

@@ -22,17 +22,23 @@
 //! DESIGN.md §11 for the full determinism contract.
 
 pub mod breaker;
+pub mod brownout;
 pub mod config;
 pub mod fault;
+pub mod hotswap;
+pub mod queue;
 pub mod request;
 pub mod retry;
 pub mod service;
 pub mod tiers;
 
 pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker, Component};
+pub use brownout::{BrownoutConfig, BrownoutController, BrownoutShift, WaveObservation};
 pub use config::{BreakerConfig, RetryConfig, ServeConfig};
 pub use fault::{silence_injected_panics, FaultKind, NoFaults, ServeFault, PANIC_MARKER};
-pub use request::{MatchRequest, Outcome, Response};
+pub use hotswap::{Generation, GenerationStore, SwapError, GENERATION_SCHEMA};
+pub use queue::{AdmissionQueue, QueuedRequest, ShedCause};
+pub use request::{Arrival, MatchRequest, Outcome, Response};
 pub use retry::{splitmix64, Backoff};
 pub use service::{MatchService, ServeStats};
 pub use tiers::{

@@ -1,0 +1,207 @@
+//! Bounded deterministic admission queue with deadline-aware dequeue.
+//!
+//! The queue orders requests **earliest-expiring-first**: the dequeue key is
+//! `(absolute deadline, arrival tick, request id)`, so requests whose virtual
+//! budget runs out soonest are served first and ties break in arrival order
+//! (the id is the arrival sequence number within a stream). Because the key
+//! is intrinsic to the request — never an insertion counter — the drain
+//! order is a pure function of the queued *set*: offering the same batch of
+//! arrivals in any permutation yields the identical dequeue order
+//! (property-tested in `crates/serve/tests/proptest_queue.rs`).
+//!
+//! Two shedding rules, both pure functions of deterministic inputs:
+//!
+//! * **Queue-full** — an offer beyond `capacity` is rejected outright
+//!   (tail drop). Depth therefore never exceeds the bound.
+//! * **Age-based expiry** — a queued request whose remaining budget at the
+//!   current virtual tick can no longer cover even the cheapest tier's cost
+//!   is shed before execution instead of burning a wave slot to produce a
+//!   guaranteed `DeadlineExceeded`. [`AdmissionQueue::is_expired`] is the
+//!   whole rule: `deadline − now < cheapest_cost`.
+
+use std::collections::BTreeMap;
+
+use crate::request::MatchRequest;
+
+/// A request parked in the admission queue, with its position on the
+/// service's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedRequest {
+    pub request: MatchRequest,
+    /// Virtual tick at which the request arrived (entered the queue).
+    pub arrival: u64,
+    /// Absolute virtual tick at which the request's budget is exhausted
+    /// (`arrival + deadline_units`).
+    pub deadline: u64,
+}
+
+impl QueuedRequest {
+    /// Budget left at virtual tick `now`.
+    pub fn remaining(&self, now: u64) -> u64 {
+        self.deadline.saturating_sub(now)
+    }
+
+    /// Virtual units spent waiting in the queue as of `now`.
+    pub fn waited(&self, now: u64) -> u64 {
+        now.saturating_sub(self.arrival)
+    }
+}
+
+/// Why the queue refused (or evicted) a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The queue was at capacity when the request arrived.
+    QueueFull,
+    /// The request aged out: its remaining budget can no longer cover the
+    /// cheapest tier.
+    Expired,
+}
+
+/// Bounded earliest-expiring-first admission queue.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    /// EDF order: `(deadline, arrival, id)`. The id is unique per stream,
+    /// making the key total — iteration order is a pure function of the
+    /// queued set, independent of insertion order.
+    entries: BTreeMap<(u64, u64, u64), QueuedRequest>,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "admission queue capacity must be positive");
+        AdmissionQueue { capacity, entries: BTreeMap::new() }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Queue occupancy in `[0, 1]`.
+    pub fn occupancy(&self) -> f32 {
+        self.entries.len() as f32 / self.capacity as f32
+    }
+
+    /// Offer a request arriving at virtual tick `now` with a budget of
+    /// `deadline_units`. Rejected with [`ShedCause::QueueFull`] when the
+    /// queue is at capacity — depth never exceeds the bound.
+    pub fn offer(
+        &mut self,
+        request: MatchRequest,
+        now: u64,
+        deadline_units: u64,
+    ) -> Result<(), ShedCause> {
+        if self.entries.len() >= self.capacity {
+            return Err(ShedCause::QueueFull);
+        }
+        let queued = QueuedRequest {
+            request,
+            arrival: now,
+            deadline: now.saturating_add(deadline_units),
+        };
+        self.entries.insert((queued.deadline, queued.arrival, request.id), queued);
+        Ok(())
+    }
+
+    /// The age-based shed rule: at tick `now`, is `queued`'s remaining
+    /// budget too small to cover the cheapest tier? A pure function of
+    /// `(deadline, clock)` — no queue state, no wall clock.
+    pub fn is_expired(queued: &QueuedRequest, now: u64, cheapest_cost: u64) -> bool {
+        queued.remaining(now) < cheapest_cost
+    }
+
+    /// Remove and return every queued request that [`Self::is_expired`] at
+    /// `now`, in EDF order. Expired entries are exactly the leading span of
+    /// the deadline-ordered map.
+    pub fn expire(&mut self, now: u64, cheapest_cost: u64) -> Vec<QueuedRequest> {
+        let mut expired = Vec::new();
+        while let Some(entry) = self.entries.first_entry() {
+            if Self::is_expired(entry.get(), now, cheapest_cost) {
+                expired.push(entry.remove());
+            } else {
+                break;
+            }
+        }
+        expired
+    }
+
+    /// Dequeue up to `n` requests in earliest-expiring-first order.
+    pub fn take(&mut self, n: usize) -> Vec<QueuedRequest> {
+        let mut batch = Vec::with_capacity(n.min(self.entries.len()));
+        while batch.len() < n {
+            match self.entries.pop_first() {
+                Some((_, queued)) => batch.push(queued),
+                None => break,
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64) -> MatchRequest {
+        MatchRequest { id, entity: id as usize % 3, seed: id.wrapping_mul(97) }
+    }
+
+    #[test]
+    fn dequeue_is_earliest_expiring_first_with_arrival_tie_break() {
+        let mut queue = AdmissionQueue::new(8);
+        // Same arrival tick, same budget: ties break by id (arrival order).
+        queue.offer(request(2), 0, 100).unwrap();
+        queue.offer(request(0), 0, 100).unwrap();
+        queue.offer(request(1), 0, 100).unwrap();
+        // A later arrival with a tighter budget expires first of all.
+        queue.offer(request(3), 10, 20).unwrap();
+        let order: Vec<u64> = queue.take(4).iter().map(|q| q.request.id).collect();
+        assert_eq!(order, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn capacity_is_a_hard_bound() {
+        let mut queue = AdmissionQueue::new(2);
+        assert!(queue.offer(request(0), 0, 50).is_ok());
+        assert!(queue.offer(request(1), 0, 50).is_ok());
+        assert_eq!(queue.offer(request(2), 0, 50), Err(ShedCause::QueueFull));
+        assert_eq!(queue.len(), 2);
+        queue.take(1);
+        assert!(queue.offer(request(2), 1, 50).is_ok(), "a drained slot frees capacity");
+    }
+
+    #[test]
+    fn expiry_sheds_exactly_the_unaffordable() {
+        let mut queue = AdmissionQueue::new(8);
+        queue.offer(request(0), 0, 100).unwrap(); // deadline 100
+        queue.offer(request(1), 0, 300).unwrap(); // deadline 300
+        queue.offer(request(2), 50, 100).unwrap(); // deadline 150
+        // At tick 120 with cheapest cost 60: remaining are 0, 180, 30 —
+        // requests 0 and 2 can no longer cover the floor.
+        let expired: Vec<u64> =
+            queue.expire(120, 60).iter().map(|q| q.request.id).collect();
+        assert_eq!(expired, vec![0, 2]);
+        assert_eq!(queue.len(), 1);
+        // Exactly at the boundary (remaining == cost) the request survives.
+        let survivor = queue.take(1)[0];
+        assert!(!AdmissionQueue::is_expired(&survivor, 240, 60));
+        assert!(AdmissionQueue::is_expired(&survivor, 241, 60));
+    }
+
+    #[test]
+    fn waited_and_remaining_track_the_clock() {
+        let queued = QueuedRequest { request: request(0), arrival: 40, deadline: 140 };
+        assert_eq!(queued.waited(100), 60);
+        assert_eq!(queued.remaining(100), 40);
+        assert_eq!(queued.remaining(200), 0, "remaining saturates at zero");
+        assert_eq!(queued.waited(10), 0, "waited saturates before arrival");
+    }
+}

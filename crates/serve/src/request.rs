@@ -28,17 +28,35 @@ impl MatchRequest {
     }
 }
 
+/// One open-loop arrival: a request plus the virtual tick at which it
+/// reaches the service. Open-loop streams must be sorted by `at` — the
+/// generator controls the schedule, the service never pushes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual tick of arrival on the service clock.
+    pub at: u64,
+    pub request: MatchRequest,
+}
+
 /// How a request resolved. Every admitted request resolves — the zero-shot
-/// floor cannot fail, so the only non-served resolutions are admission
-/// shedding and deadline exhaustion.
+/// floor cannot fail — so the non-served resolutions are admission
+/// shedding, queue expiry, deadline exhaustion, and (defensively) a typed
+/// internal scheduling error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Outcome {
     /// Served from `tier` with the top-k image ranking, best first.
     Served { tier: Tier, ranking: Vec<usize> },
     /// Rejected at admission: the queue was at capacity.
     Shed,
+    /// Shed from the queue before execution: the remaining budget could no
+    /// longer cover even the cheapest tier.
+    Expired,
     /// The virtual budget ran out before any tier completed.
     DeadlineExceeded,
+    /// A scheduling invariant broke (an admitted request resolved as shed).
+    /// Never expected in practice; surfaced as a degraded response plus the
+    /// `serve.internal_error` counter instead of a service panic.
+    InternalError,
 }
 
 impl Outcome {
@@ -59,10 +77,24 @@ pub struct Response {
     pub id: u64,
     pub entity: usize,
     pub outcome: Outcome,
-    /// Virtual cost units consumed (tier attempts + spikes + backoff).
+    /// Virtual cost units consumed executing (tier attempts + spikes +
+    /// backoff). Zero for requests that never executed.
     pub cost_units: u64,
+    /// Virtual units spent waiting in the admission queue before execution
+    /// (always zero in closed-loop burst mode).
+    pub queue_units: u64,
     /// Retries spent across all tiers.
     pub retries: u32,
+    /// The model generation this response was scored against (0 when the
+    /// service borrows a static index).
+    pub generation: u64,
+}
+
+impl Response {
+    /// End-to-end virtual latency: queue wait plus execution cost.
+    pub fn latency_units(&self) -> u64 {
+        self.queue_units + self.cost_units
+    }
 }
 
 /// One component observation produced while executing a request, folded
@@ -106,6 +138,22 @@ mod tests {
         let served = Outcome::Served { tier: Tier::Hard, ranking: vec![1, 0] };
         assert_eq!(served.served_tier(), Some(Tier::Hard));
         assert_eq!(Outcome::Shed.served_tier(), None);
+        assert_eq!(Outcome::Expired.served_tier(), None);
         assert_eq!(Outcome::DeadlineExceeded.served_tier(), None);
+        assert_eq!(Outcome::InternalError.served_tier(), None);
+    }
+
+    #[test]
+    fn latency_is_queue_wait_plus_cost() {
+        let response = Response {
+            id: 0,
+            entity: 0,
+            outcome: Outcome::DeadlineExceeded,
+            cost_units: 120,
+            queue_units: 400,
+            retries: 0,
+            generation: 0,
+        };
+        assert_eq!(response.latency_units(), 520);
     }
 }

@@ -16,17 +16,40 @@
 //! A `HalfOpen` component admits exactly one probe per wave: slot 0. Every
 //! other slot treats the component as open and degrades past its tier.
 //!
+//! # Two front doors
+//!
+//! * [`MatchService::run`] — **closed-loop burst**: a batch of requests is
+//!   all offered at once, the tail past `max_queue_depth` is shed, waves
+//!   drain in request order with the full deadline budget each.
+//! * [`MatchService::run_open_loop`] — **open-loop schedule**: arrivals
+//!   carry their own virtual timestamps and the clock advances `wave_units`
+//!   per wave whether or not the service keeps up. Arrivals park in a
+//!   bounded EDF [`AdmissionQueue`]; overflow is shed queue-full, aged-out
+//!   requests are shed [`Outcome::Expired`], and the
+//!   [`BrownoutController`] caps the tier ladder per wave so a saturated
+//!   service trades ranking quality for throughput instead of missing
+//!   deadlines.
+//!
+//! # Hot-swap
+//!
+//! The service scores against an [`IndexSource`]: a borrowed static index
+//! or an owned, numbered [`Generation`]. A staged generation promotes only
+//! **at wave boundaries**, so a wave is entirely one generation — in-flight
+//! requests are never dropped or scored against mixed indices. Every
+//! [`Response`] carries the generation id it was scored against.
+//!
 //! # Request pipeline
 //!
-//! Each request walks the tier ladder (full → cached → hard → zero).
-//! Between stages it checks its virtual-unit deadline budget. Per tier it
-//! runs a bounded retry loop: transient failures (worker panic caught via
-//! `catch_unwind` at the pool boundary, attempt timeouts from latency
-//! spikes) back off with seeded jitter and retry; non-transient failures
-//! (NaN-poisoned scores, checksum-detected corruption) degrade to the next
-//! tier immediately. The zero-shot floor ignores injected faults and its
-//! NaN-safe ranking always returns a permutation, so every admitted request
-//! resolves as served, or deadline-exceeded — never a process abort.
+//! Each request walks the tier ladder (full → cached → hard → zero) from
+//! the brownout cap down. Between stages it checks its remaining
+//! virtual-unit budget and skips tiers whose attempt cost cannot fit. Per
+//! tier it runs a bounded retry loop: transient failures (worker panic
+//! caught via `catch_unwind` at the pool boundary, attempt timeouts from
+//! latency spikes) back off with seeded jitter and retry; non-transient
+//! failures (NaN-poisoned scores, checksum-detected corruption) degrade to
+//! the next tier immediately. The zero-shot floor ignores injected faults
+//! and its NaN-safe ranking always returns a permutation, so every executed
+//! request resolves as served or deadline-exceeded — never a process abort.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -34,9 +57,12 @@ use std::time::Instant;
 use crossem::matcher::rank_row;
 
 use crate::breaker::{BreakerState, BreakerTransition, CircuitBreaker, Component};
+use crate::brownout::{BrownoutController, BrownoutShift, WaveObservation};
 use crate::config::ServeConfig;
 use crate::fault::{FaultKind, ServeFault, PANIC_MARKER};
-use crate::request::{ComponentEvent, ExecOutcome, MatchRequest, Outcome, Response};
+use crate::hotswap::{Generation, SwapError};
+use crate::queue::AdmissionQueue;
+use crate::request::{Arrival, ComponentEvent, ExecOutcome, MatchRequest, Outcome, Response};
 use crate::retry::{splitmix64, Backoff};
 use crate::tiers::{ServeIndex, Tier};
 
@@ -44,14 +70,30 @@ use crate::tiers::{ServeIndex, Tier};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServeStats {
     pub admitted: u64,
+    /// Requests rejected at admission (burst tail drop or queue-full).
     pub shed: u64,
+    /// Requests shed from the queue because their remaining budget could no
+    /// longer cover the cheapest tier (open-loop only).
+    pub expired: u64,
     /// Served-response count per tier, ladder order.
     pub served: [u64; Tier::COUNT],
     pub deadline_exceeded: u64,
+    /// Executed requests that resolved with a broken scheduling invariant
+    /// ([`Outcome::InternalError`]). Always zero in a healthy service.
+    pub internal_errors: u64,
     /// Total retries across all requests and tiers.
     pub retries: u64,
     /// Total breaker trips (Closed→Open and HalfOpen→Open).
     pub breaker_trips: u64,
+    /// Waves executed (burst and open-loop, including idle open-loop waves).
+    pub waves: u64,
+    /// Open-loop waves spent at each brownout cap, ladder order. Index 0
+    /// (`Full`) counts un-browned-out waves.
+    pub brownout_waves: [u64; Tier::COUNT],
+    /// Generations promoted into service.
+    pub hotswap_promotes: u64,
+    /// Incoming generations rejected (unreadable, stale, or mis-shaped).
+    pub hotswap_rejects: u64,
 }
 
 impl ServeStats {
@@ -60,24 +102,85 @@ impl ServeStats {
     }
 }
 
-/// The embedded matching service. Owns the breakers and the fold clock;
-/// borrows the precomputed score index.
+/// What the service scores against: a borrowed static index (the simple
+/// construction path) or an owned, hot-swappable [`Generation`].
+enum IndexSource<'a> {
+    Borrowed(&'a ServeIndex),
+    Owned(Box<Generation>),
+}
+
+impl IndexSource<'_> {
+    fn index(&self) -> &ServeIndex {
+        match self {
+            IndexSource::Borrowed(index) => index,
+            IndexSource::Owned(generation) => &generation.index,
+        }
+    }
+
+    /// Generation id responses are tagged with; `0` for a borrowed index.
+    fn generation(&self) -> u64 {
+        match self {
+            IndexSource::Borrowed(_) => 0,
+            IndexSource::Owned(generation) => generation.id,
+        }
+    }
+}
+
+/// One dequeued request ready for a wave: the virtual budget it has left
+/// and the units it already spent parked in the admission queue.
+#[derive(Debug, Clone, Copy)]
+struct WaveSlot {
+    request: MatchRequest,
+    /// Remaining virtual budget for execution.
+    budget: u64,
+    /// Units spent queued before this wave.
+    queue_units: u64,
+}
+
+/// The embedded matching service. Owns the breakers, the brownout
+/// controller, and the fold clock; scores against an [`IndexSource`].
 pub struct MatchService<'a> {
     config: ServeConfig,
-    index: &'a ServeIndex,
+    source: IndexSource<'a>,
     breakers: [CircuitBreaker; Component::COUNT],
     /// Requests folded so far — the deterministic clock breakers run on.
     tick: u64,
     stats: ServeStats,
     trace: Vec<String>,
+    brownout: BrownoutController,
+    /// A generation staged for promotion at the next wave boundary.
+    staged: Option<Generation>,
+    /// Mid-run swaps scheduled by open-loop wave index.
+    swaps: Vec<(u64, Result<Generation, SwapError>)>,
 }
 
 impl<'a> MatchService<'a> {
     pub fn new(config: ServeConfig, index: &'a ServeIndex) -> Self {
+        Self::build(config, IndexSource::Borrowed(index))
+    }
+
+    /// Construct around an owned generation, enabling zero-downtime
+    /// hot-swap ([`MatchService::stage`] / [`MatchService::schedule_swap`]).
+    pub fn with_generation(config: ServeConfig, generation: Generation) -> MatchService<'static> {
+        MatchService::build(config, IndexSource::Owned(Box::new(generation)))
+    }
+
+    fn build(config: ServeConfig, source: IndexSource<'a>) -> MatchService<'a> {
         config.validate();
         let breakers =
             Component::ALL.map(|c| CircuitBreaker::new(config.breaker, config.seed, c));
-        MatchService { config, index, breakers, tick: 0, stats: ServeStats::default(), trace: Vec::new() }
+        let brownout = BrownoutController::new(config.brownout);
+        MatchService {
+            config,
+            source,
+            breakers,
+            tick: 0,
+            stats: ServeStats::default(),
+            trace: Vec::new(),
+            brownout,
+            staged: None,
+            swaps: Vec::new(),
+        }
     }
 
     pub fn config(&self) -> &ServeConfig {
@@ -89,7 +192,8 @@ impl<'a> MatchService<'a> {
     }
 
     /// The deterministic event trace: admission sheds, retries,
-    /// degradations, breaker transitions. No wall-clock content.
+    /// degradations, breaker transitions, brownout shifts, swap events.
+    /// No wall-clock content.
     pub fn trace(&self) -> &[String] {
         &self.trace
     }
@@ -102,9 +206,103 @@ impl<'a> MatchService<'a> {
         self.breakers[component.index()].trips()
     }
 
-    /// Process one burst of requests. Requests beyond `max_queue_depth`
-    /// are shed at admission; the rest execute in waves. Responses come
-    /// back in request order.
+    /// The index currently serving.
+    pub fn index(&self) -> &ServeIndex {
+        self.source.index()
+    }
+
+    /// The generation currently serving (`0` while borrowing a static
+    /// index).
+    pub fn generation(&self) -> u64 {
+        self.source.generation()
+    }
+
+    /// The richest tier the brownout controller currently allows.
+    pub fn brownout_cap(&self) -> Tier {
+        self.brownout.cap()
+    }
+
+    /// Stage `generation` for promotion at the next wave boundary. Stale
+    /// ids and catalogue-shape mismatches are rejected on the spot
+    /// (`serve.hotswap.reject`); the serving generation keeps answering
+    /// either way.
+    pub fn stage(&mut self, generation: Generation) -> Result<(), SwapError> {
+        let current = self.source.index();
+        let expected = (current.entities(), current.images());
+        let found = (generation.index.entities(), generation.index.images());
+        if expected != found {
+            let err = SwapError::ShapeMismatch { expected, found };
+            self.reject_swap(&err);
+            return Err(err);
+        }
+        let current_id =
+            self.staged.as_ref().map(|g| g.id).unwrap_or(0).max(self.source.generation());
+        if generation.id <= current_id {
+            let err = SwapError::StaleGeneration { current: current_id, incoming: generation.id };
+            self.reject_swap(&err);
+            return Err(err);
+        }
+        self.trace.push(format!("generation {} staged", generation.id));
+        self.staged = Some(generation);
+        Ok(())
+    }
+
+    /// Feed the service the result of an out-of-band generation load: `Ok`
+    /// stages it, `Err` (CRC-rejected container, bad schema, …) is counted
+    /// as a rejected swap. Returns whether the generation was staged.
+    pub fn offer_swap(&mut self, incoming: Result<Generation, SwapError>) -> bool {
+        match incoming {
+            Ok(generation) => self.stage(generation).is_ok(),
+            Err(err) => {
+                self.reject_swap(&err);
+                false
+            }
+        }
+    }
+
+    /// Schedule a swap to land at open-loop wave `at_wave` — the mid-run
+    /// hot-swap drills use this to promote a generation under load.
+    pub fn schedule_swap(&mut self, at_wave: u64, incoming: Result<Generation, SwapError>) {
+        self.swaps.push((at_wave, incoming));
+    }
+
+    /// Promote the staged generation, if any. Runs automatically at wave
+    /// boundaries; public so burst-mode callers can promote between runs.
+    /// Returns whether a promotion happened.
+    pub fn promote_staged(&mut self) -> bool {
+        match self.staged.take() {
+            Some(generation) => {
+                self.trace.push(format!("generation {} promoted", generation.id));
+                self.stats.hotswap_promotes += 1;
+                cem_obs::counter_add!("serve.hotswap.promote", 1);
+                self.source = IndexSource::Owned(Box::new(generation));
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn reject_swap(&mut self, err: &SwapError) {
+        self.stats.hotswap_rejects += 1;
+        cem_obs::counter_add!("serve.hotswap.reject", 1);
+        self.trace.push(format!("hot-swap rejected: {err}"));
+    }
+
+    fn shed_response(&self, request: &MatchRequest, outcome: Outcome, queue_units: u64) -> Response {
+        Response {
+            id: request.id,
+            entity: request.entity,
+            outcome,
+            cost_units: 0,
+            queue_units,
+            retries: 0,
+            generation: self.source.generation(),
+        }
+    }
+
+    /// Process one closed-loop burst. Requests beyond `max_queue_depth`
+    /// are shed at admission; the rest execute in waves with the full
+    /// deadline budget each. Responses come back in request order.
     pub fn run(&mut self, requests: &[MatchRequest], faults: &dyn ServeFault) -> Vec<Response> {
         let admitted = requests.len().min(self.config.max_queue_depth);
         self.stats.admitted += admitted as u64;
@@ -121,40 +319,193 @@ impl<'a> MatchService<'a> {
         let mut responses = Vec::with_capacity(requests.len());
         let mut wave_start = 0;
         while wave_start < admitted {
-            let wave = &requests[wave_start..(wave_start + self.config.wave).min(admitted)];
-            self.run_wave(wave, faults, &mut responses);
-            wave_start += wave.len();
+            // A staged generation promotes at the wave boundary, never
+            // inside a wave.
+            self.promote_staged();
+            let end = (wave_start + self.config.wave).min(admitted);
+            let wave: Vec<WaveSlot> = requests[wave_start..end]
+                .iter()
+                .map(|&request| WaveSlot {
+                    request,
+                    budget: self.config.deadline_units,
+                    queue_units: 0,
+                })
+                .collect();
+            self.run_wave(&wave, Tier::Full, faults, &mut responses);
+            wave_start = end;
         }
+        self.promote_staged();
 
         for request in &requests[admitted..] {
-            responses.push(Response {
-                id: request.id,
-                entity: request.entity,
-                outcome: Outcome::Shed,
-                cost_units: 0,
-                retries: 0,
-            });
+            responses.push(self.shed_response(request, Outcome::Shed, 0));
         }
+        responses
+    }
+
+    /// Drive an **open-loop** arrival schedule (sorted by arrival tick).
+    /// The clock advances `wave_units` per wave whether or not the service
+    /// keeps up; overflow arrivals are shed queue-full, aged-out queue
+    /// entries are shed [`Outcome::Expired`], the brownout controller caps
+    /// the ladder per wave, and scheduled swaps promote at their wave
+    /// boundary. Responses come back in completion order.
+    pub fn run_open_loop(&mut self, arrivals: &[Arrival], faults: &dyn ServeFault) -> Vec<Response> {
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "open-loop arrivals must be sorted by arrival tick"
+        );
+        let cheapest = self.config.cheapest_tier_cost();
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        let mut responses = Vec::with_capacity(arrivals.len());
+        let mut next = 0;
+        let mut clock: u64 = 0;
+        let mut wave_idx: u64 = 0;
+        // The brownout controller folds the *previous* wave's outcomes at
+        // each boundary; these carry them across the loop iteration.
+        let mut last_missed: u64 = 0;
+        let mut last_completed: u64 = 0;
+
+        loop {
+            // 1. Admit every arrival due by now; tail-drop past capacity.
+            while next < arrivals.len() && arrivals[next].at <= clock {
+                let arrival = arrivals[next];
+                next += 1;
+                match queue.offer(arrival.request, arrival.at, self.config.deadline_units) {
+                    Ok(()) => {
+                        self.stats.admitted += 1;
+                        cem_obs::counter_add!("serve.admit", 1);
+                    }
+                    Err(_) => {
+                        self.stats.shed += 1;
+                        cem_obs::counter_add!("serve.shed", 1);
+                        self.trace.push(format!(
+                            "req {}: shed at admission (queue full at {})",
+                            arrival.request.id, self.config.queue_capacity
+                        ));
+                        responses.push(self.shed_response(&arrival.request, Outcome::Shed, 0));
+                    }
+                }
+            }
+            if next >= arrivals.len() && queue.is_empty() {
+                break;
+            }
+
+            // 2. Scheduled mid-run swaps land at their wave boundary; a
+            // staged generation promotes before the wave executes.
+            let mut later = Vec::new();
+            for (at_wave, incoming) in std::mem::take(&mut self.swaps) {
+                if at_wave <= wave_idx {
+                    self.offer_swap(incoming);
+                } else {
+                    later.push((at_wave, incoming));
+                }
+            }
+            self.swaps = later;
+            self.promote_staged();
+
+            // 3. Age-based expiry: shed whatever can no longer afford even
+            // the cheapest tier, instead of burning a wave slot on it.
+            let mut expired_now: u64 = 0;
+            for queued in queue.expire(clock, cheapest) {
+                expired_now += 1;
+                self.stats.expired += 1;
+                cem_obs::counter_add!("serve.expired", 1);
+                self.trace.push(format!(
+                    "req {}: expired in queue (waited {}, remaining {} < cheapest {})",
+                    queued.request.id,
+                    queued.waited(clock),
+                    queued.remaining(clock),
+                    cheapest
+                ));
+                responses.push(self.shed_response(
+                    &queued.request,
+                    Outcome::Expired,
+                    queued.waited(clock),
+                ));
+            }
+
+            cem_obs::gauge_set!("serve.queue_depth", queue.len() as f64);
+
+            // 4. Brownout: previous wave's misses plus this boundary's
+            // expiries, against the current queue depth.
+            let shift = self.brownout.observe(WaveObservation {
+                queue_depth: queue.len(),
+                queue_capacity: self.config.queue_capacity,
+                missed: last_missed + expired_now,
+                completed: last_completed + expired_now,
+            });
+            if let Some(shift) = shift {
+                self.trace.push(match shift {
+                    BrownoutShift::Demoted { from, to } => format!(
+                        "wave {wave_idx}: brownout demoted {} -> {}",
+                        from.label(),
+                        to.label()
+                    ),
+                    BrownoutShift::Promoted { from, to } => format!(
+                        "wave {wave_idx}: brownout promoted {} -> {}",
+                        from.label(),
+                        to.label()
+                    ),
+                });
+            }
+            let cap = self.brownout.cap();
+            self.stats.brownout_waves[cap.index()] += 1;
+            record_brownout_wave(cap);
+
+            // 5. Dequeue as many EDF-first requests as the wave's work
+            // budget can execute at the capped tier — the mechanism by
+            // which browning out raises sustainable throughput.
+            let per_request = self.config.tier_cost[cap.index()].max(1);
+            let fits = (self.config.wave_budget_units() / per_request).max(1) as usize;
+            let batch = queue.take(self.config.wave.min(fits));
+            let slots: Vec<WaveSlot> = batch
+                .iter()
+                .map(|q| WaveSlot {
+                    request: q.request,
+                    budget: q.remaining(clock),
+                    queue_units: q.waited(clock),
+                })
+                .collect();
+            let before = responses.len();
+            self.run_wave(&slots, cap, faults, &mut responses);
+            last_completed = (responses.len() - before) as u64;
+            last_missed = responses[before..]
+                .iter()
+                .filter(|r| matches!(r.outcome, Outcome::DeadlineExceeded))
+                .count() as u64;
+
+            clock = clock.saturating_add(self.config.wave_units);
+            wave_idx += 1;
+        }
+
+        // Swaps scheduled past the end of the run still land.
+        for (_, incoming) in std::mem::take(&mut self.swaps) {
+            self.offer_swap(incoming);
+        }
+        self.promote_staged();
         responses
     }
 
     fn run_wave(
         &mut self,
-        wave: &[MatchRequest],
+        wave: &[WaveSlot],
+        cap: Tier,
         faults: &dyn ServeFault,
         responses: &mut Vec<Response>,
     ) {
+        self.stats.waves += 1;
         for breaker in &mut self.breakers {
             breaker.refresh(self.tick);
         }
         let states: [BreakerState; Component::COUNT] =
             std::array::from_fn(|i| self.breakers[i].state());
 
-        // Parallel execution against the frozen breaker snapshot. Slots are
+        // Parallel execution against the frozen breaker snapshot and one
+        // frozen index borrow: a wave is entirely one generation. Slots are
         // plain data; `par_chunks_mut` hands each worker a disjoint block.
         let mut slots: Vec<Option<ExecOutcome>> = wave.iter().map(|_| None).collect();
         let config = &self.config;
-        let index = self.index;
+        let index = self.source.index();
+        let generation = self.source.generation();
         cem_tensor::par::par_chunks_mut(
             &mut slots,
             1,
@@ -169,7 +520,16 @@ impl<'a> MatchService<'a> {
                             // One probe per wave: slot 0.
                             BreakerState::HalfOpen => slot_idx == 0,
                         });
-                    *slot = Some(execute_request(config, index, &wave[slot_idx], allowed, faults));
+                    let ws = &wave[slot_idx];
+                    *slot = Some(execute_request(
+                        config,
+                        index,
+                        &ws.request,
+                        allowed,
+                        faults,
+                        ws.budget,
+                        cap,
+                    ));
                 }
             },
         );
@@ -177,7 +537,7 @@ impl<'a> MatchService<'a> {
         // Serial fold in arrival order: the only place breakers mutate.
         for (slot_idx, slot) in slots.into_iter().enumerate() {
             let exec = slot.expect("wave slot left unfilled");
-            let request = &wave[slot_idx];
+            let ws = &wave[slot_idx];
             self.tick += 1;
             self.trace.extend(exec.trace);
             for event in &exec.events {
@@ -202,23 +562,39 @@ impl<'a> MatchService<'a> {
             }
             self.stats.retries += exec.retries as u64;
             cem_obs::counter_add!("serve.retry", exec.retries);
-            match &exec.outcome {
-                Outcome::Served { tier, .. } => {
+            let outcome = match exec.outcome {
+                Outcome::Served { tier, ranking } => {
                     self.stats.served[tier.index()] += 1;
-                    record_tier_span(*tier, exec.wall_nanos);
+                    record_tier_span(tier, exec.wall_nanos);
+                    Outcome::Served { tier, ranking }
                 }
                 Outcome::DeadlineExceeded => {
                     self.stats.deadline_exceeded += 1;
                     cem_obs::counter_add!("serve.deadline_exceeded", 1);
+                    Outcome::DeadlineExceeded
                 }
-                Outcome::Shed => unreachable!("admitted requests are never shed"),
-            }
+                // Execution can only produce served or deadline-exceeded;
+                // anything else means a scheduling invariant broke. Surface
+                // it as a typed error response plus a counter — a degraded
+                // answer the caller can see, never a service panic.
+                Outcome::Shed | Outcome::Expired | Outcome::InternalError => {
+                    self.stats.internal_errors += 1;
+                    cem_obs::counter_add!("serve.internal_error", 1);
+                    self.trace.push(format!(
+                        "req {}: internal error (unexpected execution outcome)",
+                        ws.request.id
+                    ));
+                    Outcome::InternalError
+                }
+            };
             responses.push(Response {
-                id: request.id,
-                entity: request.entity,
-                outcome: exec.outcome,
+                id: ws.request.id,
+                entity: ws.request.entity,
+                outcome,
                 cost_units: exec.cost_units,
+                queue_units: ws.queue_units,
                 retries: exec.retries,
+                generation,
             });
         }
     }
@@ -241,6 +617,22 @@ fn record_tier_span(tier: Tier, nanos: u64) {
     stats.record(nanos);
 }
 
+/// Count one open-loop wave spent at brownout cap `cap` (same
+/// literal-per-rung pattern as [`record_tier_span`]).
+fn record_brownout_wave(cap: Tier) {
+    if !cem_obs::enabled() {
+        return;
+    }
+    let registry = cem_obs::global();
+    let counter = match cap {
+        Tier::Full => registry.counter("serve.brownout.full"),
+        Tier::Cached => registry.counter("serve.brownout.cached"),
+        Tier::Hard => registry.counter("serve.brownout.hard"),
+        Tier::Zero => registry.counter("serve.brownout.zero"),
+    };
+    counter.add(1);
+}
+
 /// What one tier attempt produced. `units` is the virtual cost the attempt
 /// charged (tier cost, stretched by spikes, capped at the attempt timeout).
 enum AttemptResult {
@@ -259,13 +651,18 @@ enum TierScore {
 }
 
 /// Pure per-request pipeline: no shared mutable state, all decisions off
-/// the virtual clock. Runs on worker threads.
+/// the virtual clock. Runs on worker threads. `budget` is the request's
+/// remaining virtual allowance (full deadline in burst mode, deadline
+/// minus queue wait in open-loop mode); `cap` is the richest tier the
+/// brownout controller allows this wave.
 fn execute_request(
     config: &ServeConfig,
     index: &ServeIndex,
     request: &MatchRequest,
     allowed: [bool; Component::COUNT],
     faults: &dyn ServeFault,
+    budget: u64,
+    cap: Tier,
 ) -> ExecOutcome {
     let started = Instant::now();
     let mut cost: u64 = 0;
@@ -275,6 +672,15 @@ fn execute_request(
     let mut outcome: Option<Outcome> = None;
 
     'ladder: for tier in Tier::ALL {
+        if tier.index() < cap.index() {
+            trace.push(format!(
+                "req {}: skip {} (brownout cap {})",
+                request.id,
+                tier.label(),
+                cap.label()
+            ));
+            continue;
+        }
         if let Some(component) = tier.component() {
             if !allowed[component.index()] {
                 trace.push(format!(
@@ -286,7 +692,7 @@ fn execute_request(
                 continue;
             }
         }
-        if cost >= config.deadline_units {
+        if cost >= budget {
             trace.push(format!(
                 "req {}: deadline before {} ({} units)",
                 request.id,
@@ -295,6 +701,18 @@ fn execute_request(
             ));
             outcome = Some(Outcome::DeadlineExceeded);
             break 'ladder;
+        }
+        // Affordability: an attempt that cannot possibly finish inside the
+        // remaining budget is skipped, not burned.
+        let tier_cost = config.tier_cost[tier.index()];
+        if cost.saturating_add(tier_cost) > budget {
+            trace.push(format!(
+                "req {}: skip {} (cost {tier_cost} over remaining budget {})",
+                request.id,
+                tier.label(),
+                budget - cost
+            ));
+            continue;
         }
 
         let backoff =
@@ -338,7 +756,7 @@ fn execute_request(
                         request.id,
                         tier.label()
                     ));
-                    if cost >= config.deadline_units {
+                    if cost >= budget {
                         trace.push(format!(
                             "req {}: deadline during {} backoff ({} units)",
                             request.id,
@@ -365,8 +783,15 @@ fn execute_request(
         }
     }
 
+    // The ladder can run dry when every remaining rung was unaffordable —
+    // equivalent to the deadline having already fired.
+    let outcome = outcome.unwrap_or_else(|| {
+        trace.push(format!("req {}: no affordable tier within budget {budget}", request.id));
+        Outcome::DeadlineExceeded
+    });
+
     ExecOutcome {
-        outcome: outcome.expect("ladder must resolve: the zero-shot floor is infallible"),
+        outcome,
         cost_units: cost,
         retries,
         wall_nanos: started.elapsed().as_nanos() as u64,
@@ -463,12 +888,20 @@ fn score_tier(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::brownout::BrownoutConfig;
     use crate::fault::{silence_injected_panics, NoFaults};
     use cem_tensor::par::ThreadsGuard;
 
     /// 3 entities × 4 images; each tier's best image differs so tests can
     /// tell which tier served: full→0, cached→1, hard→2, zero→3.
     fn index() -> ServeIndex {
+        index_with(|best| best)
+    }
+
+    /// Like [`index`], but each tier's peak image is remapped through
+    /// `peak` — lets hot-swap tests build a *distinguishable* second
+    /// generation over the same catalogue shape.
+    fn index_with(peak: impl Fn(usize) -> usize) -> ServeIndex {
         let peaked = |best: usize| {
             let mut m = Vec::new();
             for e in 0..3 {
@@ -478,11 +911,19 @@ mod tests {
             }
             m
         };
-        ServeIndex::new(3, 4, [peaked(0), peaked(1), peaked(2), peaked(3)])
+        ServeIndex::new(3, 4, [peaked(peak(0)), peaked(peak(1)), peaked(peak(2)), peaked(peak(3))])
     }
 
     fn config() -> ServeConfig {
         ServeConfig { top_k: 4, wave: 4, ..ServeConfig::default() }
+    }
+
+    fn arrivals(n: usize, gap: u64, seed: u64) -> Vec<Arrival> {
+        MatchRequest::stream(n, 3, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, request)| Arrival { at: i as u64 * gap, request })
+            .collect()
     }
 
     /// Inject `kind` into every attempt of `tier` for request ids below
@@ -508,6 +949,8 @@ mod tests {
         assert_eq!(responses.len(), 8);
         for (request, response) in requests.iter().zip(&responses) {
             assert_eq!(response.id, request.id);
+            assert_eq!(response.generation, 0, "borrowed index serves generation 0");
+            assert_eq!(response.queue_units, 0, "burst mode never queues");
             match &response.outcome {
                 Outcome::Served { tier, ranking } => {
                     assert_eq!(*tier, Tier::Full);
@@ -518,6 +961,8 @@ mod tests {
         }
         assert_eq!(service.stats().served[Tier::Full.index()], 8);
         assert_eq!(service.stats().retries, 0);
+        assert_eq!(service.stats().internal_errors, 0);
+        assert_eq!(service.stats().waves, 2);
     }
 
     #[test]
@@ -593,17 +1038,10 @@ mod tests {
             ..config()
         };
         let mut service = MatchService::new(config, &index);
-        // Full degrades on corruption (400 units), cached costs 400 more:
-        // the deadline (500) fires before hard.
+        // Full degrades on corruption (400 units); every later rung's cost
+        // no longer fits the 500-unit budget, so the ladder runs dry.
         let fault = TierFault { tier: Tier::Full, kind: FaultKind::CorruptCache, until_id: 1 };
-        let fault_cached = TierFault { tier: Tier::Cached, kind: FaultKind::CorruptCache, until_id: 1 };
-        struct Both<'a>(&'a TierFault, &'a TierFault);
-        impl ServeFault for Both<'_> {
-            fn inject(&self, id: u64, tier: Tier, attempt: u32) -> Option<FaultKind> {
-                self.0.inject(id, tier, attempt).or_else(|| self.1.inject(id, tier, attempt))
-            }
-        }
-        let responses = service.run(&MatchRequest::stream(1, 3, 7), &Both(&fault, &fault_cached));
+        let responses = service.run(&MatchRequest::stream(1, 3, 7), &fault);
         assert_eq!(responses[0].outcome, Outcome::DeadlineExceeded);
         assert_eq!(service.stats().deadline_exceeded, 1);
     }
@@ -671,5 +1109,202 @@ mod tests {
         let responses = service.run(&MatchRequest::stream(1, 3, 7), &fault);
         assert_eq!(responses[0].outcome.served_tier(), Some(Tier::Full));
         assert_eq!(responses[0].cost_units, config().tier_cost[0] + 100);
+    }
+
+    // ---- open loop ----
+
+    #[test]
+    fn open_loop_serves_a_light_schedule_and_tracks_queue_wait() {
+        let index = index();
+        // One arrival per wave (gap == wave_units): the queue never builds.
+        let mut service = MatchService::new(config(), &index);
+        let responses = service.run_open_loop(&arrivals(6, 400, 7), &NoFaults);
+        assert_eq!(responses.len(), 6);
+        for response in &responses {
+            assert_eq!(response.outcome.served_tier(), Some(Tier::Full));
+            assert_eq!(response.queue_units, 0, "an un-backlogged queue serves same-wave");
+        }
+        assert_eq!(service.stats().admitted, 6);
+        assert_eq!(service.stats().shed + service.stats().expired, 0);
+        assert_eq!(service.brownout_cap(), Tier::Full);
+    }
+
+    #[test]
+    fn open_loop_sheds_queue_full_then_expires_the_backlog() {
+        let index = index();
+        let config = ServeConfig {
+            deadline_units: 500,
+            queue_capacity: 64,
+            brownout: BrownoutConfig { enabled: false, ..BrownoutConfig::default() },
+            ..config()
+        };
+        let mut service = MatchService::new(config, &index);
+        // 100 arrivals at t=0 against capacity 64: 36 shed at admission.
+        // Serving 4/wave at 400 units/wave, a 500-unit deadline expires the
+        // backlog at the second boundary: waves 0 and 1 serve 8, the rest
+        // age out.
+        let responses = service.run_open_loop(&arrivals(100, 0, 7), &NoFaults);
+        assert_eq!(responses.len(), 100, "every arrival gets a response");
+        assert_eq!(service.stats().shed, 36);
+        assert_eq!(service.stats().served_total(), 8);
+        assert_eq!(service.stats().expired, 56);
+        let expired: Vec<&Response> =
+            responses.iter().filter(|r| r.outcome == Outcome::Expired).collect();
+        assert_eq!(expired.len(), 56);
+        assert!(expired.iter().all(|r| r.queue_units >= 800), "expiry happens after aging");
+    }
+
+    #[test]
+    fn brownout_demotes_under_saturation_and_raises_throughput() {
+        let index = index();
+        let make = |enabled: bool| ServeConfig {
+            wave: 32,
+            queue_capacity: 64,
+            // Tight enough that the full-tier drain rate (8 requests per
+            // 400-unit wave) cannot clear a 64-deep backlog in time.
+            deadline_units: 1_200,
+            brownout: BrownoutConfig { enabled, ..BrownoutConfig::default() },
+            ..config()
+        };
+        // 200 arrivals at t=0: the queue saturates instantly (occupancy
+        // 1.0 ≥ high watermark), so the controller demotes to cached at
+        // wave 0 — 26 requests/wave instead of 8 fit the work budget.
+        let mut browned = MatchService::new(make(true), &index);
+        browned.run_open_loop(&arrivals(200, 0, 7), &NoFaults);
+        assert!(browned.stats().brownout_waves[Tier::Cached.index()] > 0);
+        assert!(browned.stats().served[Tier::Cached.index()] > 0);
+        assert!(
+            browned.trace().iter().any(|l| l.contains("brownout demoted full -> cached")),
+            "expected a demotion in {:?}",
+            browned.trace()
+        );
+
+        let mut control = MatchService::new(make(false), &index);
+        control.run_open_loop(&arrivals(200, 0, 7), &NoFaults);
+        assert_eq!(control.brownout_cap(), Tier::Full);
+        assert!(
+            browned.stats().served_total() > control.stats().served_total(),
+            "brownout must serve more of the burst ({} vs {})",
+            browned.stats().served_total(),
+            control.stats().served_total()
+        );
+        assert!(
+            browned.stats().expired <= control.stats().expired,
+            "brownout must not increase expiry"
+        );
+    }
+
+    #[test]
+    fn brownout_recovers_after_the_burst_drains() {
+        let index = index();
+        let config = ServeConfig {
+            wave: 32,
+            queue_capacity: 64,
+            brownout: BrownoutConfig { recovery_waves: 2, ..BrownoutConfig::default() },
+            ..config()
+        };
+        let mut service = MatchService::new(config, &index);
+        // A saturating burst, then a long calm tail of one arrival per wave
+        // so the controller sees consecutive calm boundaries.
+        let mut schedule = arrivals(64, 0, 7);
+        for (i, request) in MatchRequest::stream(12, 3, 8).into_iter().enumerate() {
+            schedule.push(Arrival {
+                at: 2_000 + i as u64 * 400,
+                request: MatchRequest { id: 100 + i as u64, ..request },
+            });
+        }
+        service.run_open_loop(&schedule, &NoFaults);
+        assert!(
+            service.trace().iter().any(|l| l.contains("brownout promoted")),
+            "expected a promotion in {:?}",
+            service.trace()
+        );
+        assert_eq!(service.brownout_cap(), Tier::Full, "calm tail must restore the cap");
+    }
+
+    #[test]
+    fn hot_swap_promotes_at_a_wave_boundary_without_mixing() {
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        // Generation 1 peaks every tier one image later (mod 4) — a served
+        // ranking betrays which generation scored it.
+        let swapped = Generation::new(1, index_with(|best| (best + 1) % 4));
+        service.schedule_swap(2, Ok(swapped));
+        // One arrival per wave over 6 waves; the swap lands at wave 2.
+        let responses = service.run_open_loop(&arrivals(6, 400, 7), &NoFaults);
+        assert_eq!(service.stats().hotswap_promotes, 1);
+        assert_eq!(service.generation(), 1);
+        let mut last_generation = 0;
+        for response in &responses {
+            assert!(
+                response.generation >= last_generation,
+                "generations must promote monotonically, never mix backwards"
+            );
+            last_generation = response.generation;
+            let expected_peak = if response.generation == 0 { 0 } else { 1 };
+            match &response.outcome {
+                Outcome::Served { tier: Tier::Full, ranking } => {
+                    assert_eq!(
+                        ranking[0], expected_peak,
+                        "response must be scored entirely by its own generation"
+                    );
+                }
+                other => panic!("expected full-tier serve, got {other:?}"),
+            }
+        }
+        assert!(responses.iter().any(|r| r.generation == 0));
+        assert!(responses.iter().any(|r| r.generation == 1));
+    }
+
+    #[test]
+    fn corrupt_stale_and_misshaped_swaps_are_rejected() {
+        let index = index();
+        let mut service = MatchService::new(config(), &index);
+        // A load failure (e.g. CRC-rejected container) is counted, not fatal.
+        assert!(!service.offer_swap(Err(SwapError::Empty)));
+        // A catalogue-shape mismatch is rejected.
+        let wrong_shape = ServeIndex::new(2, 2, std::array::from_fn(|_| vec![0.0; 4]));
+        assert!(matches!(
+            service.stage(Generation::new(5, wrong_shape)),
+            Err(SwapError::ShapeMismatch { .. })
+        ));
+        // Promote generation 2, then try to stage 2 again: stale.
+        assert!(service.stage(Generation::new(2, index_with(|b| b))).is_ok());
+        assert!(service.promote_staged());
+        assert!(matches!(
+            service.stage(Generation::new(2, index_with(|b| b))),
+            Err(SwapError::StaleGeneration { current: 2, incoming: 2 })
+        ));
+        assert_eq!(service.stats().hotswap_rejects, 3);
+        assert_eq!(service.stats().hotswap_promotes, 1);
+        assert_eq!(service.generation(), 2, "rejections never disturb the serving generation");
+    }
+
+    #[test]
+    fn open_loop_replay_is_identical_at_one_and_four_threads() {
+        silence_injected_panics();
+        let schedule = arrivals(120, 30, 11);
+        let run_with = |threads: usize| {
+            let _guard = ThreadsGuard::new(threads);
+            let index = index();
+            let config = ServeConfig {
+                wave: 8,
+                queue_capacity: 16,
+                ..config()
+            };
+            let mut service = MatchService::new(config, &index);
+            service.schedule_swap(4, Ok(Generation::new(1, index_with(|b| (b + 1) % 4))));
+            service.schedule_swap(7, Err(SwapError::Empty));
+            let fault = TierFault { tier: Tier::Full, kind: FaultKind::WorkerPanic, until_id: 9 };
+            let responses = service.run_open_loop(&schedule, &fault);
+            (responses, service.trace().to_vec(), service.stats().clone())
+        };
+        let (r1, t1, s1) = run_with(1);
+        let (r4, t4, s4) = run_with(4);
+        assert_eq!(r1, r4, "open-loop responses must be bit-identical across thread counts");
+        assert_eq!(t1, t4, "open-loop traces must be identical across thread counts");
+        assert_eq!(s1, s4);
+        assert_eq!(s1.hotswap_promotes, 1);
+        assert_eq!(s1.hotswap_rejects, 1);
     }
 }

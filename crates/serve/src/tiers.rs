@@ -132,6 +132,11 @@ impl ServeIndex {
     pub fn tier_matrix(&self, tier: Tier) -> Tensor {
         Tensor::from_vec(self.data[tier.index()].clone(), &[self.entities, self.images])
     }
+
+    /// The raw row-major matrix of one tier (generation serialisation).
+    pub fn tier_rows(&self, tier: Tier) -> &[f32] {
+        &self.data[tier.index()]
+    }
 }
 
 /// CRC-32 over a score row's little-endian f32 bytes.

@@ -1,0 +1,142 @@
+//! Property-based tests for the admission queue (DESIGN.md §12): dequeue
+//! order must be a pure function of the queued *set* (never insertion
+//! order), shed decisions must be pure functions of `(deadline, clock)`,
+//! and depth must never exceed the configured bound.
+
+use cem_serve::{AdmissionQueue, MatchRequest, QueuedRequest, ShedCause};
+use proptest::prelude::*;
+
+/// One generated arrival: `(arrival tick, deadline budget)`. Ids are
+/// assigned by index so they are unique within a case.
+fn offer_all(queue: &mut AdmissionQueue, entries: &[(u64, u64)], order: &[usize]) {
+    for &i in order {
+        let (at, budget) = entries[i];
+        let request = MatchRequest { id: i as u64, entity: i % 7, seed: i as u64 };
+        queue.offer(request, at, budget).expect("capacity sized to fit every entry");
+    }
+}
+
+/// Deterministic Fisher–Yates driven by a splitmix64 stream — the
+/// permutation is a pure function of `seed`.
+fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (cem_serve::splitmix64(seed, i as u64) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Offering the same set of arrivals in *any* permutation yields the
+    /// identical dequeue order: the EDF key `(deadline, arrival, id)` is
+    /// intrinsic to the request, never an insertion counter.
+    #[test]
+    fn dequeue_order_is_independent_of_insertion_order(
+        entries in proptest::collection::vec((0u64..500, 60u64..2000), 1..40),
+        seed in 0u64..u64::MAX,
+    ) {
+        let forward: Vec<usize> = (0..entries.len()).collect();
+        let shuffled = permutation(entries.len(), seed);
+
+        let mut a = AdmissionQueue::new(entries.len());
+        offer_all(&mut a, &entries, &forward);
+        let mut b = AdmissionQueue::new(entries.len());
+        offer_all(&mut b, &entries, &shuffled);
+
+        let drained_a: Vec<u64> =
+            a.take(entries.len()).iter().map(|q| q.request.id).collect();
+        let drained_b: Vec<u64> =
+            b.take(entries.len()).iter().map(|q| q.request.id).collect();
+        prop_assert_eq!(&drained_a, &drained_b, "permuted insertion changed dequeue order");
+
+        // And the order really is earliest-expiring-first with arrival/id
+        // tie-breaks: the (deadline, arrival, id) key is non-decreasing.
+        let keys: Vec<(u64, u64, u64)> = drained_a
+            .iter()
+            .map(|&id| {
+                let (at, budget) = entries[id as usize];
+                (at + budget, at, id)
+            })
+            .collect();
+        for pair in keys.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "dequeue violated EDF order: {:?}", keys);
+        }
+    }
+
+    /// The age-based shed rule is a pure function of `(deadline, clock,
+    /// cheapest cost)`: `expire` evicts exactly the entries `is_expired`
+    /// flags, and re-evaluating the predicate on the survivors agrees.
+    #[test]
+    fn shed_decisions_are_pure_functions_of_deadline_and_clock(
+        entries in proptest::collection::vec((0u64..500, 60u64..2000), 1..40),
+        now in 0u64..3000,
+        cheapest in 1u64..500,
+    ) {
+        let mut queue = AdmissionQueue::new(entries.len());
+        offer_all(&mut queue, &entries, &(0..entries.len()).collect::<Vec<_>>());
+
+        let expected: Vec<bool> = entries
+            .iter()
+            .map(|&(at, budget)| (at + budget).saturating_sub(now) < cheapest)
+            .collect();
+        let expired = queue.expire(now, cheapest);
+        for queued in &expired {
+            prop_assert!(
+                expected[queued.request.id as usize],
+                "req {} evicted but its (deadline, clock) says it is affordable",
+                queued.request.id
+            );
+            prop_assert!(AdmissionQueue::is_expired(queued, now, cheapest));
+        }
+        prop_assert_eq!(
+            expired.len(),
+            expected.iter().filter(|&&e| e).count(),
+            "expire() must evict exactly the flagged entries"
+        );
+        // Survivors re-evaluate as affordable under the same (now, cost).
+        for queued in queue.take(entries.len()) {
+            prop_assert!(!AdmissionQueue::is_expired(&queued, now, cheapest));
+        }
+        // Purity: the predicate depends only on the value, not queue state.
+        let probe = QueuedRequest { request: MatchRequest { id: 0, entity: 0, seed: 0 }, arrival: 0, deadline: now + cheapest };
+        prop_assert!(!AdmissionQueue::is_expired(&probe, now, cheapest), "boundary: remaining == cost survives");
+        let probe = QueuedRequest { deadline: (now + cheapest).saturating_sub(1), ..probe };
+        prop_assert!(AdmissionQueue::is_expired(&probe, now, cheapest));
+    }
+
+    /// Depth never exceeds the bound: every offer past capacity is rejected
+    /// queue-full, and draining frees exactly that many slots.
+    #[test]
+    fn depth_never_exceeds_the_capacity_bound(
+        capacity in 1usize..32,
+        offers in proptest::collection::vec((0u64..500, 60u64..2000), 0..80),
+        drain in 0usize..16,
+    ) {
+        let mut queue = AdmissionQueue::new(capacity);
+        let mut accepted = 0usize;
+        for (i, &(at, budget)) in offers.iter().enumerate() {
+            let request = MatchRequest { id: i as u64, entity: 0, seed: 0 };
+            match queue.offer(request, at, budget) {
+                Ok(()) => accepted += 1,
+                Err(cause) => {
+                    prop_assert_eq!(cause, ShedCause::QueueFull);
+                    prop_assert_eq!(queue.len(), capacity, "rejection below capacity");
+                }
+            }
+            prop_assert!(queue.len() <= capacity, "depth {} broke the bound {}", queue.len(), capacity);
+        }
+        prop_assert_eq!(queue.len(), accepted.min(capacity));
+
+        let drained = queue.take(drain);
+        prop_assert_eq!(drained.len(), drain.min(accepted.min(capacity)));
+        prop_assert_eq!(queue.len(), accepted.min(capacity) - drained.len());
+        // Freed slots accept new offers again.
+        if !drained.is_empty() {
+            let request = MatchRequest { id: 10_000, entity: 0, seed: 0 };
+            prop_assert!(queue.offer(request, 0, 100).is_ok());
+        }
+    }
+}
