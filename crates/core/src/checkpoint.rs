@@ -222,6 +222,28 @@ pub fn generation_of(dict: &StateDict) -> Option<u64> {
     dict.meta(GENERATION_KEY)
 }
 
+/// Metadata key under which a checkpoint that carries serving-shard
+/// sections records the shard layout schema version. Absence means the
+/// checkpoint has no shard sections (pre-shard generations stay loadable).
+pub const SHARD_SCHEMA_KEY: &str = "shard.schema";
+
+/// Entry/meta key for field `field` of shard `shard` inside a CEMT
+/// checkpoint — the one naming rule shared by the shard writer
+/// (`cem-serve::shard`) and any tooling that inspects shard sections.
+pub fn shard_entry_key(shard: usize, field: &str) -> String {
+    format!("shard.{shard}.{field}")
+}
+
+/// Stamp `dict` as carrying shard sections of layout version `schema`.
+pub fn stamp_shard_schema(dict: &mut StateDict, schema: u64) {
+    dict.insert_meta(SHARD_SCHEMA_KEY, schema);
+}
+
+/// The shard layout schema version of `dict`, if it carries shard sections.
+pub fn shard_schema_of(dict: &StateDict) -> Option<u64> {
+    dict.meta(SHARD_SCHEMA_KEY)
+}
+
 /// Resume cursor decoded from a checkpoint.
 #[derive(Debug, Clone, Copy)]
 pub struct ResumeState {

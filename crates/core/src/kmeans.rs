@@ -1,5 +1,11 @@
 //! K-means clustering, used by PCP's cluster-based data partition (paper
-//! Alg. 2 phase 3).
+//! Alg. 2 phase 3) and by the serving shard builder (`cem-serve::shard`),
+//! which runs it at 100k+ points.
+//!
+//! The compute core is [`kmeans_flat`], operating on a flat row-major point
+//! slice so large callers never materialise `Vec<Vec<f32>>`;
+//! [`kmeans`] is a thin compatibility wrapper with the identical arithmetic
+//! and RNG call sequence.
 //!
 //! The assignment step (each point independently finds its nearest
 //! centroid) is partitioned over the scoped thread pool for large inputs;
@@ -7,9 +13,22 @@
 //! so results are bit-identical at every thread count. The centroid update
 //! stays serial: it accumulates sums across points, and splitting that
 //! would change the f32 summation order.
+//!
+//! Two scalability fixes over the original implementation, both exact:
+//!
+//! * **Incremental k-means++ seeding.** Each seeding round used to
+//!   recompute every point's distance to *all* chosen centroids —
+//!   O(k²·n·dim) total, prohibitive at shard-builder scale. The per-point
+//!   minimum is now maintained incrementally (`min(old, dist-to-newest)`),
+//!   which is the same fold over the same `sq_dist` values, so the sampled
+//!   seeds are bit-identical while seeding drops to O(k·n·dim).
+//! * **Hoisted update buffers.** The per-iteration centroid sum/count
+//!   scratch is allocated once and zero-filled per iteration instead of
+//!   reallocated inside the loop.
 
 use cem_tensor::par;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Result of a k-means run.
 #[derive(Debug, Clone)]
@@ -22,36 +41,102 @@ pub struct KMeansResult {
     pub iterations: usize,
 }
 
+/// Result of a flat k-means run ([`kmeans_flat`]).
+#[derive(Debug, Clone)]
+pub struct KMeansFlat {
+    /// Cluster index per point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids, row-major `[k × dim]`.
+    pub centroids: Vec<f32>,
+    /// Number of centroids (`k`, after clamping to the point count).
+    pub k: usize,
+    /// Point dimensionality.
+    pub dim: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
 fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
-/// Lloyd's algorithm with k-means++-style seeding. `points` are rows of
-/// equal dimension. `k` is clamped to the number of points. Deterministic
-/// given the RNG.
-pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut R) -> KMeansResult {
-    assert!(!points.is_empty(), "kmeans: no points");
-    let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "kmeans: ragged points");
-    let k = k.min(points.len()).max(1);
+/// Index of the centroid nearest to `p` under squared Euclidean distance,
+/// scanning centroids in ascending index order with a strict `<` update —
+/// ties keep the lowest index. This is the exact assignment rule of the
+/// Lloyd iteration, exposed so incremental callers (the serving shard
+/// index assigning newly added images) reproduce it bit-for-bit.
+pub fn nearest_centroid(p: &[f32], centroids: &[f32], k: usize, dim: usize) -> usize {
+    debug_assert_eq!(centroids.len(), k * dim);
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for c in 0..k {
+        let d = sq_dist(p, &centroids[c * dim..(c + 1) * dim]);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// Install `points[idx]` as seeding centroid `slot` and fold it into the
+/// per-point min-distance buffer. The fold order (per point, newest
+/// centroid last) matches a from-scratch `min` fold over all chosen
+/// centroids, so incremental maintenance is bit-identical to recomputing.
+fn push_seed(
+    points: &[f32],
+    dim: usize,
+    centroids: &mut [f32],
+    dists: &mut [f32],
+    slot: usize,
+    idx: usize,
+) {
+    let src = &points[idx * dim..(idx + 1) * dim];
+    centroids[slot * dim..(slot + 1) * dim].copy_from_slice(src);
+    for (i, d) in dists.iter_mut().enumerate() {
+        *d = d.min(sq_dist(&points[i * dim..(i + 1) * dim], src));
+    }
+}
+
+/// Lloyd's algorithm with k-means++-style seeding over flat row-major
+/// points (`points.len() == n · dim`). `k` is clamped to `n`. Deterministic
+/// given the RNG; bit-identical at every thread count.
+pub fn kmeans_flat<R: Rng>(
+    points: &[f32],
+    n: usize,
+    dim: usize,
+    k: usize,
+    max_iters: usize,
+    rng: &mut R,
+) -> KMeansFlat {
+    assert!(n > 0, "kmeans: no points");
+    assert!(dim > 0, "kmeans: zero-dimensional points");
+    assert_eq!(points.len(), n * dim, "kmeans: points length != n * dim");
+    let k = k.min(n).max(1);
+    let row = |i: usize| &points[i * dim..(i + 1) * dim];
 
     // k-means++ seeding: first centroid uniform, others proportional to
-    // squared distance from the nearest chosen centroid.
-    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..points.len())].clone());
-    while centroids.len() < k {
-        let dists: Vec<f32> = points
-            .iter()
-            .map(|p| centroids.iter().map(|c| sq_dist(p, c)).fold(f32::INFINITY, f32::min))
-            .collect();
+    // squared distance from the nearest chosen centroid. `dists` holds each
+    // point's min squared distance to the centroids chosen so far and is
+    // folded incrementally as centroids land (same `f32::min` fold, in the
+    // same order, as recomputing from scratch each round).
+    let mut centroids = vec![0.0f32; k * dim];
+    let mut chosen_count = 0usize;
+    let mut dists = vec![f32::INFINITY; n];
+    let first = rng.gen_range(0..n);
+    push_seed(points, dim, &mut centroids, &mut dists, chosen_count, first);
+    chosen_count += 1;
+    while chosen_count < k {
         let total: f32 = dists.iter().sum();
         if total <= f32::EPSILON {
             // All points coincide with existing centroids; duplicate one.
-            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            let idx = rng.gen_range(0..n);
+            push_seed(points, dim, &mut centroids, &mut dists, chosen_count, idx);
+            chosen_count += 1;
             continue;
         }
         let mut target = rng.gen::<f32>() * total;
-        let mut chosen = points.len() - 1;
+        let mut chosen = n - 1;
         for (i, d) in dists.iter().enumerate() {
             if target <= *d {
                 chosen = i;
@@ -59,11 +144,15 @@ pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut
             }
             target -= d;
         }
-        centroids.push(points[chosen].clone());
+        push_seed(points, dim, &mut centroids, &mut dists, chosen_count, chosen);
+        chosen_count += 1;
     }
+    drop(dists);
 
-    let mut assignments = vec![0usize; points.len()];
-    let mut next = vec![0usize; points.len()];
+    let mut assignments = vec![0usize; n];
+    let mut next = vec![0usize; n];
+    let mut sums = vec![0.0f32; k * dim];
+    let mut counts = vec![0usize; k];
     let mut iterations = 0usize;
     for iter in 0..max_iters {
         iterations = iter + 1;
@@ -71,44 +160,31 @@ pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut
         // assignment scratch is row-partitioned over the thread pool.
         {
             let centroids = &centroids;
-            par::par_chunks_mut(
-                &mut next,
-                1,
-                par::auto_threads(points.len() * dim.max(1)),
-                |start, block| {
-                    for (i, slot) in block.iter_mut().enumerate() {
-                        let p = &points[start + i];
-                        let mut best = 0usize;
-                        let mut best_d = f32::INFINITY;
-                        for (c, centroid) in centroids.iter().enumerate() {
-                            let d = sq_dist(p, centroid);
-                            if d < best_d {
-                                best_d = d;
-                                best = c;
-                            }
-                        }
-                        *slot = best;
-                    }
-                },
-            );
+            par::par_chunks_mut(&mut next, 1, par::auto_threads(n * dim), |start, block| {
+                for (i, slot) in block.iter_mut().enumerate() {
+                    *slot = nearest_centroid(row(start + i), centroids, k, dim);
+                }
+            });
         }
         let changed = assignments != next;
         assignments.copy_from_slice(&next);
         if !changed && iter > 0 {
             break;
         }
-        // Update.
-        let mut sums = vec![vec![0.0f32; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (p, &a) in points.iter().zip(&assignments) {
+        // Update (serial; summation order is part of the determinism
+        // contract). Scratch is hoisted out of the loop and zeroed here.
+        sums.fill(0.0);
+        counts.fill(0);
+        for (i, &a) in assignments.iter().enumerate() {
             counts[a] += 1;
-            for (s, v) in sums[a].iter_mut().zip(p) {
+            for (s, v) in sums[a * dim..(a + 1) * dim].iter_mut().zip(row(i)) {
                 *s += v;
             }
         }
-        for (c, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+        for (c, &count) in counts.iter().enumerate() {
             if count > 0 {
-                for (dst, s) in centroids[c].iter_mut().zip(sum) {
+                let sum = &sums[c * dim..(c + 1) * dim];
+                for (dst, s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(sum) {
                     *dst = s / count as f32;
                 }
             }
@@ -118,11 +194,42 @@ pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut
     cem_obs::counter_add!("kmeans.iterations", iterations as u64);
     cem_obs::emit(|| {
         cem_obs::Event::new("kmeans")
-            .field("points", points.len() as f64)
+            .field("points", n as f64)
             .field("k", k as f64)
             .field("iterations", iterations as f64)
     });
-    KMeansResult { assignments, centroids, iterations }
+    KMeansFlat { assignments, centroids, k, dim, iterations }
+}
+
+/// [`kmeans_flat`] seeded from a `u64` via the standard generator, for
+/// callers (the serving shard builder) that hold a seed rather than an RNG.
+pub fn kmeans_flat_seeded(
+    points: &[f32],
+    n: usize,
+    dim: usize,
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> KMeansFlat {
+    let mut rng = StdRng::seed_from_u64(seed);
+    kmeans_flat(points, n, dim, k, max_iters, &mut rng)
+}
+
+/// Lloyd's algorithm with k-means++-style seeding. `points` are rows of
+/// equal dimension. `k` is clamped to the number of points. Deterministic
+/// given the RNG. Compatibility wrapper over [`kmeans_flat`] — identical
+/// arithmetic and RNG call sequence.
+pub fn kmeans<R: Rng>(points: &[Vec<f32>], k: usize, max_iters: usize, rng: &mut R) -> KMeansResult {
+    assert!(!points.is_empty(), "kmeans: no points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "kmeans: ragged points");
+    let mut flat = Vec::with_capacity(points.len() * dim);
+    for p in points {
+        flat.extend_from_slice(p);
+    }
+    let result = kmeans_flat(&flat, points.len(), dim, k, max_iters, rng);
+    let centroids = (0..result.k).map(|c| result.centroids[c * dim..(c + 1) * dim].to_vec()).collect();
+    KMeansResult { assignments: result.assignments, centroids, iterations: result.iterations }
 }
 
 /// Group point indices by cluster (clusters may be empty).
@@ -204,5 +311,60 @@ mod tests {
     fn empty_input_panics() {
         let mut rng = StdRng::seed_from_u64(5);
         kmeans(&[], 2, 10, &mut rng);
+    }
+
+    /// The flat core and the wrapper consume the RNG identically and agree
+    /// bit-for-bit — the wrapper is pure plumbing.
+    #[test]
+    fn flat_and_nested_agree_bitwise() {
+        let pts = two_blobs();
+        let dim = pts[0].len();
+        let flat: Vec<f32> = pts.iter().flat_map(|p| p.iter().copied()).collect();
+        for seed in [0u64, 7, 42] {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let nested = kmeans(&pts, 3, 25, &mut rng_a);
+            let f = kmeans_flat(&flat, pts.len(), dim, 3, 25, &mut rng_b);
+            assert_eq!(nested.assignments, f.assignments, "seed {seed}");
+            assert_eq!(nested.iterations, f.iterations, "seed {seed}");
+            let nested_flat: Vec<u32> =
+                nested.centroids.iter().flatten().map(|v| v.to_bits()).collect();
+            let flat_bits: Vec<u32> = f.centroids.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(nested_flat, flat_bits, "seed {seed}");
+        }
+    }
+
+    /// Degenerate seeding (all points identical) exercises the
+    /// duplicate-centroid branch through the incremental distance fold.
+    #[test]
+    fn flat_handles_coincident_points() {
+        let flat = vec![3.0f32; 8 * 2];
+        let result = kmeans_flat_seeded(&flat, 8, 2, 3, 25, 2);
+        assert_eq!(result.assignments.len(), 8);
+        assert!(result.k <= 3);
+    }
+
+    #[test]
+    fn nearest_centroid_breaks_ties_low() {
+        // Two identical centroids: the strict `<` scan keeps index 0.
+        let centroids = vec![1.0f32, 1.0, 1.0, 1.0];
+        assert_eq!(nearest_centroid(&[0.0, 0.0], &centroids, 2, 2), 0);
+    }
+
+    #[test]
+    fn flat_assignments_thread_invariant() {
+        let flat: Vec<f32> = (0..64 * 3).map(|i| ((i * 37) % 101) as f32 * 0.1).collect();
+        let base = {
+            let _g = par::ThreadsGuard::new(1);
+            kmeans_flat_seeded(&flat, 64, 3, 5, 20, 9)
+        };
+        for threads in [2usize, 4] {
+            let _g = par::ThreadsGuard::new(threads);
+            let got = kmeans_flat_seeded(&flat, 64, 3, 5, 20, 9);
+            assert_eq!(base.assignments, got.assignments, "threads={threads}");
+            let a: Vec<u32> = base.centroids.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = got.centroids.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
     }
 }

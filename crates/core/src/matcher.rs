@@ -20,15 +20,93 @@ pub fn score_cmp(a: f32, b: f32) -> Ordering {
 }
 
 /// Rank the image indices of one score row, best first, truncated to
-/// `top_k` (0 = keep all). NaN scores sort last; ties keep index order
-/// (stable sort), so the ranking is a deterministic permutation prefix for
-/// *any* input, poisoned or not.
+/// `top_k` (0 = keep all). NaN scores sort last; ties keep index order, so
+/// the ranking is a deterministic permutation prefix for *any* input,
+/// poisoned or not.
+///
+/// When `top_k` is small relative to the row (the serving path only ever
+/// needs top-k of a 100k-image gallery), a bounded worst-first heap does a
+/// single O(n log k) pass instead of sorting the whole row. Both paths rank
+/// under the identical total order — (score desc by [`score_cmp`], then
+/// index asc) — and indices are unique, so the selected prefix is exactly
+/// the full-sort prefix.
 pub fn rank_row(row: &[f32], top_k: usize) -> Vec<usize> {
     let keep = if top_k == 0 { row.len() } else { top_k.min(row.len()) };
+    // Heap bookkeeping only pays for itself when most of the row is
+    // discarded; at keep ≥ n/4 the full sort's cache-friendly sweep wins.
+    if keep > 0 && keep <= row.len() / 4 {
+        return rank_row_partial(row, keep);
+    }
     let mut idx: Vec<usize> = (0..row.len()).collect();
     idx.sort_by(|&a, &b| score_cmp(row[b], row[a]));
     idx.truncate(keep);
     idx
+}
+
+/// `a` ranks strictly ahead of `b` under the ranking order of [`rank_row`]:
+/// higher score first ([`score_cmp`] total order, NaN sinking), lower index
+/// first on exact ties. Indices are unique, so this is a strict total order.
+#[inline]
+fn outranks(row: &[f32], a: usize, b: usize) -> bool {
+    match score_cmp(row[a], row[b]) {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => a < b,
+    }
+}
+
+/// Bounded worst-first (min-)heap select of the top `keep` indices. The
+/// heap root is the worst kept candidate; a new index replaces it only when
+/// it strictly outranks it. Extraction sorts the `keep` survivors best
+/// first — identical output to the full-sort path of [`rank_row`].
+fn rank_row_partial(row: &[f32], keep: usize) -> Vec<usize> {
+    debug_assert!(keep >= 1 && keep <= row.len());
+    // `heap[p]` is worse than both children ⇒ `heap[0]` is the worst kept.
+    let mut heap: Vec<usize> = Vec::with_capacity(keep);
+    let worse = |a: usize, b: usize| outranks(row, b, a);
+    for i in 0..row.len() {
+        if heap.len() < keep {
+            heap.push(i);
+            // Sift up.
+            let mut child = heap.len() - 1;
+            while child > 0 {
+                let parent = (child - 1) / 2;
+                if worse(heap[child], heap[parent]) {
+                    heap.swap(child, parent);
+                    child = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if outranks(row, i, heap[0]) {
+            heap[0] = i;
+            // Sift down.
+            let mut parent = 0usize;
+            loop {
+                let (l, r) = (2 * parent + 1, 2 * parent + 2);
+                let mut worst = parent;
+                if l < keep && worse(heap[l], heap[worst]) {
+                    worst = l;
+                }
+                if r < keep && worse(heap[r], heap[worst]) {
+                    worst = r;
+                }
+                if worst == parent {
+                    break;
+                }
+                heap.swap(parent, worst);
+                parent = worst;
+            }
+        }
+    }
+    heap.sort_unstable_by(|&a, &b| {
+        if outranks(row, a, b) {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        }
+    });
+    heap
 }
 
 /// Rank image indices for every query row of a score matrix `[N, M]`,
@@ -173,6 +251,35 @@ mod tests {
         let row = [0.5, f32::NAN, 0.9, 0.5];
         assert_eq!(rank_row(&row, 0), vec![2, 0, 3, 1]);
         assert_eq!(rank_row(&row, 2), vec![2, 0]);
+    }
+
+    /// The bounded-heap path must return exactly the full-sort prefix on
+    /// adversarial rows: duplicates (index ties), NaN poison, ±0.0, and
+    /// every cutoff k — including k small enough to take the heap path and
+    /// k large enough to take the sort path.
+    #[test]
+    fn partial_select_matches_full_sort_prefix() {
+        let mut rows: Vec<Vec<f32>> = vec![
+            vec![0.5; 64],
+            (0..64).map(|i| (i as f32 * 0.37).sin()).collect(),
+            (0..64).map(|i| if i % 5 == 0 { f32::NAN } else { i as f32 % 7.0 }).collect(),
+            vec![f32::NAN; 64],
+        ];
+        let mut zeros: Vec<f32> = (0..64).map(|i| if i % 2 == 0 { 0.0 } else { -0.0 }).collect();
+        zeros[10] = f32::INFINITY;
+        zeros[11] = f32::NEG_INFINITY;
+        rows.push(zeros);
+        for row in &rows {
+            let full = {
+                let mut idx: Vec<usize> = (0..row.len()).collect();
+                idx.sort_by(|&a, &b| score_cmp(row[b], row[a]));
+                idx
+            };
+            for k in 1..=row.len() {
+                assert_eq!(rank_row(row, k), full[..k].to_vec(), "k={k} row={row:?}");
+                assert_eq!(rank_row_partial(row, k), full[..k].to_vec(), "partial k={k}");
+            }
+        }
     }
 
     #[test]

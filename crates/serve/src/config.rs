@@ -94,6 +94,18 @@ pub struct ServeConfig {
     /// can spend up to `wave_units × lanes` cost units, so capping the
     /// ladder at a cheaper tier fits more requests per wave.
     pub lanes: usize,
+    /// Clusters the shard builder partitions the image gallery into
+    /// (IVF posting lists; see `cem-serve::shard` / DESIGN.md §13).
+    pub nclusters: usize,
+    /// Clusters a request probes, ranked by centroid score. Larger raises
+    /// recall toward the dense scan (`nprobe = nclusters` is bit-identical
+    /// to it) at proportionally more scoring work.
+    pub nprobe: usize,
+    /// Minimum wave slots probing the same cluster before their queries
+    /// coalesce into one batched GEMM against the shard panel; smaller
+    /// groups score row-by-row. Purely a throughput knob — both paths are
+    /// bit-identical (the packed kernel's schedule depends only on `dim`).
+    pub min_batch: usize,
     pub retry: RetryConfig,
     pub breaker: BreakerConfig,
     pub brownout: BrownoutConfig,
@@ -112,6 +124,9 @@ impl Default for ServeConfig {
             queue_capacity: 512,
             wave_units: 400,
             lanes: 8,
+            nclusters: 64,
+            nprobe: 8,
+            min_batch: 2,
             retry: RetryConfig::default(),
             breaker: BreakerConfig::default(),
             brownout: BrownoutConfig::default(),
@@ -130,6 +145,10 @@ impl ServeConfig {
         assert!(self.queue_capacity >= 1, "queue_capacity must be positive");
         assert!(self.wave_units >= 1, "wave_units must be positive");
         assert!(self.lanes >= 1, "lanes must be positive");
+        assert!(self.nclusters >= 1, "nclusters must be positive");
+        assert!(self.nprobe >= 1, "nprobe must be positive");
+        assert!(self.nprobe <= self.nclusters, "nprobe cannot exceed nclusters");
+        assert!(self.min_batch >= 1, "min_batch must be positive");
         assert!(
             self.deadline_units >= self.cheapest_tier_cost(),
             "deadline_units below the cheapest tier cost: nothing could ever serve"
@@ -183,5 +202,11 @@ mod tests {
     #[should_panic(expected = "lanes")]
     fn zero_lanes_rejected() {
         ServeConfig { lanes: 0, ..ServeConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "nprobe")]
+    fn overprobing_rejected() {
+        ServeConfig { nclusters: 4, nprobe: 5, ..ServeConfig::default() }.validate();
     }
 }

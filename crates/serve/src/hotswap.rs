@@ -32,6 +32,7 @@ use cem_tensor::io::{CheckpointError, StateDict};
 use cem_tensor::Tensor;
 use crossem::checkpoint::{generation_of, stamp_generation, CheckpointManager};
 
+use crate::shard::{ShardError, ShardedIndex};
 use crate::tiers::{ServeIndex, Tier};
 
 /// Schema version of the generation layout inside the CEMT container.
@@ -52,6 +53,9 @@ pub enum SwapError {
     StaleGeneration { current: u64, incoming: u64 },
     /// The store holds no generation at all.
     Empty,
+    /// The generation's shard sections failed to decode (corrupt posting
+    /// list, bad layout, wrong shard schema).
+    Shard(ShardError),
 }
 
 impl fmt::Display for SwapError {
@@ -73,6 +77,7 @@ impl fmt::Display for SwapError {
                 write!(f, "generation {incoming} is not newer than the serving generation {current}")
             }
             SwapError::Empty => write!(f, "the generation store is empty"),
+            SwapError::Shard(e) => write!(f, "generation shard sections rejected: {e}"),
         }
     }
 }
@@ -81,8 +86,15 @@ impl std::error::Error for SwapError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SwapError::Checkpoint(e) => Some(e),
+            SwapError::Shard(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ShardError> for SwapError {
+    fn from(e: ShardError) -> Self {
+        SwapError::Shard(e)
     }
 }
 
@@ -93,19 +105,41 @@ impl From<CheckpointError> for SwapError {
 }
 
 /// One promotable serving artefact: a monotonically numbered model
-/// generation and its four-tier score index.
+/// generation, its four-tier score index, and (optionally) the sharded ANN
+/// index built from the same catalogue. Shards ride in the same CEMT
+/// container as additional CRC'd entries, so they publish through the
+/// identical rotation/promotion path; a generation without shards serves
+/// dense-only.
 pub struct Generation {
     pub id: u64,
     pub index: ServeIndex,
+    pub shards: Option<ShardedIndex>,
 }
 
 impl Generation {
     pub fn new(id: u64, index: ServeIndex) -> Self {
-        Generation { id, index }
+        Generation { id, index, shards: None }
+    }
+
+    /// A generation carrying a sharded ANN index. The shards must describe
+    /// the same catalogue shape as the dense index.
+    pub fn with_shards(
+        id: u64,
+        index: ServeIndex,
+        shards: ShardedIndex,
+    ) -> Result<Self, SwapError> {
+        if shards.entities() != index.entities() || shards.images() != index.images() {
+            return Err(SwapError::ShapeMismatch {
+                expected: (index.entities(), index.images()),
+                found: (shards.entities(), shards.images()),
+            });
+        }
+        Ok(Generation { id, index, shards: Some(shards) })
     }
 
     /// Serialise into a CEMT state dict: one `[entities × images]` tensor
-    /// per tier plus schema/shape/generation metadata.
+    /// per tier plus schema/shape/generation metadata, and — when present —
+    /// the shard sections (`shard.*` entries, see `cem-serve::shard`).
     pub fn to_state_dict(&self) -> StateDict {
         let mut dict = StateDict::new();
         for tier in Tier::ALL {
@@ -121,6 +155,9 @@ impl Generation {
         dict.insert_meta("entities", self.index.entities() as u64);
         dict.insert_meta("images", self.index.images() as u64);
         stamp_generation(&mut dict, self.id);
+        if let Some(shards) = &self.shards {
+            shards.write_state_dict(&mut dict);
+        }
         dict
     }
 
@@ -151,7 +188,18 @@ impl Generation {
             }
             matrices[tier.index()] = rows;
         }
-        Ok(Generation { id, index: ServeIndex::new(entities, images, matrices) })
+        // Shard sections are optional (pre-shard generations stay loadable)
+        // but when present they must decode cleanly and match the catalogue.
+        let shards = ShardedIndex::read_state_dict(dict)?;
+        if let Some(s) = &shards {
+            if s.entities() != entities || s.images() != images {
+                return Err(SwapError::ShapeMismatch {
+                    expected: (entities, images),
+                    found: (s.entities(), s.images()),
+                });
+            }
+        }
+        Ok(Generation { id, index: ServeIndex::new(entities, images, matrices), shards })
     }
 
     /// Load a generation from one specific CEMT file — no fallback. This is
@@ -256,6 +304,46 @@ mod tests {
         ));
         assert_eq!(store.load().unwrap().id, 1, "fallback must serve prev");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A generation carrying shard sections publishes through the same
+    /// store rotation and decodes with bit-identical shard serving state.
+    #[test]
+    fn shard_sections_ride_the_generation_container() {
+        use crate::shard::ShardedIndex;
+        let dim = 4;
+        let queries = vec![0.25f32; 2 * dim];
+        let embeddings: Vec<f32> = (0..3 * dim).map(|i| (i as f32 * 0.3).cos()).collect();
+        let shards = ShardedIndex::build(queries, 2, &embeddings, 3, dim, 2, 8, 13);
+        let generation = Generation::with_shards(9, index(1.0), shards).unwrap();
+
+        let dir = tmp_dir("shards");
+        let store = GenerationStore::new(&dir).unwrap();
+        store.publish(&generation).unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.id, 9);
+        let decoded = loaded.shards.expect("shards must survive the round trip");
+        let original = generation.shards.as_ref().unwrap();
+        assert_eq!(decoded.nclusters(), original.nclusters());
+        let a = original.score_wave(&[0, 1], decoded.nclusters(), 1, 0, 1).unwrap();
+        let b = decoded.score_wave(&[0, 1], decoded.nclusters(), 1, 0, 1).unwrap();
+        assert_eq!(a.rankings, b.rankings);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Mismatched shard/catalogue shapes are rejected at construction and
+    /// at decode.
+    #[test]
+    fn shard_shape_mismatch_is_rejected() {
+        use crate::shard::ShardedIndex;
+        let dim = 4;
+        let queries = vec![0.5f32; 2 * dim];
+        let embeddings = vec![0.1f32; 5 * dim]; // 5 images ≠ catalogue's 3
+        let shards = ShardedIndex::build(queries, 2, &embeddings, 5, dim, 2, 8, 13);
+        assert!(matches!(
+            Generation::with_shards(9, index(1.0), shards),
+            Err(SwapError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

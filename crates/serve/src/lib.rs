@@ -30,6 +30,7 @@ pub mod queue;
 pub mod request;
 pub mod retry;
 pub mod service;
+pub mod shard;
 pub mod tiers;
 
 pub use breaker::{BreakerState, BreakerTransition, CircuitBreaker, Component};
@@ -41,6 +42,7 @@ pub use queue::{AdmissionQueue, QueuedRequest, ShedCause};
 pub use request::{Arrival, MatchRequest, Outcome, Response};
 pub use retry::{splitmix64, Backoff};
 pub use service::{MatchService, ServeStats};
+pub use shard::{Shard, ShardError, ShardRanking, ShardedIndex, WaveScore, SHARD_SCHEMA};
 pub use tiers::{
     cached_proximity_scores, hard_prompt_scores, zero_shot_scores, ServeIndex, Tier,
 };

@@ -64,6 +64,7 @@ use crate::hotswap::{Generation, SwapError};
 use crate::queue::AdmissionQueue;
 use crate::request::{Arrival, ComponentEvent, ExecOutcome, MatchRequest, Outcome, Response};
 use crate::retry::{splitmix64, Backoff};
+use crate::shard::{ShardRanking, ShardedIndex};
 use crate::tiers::{ServeIndex, Tier};
 
 /// Aggregate counters over everything a service instance has processed.
@@ -94,6 +95,13 @@ pub struct ServeStats {
     pub hotswap_promotes: u64,
     /// Incoming generations rejected (unreadable, stale, or mis-shaped).
     pub hotswap_rejects: u64,
+    /// Wave slots handed a cluster-pruned candidate ranking by the shard
+    /// probe pre-pass (they may still degrade below `Full` for other
+    /// reasons; see `cem-serve::shard` / DESIGN.md §13).
+    pub ann_requests: u64,
+    /// Shard probe pre-passes that failed integrity checks and fell the
+    /// whole wave back to the dense full-tier scan.
+    pub shard_fallbacks: u64,
 }
 
 impl ServeStats {
@@ -105,22 +113,31 @@ impl ServeStats {
 /// What the service scores against: a borrowed static index (the simple
 /// construction path) or an owned, hot-swappable [`Generation`].
 enum IndexSource<'a> {
-    Borrowed(&'a ServeIndex),
+    Borrowed { index: &'a ServeIndex, shards: Option<&'a ShardedIndex> },
     Owned(Box<Generation>),
 }
 
 impl IndexSource<'_> {
     fn index(&self) -> &ServeIndex {
         match self {
-            IndexSource::Borrowed(index) => index,
+            IndexSource::Borrowed { index, .. } => index,
             IndexSource::Owned(generation) => &generation.index,
+        }
+    }
+
+    /// The cluster-pruned shard index riding alongside the dense tiers,
+    /// when one was built for this generation.
+    fn shards(&self) -> Option<&ShardedIndex> {
+        match self {
+            IndexSource::Borrowed { shards, .. } => *shards,
+            IndexSource::Owned(generation) => generation.shards.as_ref(),
         }
     }
 
     /// Generation id responses are tagged with; `0` for a borrowed index.
     fn generation(&self) -> u64 {
         match self {
-            IndexSource::Borrowed(_) => 0,
+            IndexSource::Borrowed { .. } => 0,
             IndexSource::Owned(generation) => generation.id,
         }
     }
@@ -156,7 +173,24 @@ pub struct MatchService<'a> {
 
 impl<'a> MatchService<'a> {
     pub fn new(config: ServeConfig, index: &'a ServeIndex) -> Self {
-        Self::build(config, IndexSource::Borrowed(index))
+        Self::build(config, IndexSource::Borrowed { index, shards: None })
+    }
+
+    /// Like [`MatchService::new`], but full-tier waves probe `shards` (the
+    /// cluster-pruned ANN index) instead of dense-scanning the gallery.
+    /// The dense tiers remain the verify/fallback path: a shard integrity
+    /// failure falls the wave back to the dense scan.
+    pub fn with_shards(
+        config: ServeConfig,
+        index: &'a ServeIndex,
+        shards: &'a ShardedIndex,
+    ) -> Self {
+        assert_eq!(
+            (index.entities(), index.images()),
+            (shards.entities(), shards.images()),
+            "shard index must cover the same catalogue as the dense tiers"
+        );
+        Self::build(config, IndexSource::Borrowed { index, shards: Some(shards) })
     }
 
     /// Construct around an owned generation, enabling zero-downtime
@@ -499,6 +533,55 @@ impl<'a> MatchService<'a> {
         let states: [BreakerState; Component::COUNT] =
             std::array::from_fn(|i| self.breakers[i].state());
 
+        // Shard probe pre-pass: slots that will attempt the full tier get a
+        // cluster-pruned candidate ranking, scored as one coalesced batch
+        // per probed cluster. Probe decisions are pure functions of
+        // (wave, breaker snapshot, config), and the batched GEMM is
+        // bit-identical to per-request scoring, so replay determinism is
+        // untouched. A shard integrity failure falls the whole wave back to
+        // the dense scan — the verify/fallback tier.
+        let mut ann: Vec<Option<ShardRanking>> = wave.iter().map(|_| None).collect();
+        if cap == Tier::Full {
+            if let Some(shards) = self.source.shards() {
+                let soft = states[Component::SoftEncoder.index()];
+                let eligible: Vec<usize> = (0..wave.len())
+                    .filter(|&slot| match soft {
+                        BreakerState::Closed => true,
+                        BreakerState::Open => false,
+                        // The half-open probe slot is the only full-tier
+                        // attempt this wave; everyone else degrades anyway.
+                        BreakerState::HalfOpen => slot == 0,
+                    })
+                    .collect();
+                if !eligible.is_empty() {
+                    let entities: Vec<usize> =
+                        eligible.iter().map(|&slot| wave[slot].request.entity).collect();
+                    match shards.score_wave(
+                        &entities,
+                        self.config.nprobe,
+                        self.config.min_batch,
+                        self.config.top_k,
+                        cem_tensor::par::max_threads(),
+                    ) {
+                        Ok(score) => {
+                            self.stats.ann_requests += eligible.len() as u64;
+                            cem_obs::counter_add!("serve.probe.requests", eligible.len() as u64);
+                            for (slot, ranking) in eligible.into_iter().zip(score.rankings) {
+                                ann[slot] = Some(ranking);
+                            }
+                        }
+                        Err(err) => {
+                            self.stats.shard_fallbacks += 1;
+                            cem_obs::counter_add!("serve.probe.fallback", 1);
+                            self.trace.push(format!(
+                                "wave shard probe failed ({err}), dense fallback"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
         // Parallel execution against the frozen breaker snapshot and one
         // frozen index borrow: a wave is entirely one generation. Slots are
         // plain data; `par_chunks_mut` hands each worker a disjoint block.
@@ -506,6 +589,7 @@ impl<'a> MatchService<'a> {
         let config = &self.config;
         let index = self.source.index();
         let generation = self.source.generation();
+        let ann = &ann;
         cem_tensor::par::par_chunks_mut(
             &mut slots,
             1,
@@ -529,6 +613,7 @@ impl<'a> MatchService<'a> {
                         faults,
                         ws.budget,
                         cap,
+                        ann[slot_idx].as_ref(),
                     ));
                 }
             },
@@ -655,6 +740,7 @@ enum TierScore {
 /// remaining virtual allowance (full deadline in burst mode, deadline
 /// minus queue wait in open-loop mode); `cap` is the richest tier the
 /// brownout controller allows this wave.
+#[allow(clippy::too_many_arguments)]
 fn execute_request(
     config: &ServeConfig,
     index: &ServeIndex,
@@ -663,6 +749,7 @@ fn execute_request(
     faults: &dyn ServeFault,
     budget: u64,
     cap: Tier,
+    ann: Option<&ShardRanking>,
 ) -> ExecOutcome {
     let started = Instant::now();
     let mut cost: u64 = 0;
@@ -719,7 +806,7 @@ fn execute_request(
             Backoff::new(config.retry, splitmix64(request.seed, 0x7EE5 + tier.index() as u64));
         let mut attempt: u32 = 0;
         loop {
-            match attempt_tier(config, index, request, tier, attempt, faults) {
+            match attempt_tier(config, index, request, tier, attempt, faults, ann) {
                 AttemptResult::Success { units, ranking } => {
                     cost += units;
                     if let Some(component) = tier.component() {
@@ -810,6 +897,7 @@ fn attempt_tier(
     tier: Tier,
     attempt: u32,
     faults: &dyn ServeFault,
+    ann: Option<&ShardRanking>,
 ) -> AttemptResult {
     let fault = if tier == Tier::Zero { None } else { faults.inject(request.id, tier, attempt) };
 
@@ -827,7 +915,7 @@ fn attempt_tier(
     }
 
     let scored = catch_unwind(AssertUnwindSafe(|| {
-        score_tier(index, request.entity, tier, fault, config.top_k)
+        score_tier(index, request.entity, tier, fault, config.top_k, ann)
     }));
     match scored {
         Err(_) => AttemptResult::Transient { units: stretched, reason: "worker panic" },
@@ -849,9 +937,31 @@ fn score_tier(
     tier: Tier,
     fault: Option<FaultKind>,
     top_k: usize,
+    ann: Option<&ShardRanking>,
 ) -> TierScore {
     if fault == Some(FaultKind::WorkerPanic) {
         panic!("{PANIC_MARKER}: entity {entity} tier {}", tier.label());
+    }
+    // A cluster-pruned candidate ranking from the wave pre-pass replaces
+    // the full tier's dense row scan. Injected faults still land on this
+    // path — a poisoned encoder poisons probed scores the same way it
+    // poisons a dense row, and cache corruption of the shard payload is
+    // the integrity failure the stored CRCs exist to catch. An empty probe
+    // result (all probed clusters empty) falls through to the dense scan.
+    if tier == Tier::Full {
+        if let Some(ranking) = ann {
+            if !ranking.ids.is_empty() {
+                match fault {
+                    Some(FaultKind::NanFeatures) => return TierScore::Poisoned,
+                    Some(FaultKind::CorruptCache) => return TierScore::Corrupt,
+                    _ => {}
+                }
+                if !ranking.finite {
+                    return TierScore::Poisoned;
+                }
+                return TierScore::Ranked(ranking.ids.clone());
+            }
+        }
     }
     let mut row = index.row(tier, entity).to_vec();
     match fault {
@@ -1306,5 +1416,131 @@ mod tests {
         assert_eq!(s1, s4);
         assert_eq!(s1.hotswap_promotes, 1);
         assert_eq!(s1.hotswap_rejects, 1);
+    }
+
+    // ---- shard-probed full tier ----
+
+    /// Deterministic unit-normalised vectors (no external RNG in tests).
+    fn vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut out = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            let row: Vec<f32> = (0..dim)
+                .map(|d| (splitmix64(seed, (i * dim + d) as u64) >> 40) as f32
+                    / (1u64 << 24) as f32
+                    - 0.5)
+                .collect();
+            let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+            out.extend(row.into_iter().map(|v| v / norm));
+        }
+        out
+    }
+
+    /// A shard index plus a [`ServeIndex`] whose full-tier matrix is the
+    /// shard panels' own dense scores — so at `nprobe = nclusters` the
+    /// probed ranking and the dense scan are bit-identical.
+    fn shard_fixture() -> (ServeIndex, ShardedIndex) {
+        let (entities, images, dim, nclusters) = (6, 40, 8, 4);
+        let queries = vectors(entities, dim, 5);
+        let embeddings = vectors(images, dim, 6);
+        let shards =
+            ShardedIndex::build(queries, entities, &embeddings, images, dim, nclusters, 8, 7);
+        let full = shards.dense_scores(1);
+        let alt = |offset: f32| {
+            (0..entities * images).map(|i| i as f32 * 0.01 + offset).collect::<Vec<f32>>()
+        };
+        let index = ServeIndex::new(entities, images, [full, alt(0.1), alt(0.2), alt(0.3)]);
+        (index, shards)
+    }
+
+    fn shard_config() -> ServeConfig {
+        ServeConfig { top_k: 10, wave: 4, nclusters: 4, nprobe: 4, ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn full_probe_shard_service_matches_the_dense_service_bitwise() {
+        let (index, shards) = shard_fixture();
+        let requests = MatchRequest::stream(16, shards.entities(), 7);
+
+        let mut dense = MatchService::new(shard_config(), &index);
+        let dense_responses = dense.run(&requests, &NoFaults);
+
+        let mut probed = MatchService::with_shards(shard_config(), &index, &shards);
+        let probed_responses = probed.run(&requests, &NoFaults);
+
+        assert_eq!(
+            probed_responses, dense_responses,
+            "nprobe = nclusters over the same panels must reproduce the dense scan"
+        );
+        assert_eq!(probed.stats().ann_requests, 16);
+        assert_eq!(probed.stats().shard_fallbacks, 0);
+        assert_eq!(dense.stats().ann_requests, 0, "the dense service never probes");
+    }
+
+    #[test]
+    fn corrupt_shards_fall_the_wave_back_to_the_dense_scan() {
+        let (index, mut shards) = shard_fixture();
+        let victim = (0..shards.nclusters()).find(|&c| !shards.shard(c).is_empty()).unwrap();
+        shards.corrupt_shard_for_tests(victim);
+        let requests = MatchRequest::stream(8, shards.entities(), 7);
+
+        let mut dense = MatchService::new(shard_config(), &index);
+        let dense_responses = dense.run(&requests, &NoFaults);
+
+        let mut probed = MatchService::with_shards(shard_config(), &index, &shards);
+        let probed_responses = probed.run(&requests, &NoFaults);
+
+        assert_eq!(
+            probed_responses, dense_responses,
+            "a failed probe pre-pass must serve exactly what the dense scan serves"
+        );
+        assert!(probed.stats().shard_fallbacks >= 1);
+        assert_eq!(probed.stats().ann_requests, 0);
+        assert!(
+            probed.trace().iter().any(|l| l.contains("dense fallback")),
+            "expected a fallback note in {:?}",
+            probed.trace()
+        );
+    }
+
+    #[test]
+    fn injected_faults_land_on_the_probed_path_too() {
+        let (index, shards) = shard_fixture();
+        // A poisoned encoder poisons probed scores exactly like dense rows:
+        // the request degrades to cached instead of serving garbage.
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::NanFeatures, until_id: 4 };
+        let mut service = MatchService::with_shards(shard_config(), &index, &shards);
+        for response in service.run(&MatchRequest::stream(4, shards.entities(), 7), &fault) {
+            assert_eq!(response.outcome.served_tier(), Some(Tier::Cached));
+        }
+        // Cache corruption on the probed path is an integrity failure.
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::CorruptCache, until_id: 1 };
+        let mut service = MatchService::with_shards(shard_config(), &index, &shards);
+        let responses = service.run(&MatchRequest::stream(1, shards.entities(), 7), &fault);
+        assert_eq!(responses[0].outcome.served_tier(), Some(Tier::Cached));
+        assert_eq!(responses[0].retries, 0, "corruption must not retry");
+    }
+
+    #[test]
+    fn shard_probed_replay_is_identical_at_one_and_four_threads() {
+        silence_injected_panics();
+        let (index, shards) = shard_fixture();
+        let requests = MatchRequest::stream(40, shards.entities(), 11);
+        let fault = TierFault { tier: Tier::Full, kind: FaultKind::WorkerPanic, until_id: 9 };
+        let run_with = |threads: usize| {
+            let _guard = ThreadsGuard::new(threads);
+            let mut service = MatchService::with_shards(
+                ServeConfig { wave: 8, nprobe: 2, min_batch: 2, ..shard_config() },
+                &index,
+                &shards,
+            );
+            let responses = service.run(&requests, &fault);
+            (responses, service.trace().to_vec(), service.stats().clone())
+        };
+        let (r1, t1, s1) = run_with(1);
+        let (r4, t4, s4) = run_with(4);
+        assert_eq!(r1, r4, "probed responses must be bit-identical across thread counts");
+        assert_eq!(t1, t4);
+        assert_eq!(s1, s4);
+        assert!(s1.ann_requests > 0, "the probe pre-pass must have run");
     }
 }

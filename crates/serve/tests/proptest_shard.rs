@@ -1,0 +1,173 @@
+//! Property tests for the cluster-pruned shard index (DESIGN.md §13).
+//!
+//! Three contracts, over randomly drawn gallery shapes:
+//!
+//! 1. **Exactness at full probe** — `nprobe = nclusters` must reproduce the
+//!    dense scan bit-for-bit: pruning is an *approximation knob*, never a
+//!    different scoring path.
+//! 2. **Replay determinism** — probe schedules are pure functions of
+//!    `(query, index, config)`, and wave scoring is invariant to both the
+//!    thread count and the batch/row-wise GEMM split (`min_batch`).
+//! 3. **Fail-closed integrity** — a damaged shard surfaces as a typed
+//!    [`ShardError::Corrupt`] naming the shard, and a service holding a
+//!    damaged shard index serves exactly what the dense service serves.
+
+use cem_serve::{
+    MatchRequest, MatchService, NoFaults, ServeConfig, ShardError, ShardedIndex,
+};
+use cem_serve::splitmix64;
+use cem_tensor::io::StateDict;
+use cem_tensor::par::ThreadsGuard;
+use crossem::matcher::rank_row;
+use proptest::prelude::*;
+
+/// Deterministic unit-normalised vectors; clustered enough for k-means to
+/// find structure, varied enough to exercise ties and empty clusters.
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let row: Vec<f32> = (0..dim)
+            .map(|d| {
+                (splitmix64(seed, (i * dim + d) as u64) >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+            })
+            .collect();
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+        out.extend(row.into_iter().map(|v| v / norm));
+    }
+    out
+}
+
+fn build(images: usize, entities: usize, dim: usize, nclusters: usize, seed: u64) -> ShardedIndex {
+    let queries = vectors(entities, dim, seed ^ 0x51);
+    let embeddings = vectors(images, dim, seed ^ 0x1E);
+    ShardedIndex::build(queries, entities, &embeddings, images, dim, nclusters, 6, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Probing every cluster is the dense scan: same candidates, same
+    /// packed panels, same accumulation schedule — so the ranking must be
+    /// bit-identical, not merely close.
+    #[test]
+    fn full_probe_is_bit_identical_to_the_dense_scan(
+        images in 8usize..80,
+        entities in 1usize..6,
+        dim in 2usize..12,
+        nclusters in 1usize..8,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        let index = build(images, entities, dim, nclusters, seed);
+        let slots: Vec<usize> = (0..entities).collect();
+        let wave = index.score_wave(&slots, nclusters, 2, 10, 1).unwrap();
+        for (entity, ranking) in slots.iter().zip(&wave.rankings) {
+            let dense = index.dense_rank(*entity, 10, 1);
+            prop_assert_eq!(&ranking.ids, &dense, "entity {} diverged from dense", entity);
+        }
+        // Every image was a candidate for every slot.
+        prop_assert!(wave.probed_fraction > 0.999, "fraction {}", wave.probed_fraction);
+    }
+
+    /// Probe schedules and partial-probe rankings are pure: thread count
+    /// and the batched-vs-rowwise GEMM split must not change a bit.
+    #[test]
+    fn probe_schedules_and_waves_are_thread_and_batch_invariant(
+        images in 16usize..80,
+        entities in 2usize..6,
+        dim in 2usize..12,
+        nclusters in 2usize..8,
+        nprobe_raw in 1usize..8,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        let nprobe = nprobe_raw.min(nclusters);
+        let index = build(images, entities, dim, nclusters, seed);
+        let slots: Vec<usize> = (0..entities).collect();
+        let run = |threads: usize, min_batch: usize| {
+            let _guard = ThreadsGuard::new(threads);
+            let probes: Vec<Vec<usize>> =
+                slots.iter().map(|&e| index.probe(e, nprobe)).collect();
+            let wave = index.score_wave(&slots, nprobe, min_batch, 10, threads).unwrap();
+            (probes, wave)
+        };
+        let (p1, w1) = run(1, 2);
+        let (p4, w4) = run(4, 2);
+        let (_, rowwise) = run(1, usize::MAX);
+        prop_assert_eq!(p1, p4, "probe schedules must not depend on thread count");
+        prop_assert_eq!(&w1.rankings, &w4.rankings);
+        prop_assert_eq!(
+            &w1.rankings, &rowwise.rankings,
+            "coalesced and row-wise scoring must agree bitwise"
+        );
+        prop_assert_eq!(rowwise.batched_gemms, 0, "min_batch = MAX must never batch");
+        // Partial probes score at most the probed posting lists.
+        prop_assert!(w1.probed_fraction <= 1.0 + 1e-9);
+    }
+
+    /// CEMT round-trip: the decoded index serves the same rankings, and a
+    /// payload tampered under a stale checksum is a typed corrupt error
+    /// naming the damaged shard.
+    #[test]
+    fn cemt_round_trips_and_tampering_is_typed(
+        images in 8usize..48,
+        entities in 1usize..4,
+        dim in 2usize..8,
+        nclusters in 1usize..6,
+        seed in 0u64..(1u64 << 32),
+    ) {
+        let mut index = build(images, entities, dim, nclusters, seed);
+        let bytes = index.to_state_dict().to_bytes();
+        let decoded =
+            ShardedIndex::from_state_dict(&StateDict::from_bytes(&bytes).unwrap()).unwrap();
+        let slots: Vec<usize> = (0..entities).collect();
+        let a = index.score_wave(&slots, nclusters, 2, 10, 1).unwrap();
+        let b = decoded.score_wave(&slots, nclusters, 2, 10, 1).unwrap();
+        prop_assert_eq!(a.rankings, b.rankings);
+
+        let victim = (0..index.nclusters()).find(|&c| !index.shard(c).is_empty()).unwrap();
+        index.corrupt_shard_for_tests(victim);
+        let err = ShardedIndex::from_state_dict(&index.to_state_dict()).map(|_| ()).unwrap_err();
+        prop_assert_eq!(err, ShardError::Corrupt { shard: victim });
+    }
+}
+
+/// End-to-end fail-closed check: a service holding a damaged shard index
+/// must answer every request exactly as the dense service does, via the
+/// wave-level fallback — corruption costs recall nothing.
+#[test]
+fn damaged_shards_degrade_the_service_to_dense_bitwise() {
+    let (entities, images, dim, nclusters) = (5, 60, 8, 4);
+    let mut shards = build(images, entities, dim, nclusters, 21);
+    let full = shards.dense_scores(1);
+    let filler = |offset: f32| {
+        (0..entities * images).map(|i| i as f32 * 0.01 + offset).collect::<Vec<f32>>()
+    };
+    let index = cem_serve::ServeIndex::new(
+        entities,
+        images,
+        [full, filler(0.1), filler(0.2), filler(0.3)],
+    );
+    let config = ServeConfig { top_k: 10, nclusters, nprobe: nclusters, ..ServeConfig::default() };
+    let requests = MatchRequest::stream(12, entities, 9);
+
+    let mut dense = MatchService::new(config, &index);
+    let want = dense.run(&requests, &NoFaults);
+
+    let victim = (0..shards.nclusters()).find(|&c| !shards.shard(c).is_empty()).unwrap();
+    shards.corrupt_shard_for_tests(victim);
+    assert_eq!(shards.verify(), Err(ShardError::Corrupt { shard: victim }));
+
+    let mut probed = MatchService::with_shards(config, &index, &shards);
+    let got = probed.run(&requests, &NoFaults);
+    assert_eq!(got, want, "fallback must reproduce the dense service bitwise");
+    assert!(probed.stats().shard_fallbacks >= 1);
+
+    // Sanity: the full-tier rankings really are the dense oracle's.
+    for (request, response) in requests.iter().zip(&got) {
+        if let cem_serve::Outcome::Served { ranking, .. } = &response.outcome {
+            let row = shards.dense_scores(1)
+                [request.entity * images..(request.entity + 1) * images]
+                .to_vec();
+            assert_eq!(ranking, &rank_row(&row, 10));
+        }
+    }
+}

@@ -178,6 +178,31 @@ pub fn gemm_packed_with_threads(
     packed_gemm_with_threads::<AutoTiles>(a, &packed, c, m, threads);
 }
 
+/// `c[m,n] += a[m,k] @ B` against a `B` that was packed ahead of time with
+/// [`pack::pack_b`] / [`pack::pack_b_t`] (`k = packed.k()`,
+/// `n = packed.n()`). This is the batched panel-scoring entry point for
+/// callers that keep long-lived packed panels (the serving shard index packs
+/// each shard's embeddings once at build time and scores every wave's query
+/// batch against the resident panel), so pack cost is paid once instead of
+/// per call.
+///
+/// The per-element accumulation schedule depends only on `packed.k()` —
+/// never on `m`, the thread budget, or where a row falls in a block (see
+/// [`crate::microkernel`]) — so scoring a coalesced `m`-row batch is
+/// bit-identical to `m` separate single-row calls.
+pub fn gemm_prepacked_with_threads(
+    a: &[f32],
+    packed: &PackedB,
+    c: &mut [f32],
+    m: usize,
+    threads: usize,
+) {
+    debug_assert_eq!(a.len(), m * packed.k());
+    debug_assert_eq!(c.len(), m * packed.n());
+    cem_obs::counter_add!("gemm.tier.prepacked", 1);
+    packed_gemm_with_threads::<AutoTiles>(a, packed, c, m, threads);
+}
+
 /// Packed `gemm` forced through the always-scalar micro-kernel — the
 /// bit-exact reference the `simd` path is checked against.
 pub fn gemm_packed_scalar_with_threads(
@@ -808,6 +833,37 @@ mod tests {
         let auto_bits: Vec<u32> = auto_c.iter().map(|v| v.to_bits()).collect();
         let scalar_bits: Vec<u32> = scalar_c.iter().map(|v| v.to_bits()).collect();
         assert_eq!(auto_bits, scalar_bits);
+    }
+
+    /// The prepacked entry point reuses one resident panel across calls and
+    /// must produce the same bits as the pack-per-call path — for a
+    /// coalesced batch and, row for row, for single-row (`m = 1`) calls.
+    #[test]
+    fn prepacked_matches_pack_per_call_and_row_calls() {
+        let (m, k, n) = (MR * 2 + 1, KC + 5, NR + 7);
+        let a = filled(m * k, 71);
+        let bt = filled(n * k, 73);
+        let packed = pack::pack_b_t(&bt, n, k);
+
+        let mut per_call = vec![0.0f32; m * n];
+        gemm_nt_packed_with_threads(&a, &bt, &mut per_call, m, k, n, 2);
+        for threads in [1usize, 2, 4] {
+            let mut batched = vec![0.0f32; m * n];
+            gemm_prepacked_with_threads(&a, &packed, &mut batched, m, threads);
+            assert_eq!(batched, per_call, "batched threads={threads}");
+
+            let mut rowwise = vec![0.0f32; m * n];
+            for i in 0..m {
+                gemm_prepacked_with_threads(
+                    &a[i * k..(i + 1) * k],
+                    &packed,
+                    &mut rowwise[i * n..(i + 1) * n],
+                    1,
+                    threads,
+                );
+            }
+            assert_eq!(rowwise, per_call, "rowwise threads={threads}");
+        }
     }
 
     #[test]
